@@ -1,0 +1,113 @@
+//! **Figure 5**: 99th-percentile latency and system throughput across all
+//! 6 × 6 inference × training combinations under Ideal, Time-Slicing, MPS,
+//! MPS-Priority, TGS, and Tally, with MAF2-style traffic at 50% load.
+//!
+//! Paper reference: average p99 overhead vs Ideal of 252.3% (Time-Slicing),
+//! 345.0% (MPS), 195.5% (MPS-Priority), 188.9% (TGS) and **7.2% (Tally)**;
+//! Tally attains ~80% of TGS's system throughput.
+//!
+//! By default this runs the BERT + Llama-2 inference rows (the same
+//! subset the paper's artifact appendix defaults to, §A.2); set
+//! `FIG5_FULL=1` for the full 6 × 6 sweep (several minutes on one core).
+
+use std::collections::HashMap;
+
+use tally_bench::{banner, harness_for, ms, run_combo, solo_refs, FIG5_SYSTEMS};
+use tally_gpu::GpuSpec;
+use tally_workloads::{InferModel, TrainModel};
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let load = 0.5;
+    let full = std::env::var_os("FIG5_FULL").is_some();
+    let infer_models: Vec<InferModel> = if full {
+        InferModel::ALL.to_vec()
+    } else {
+        vec![InferModel::Bert, InferModel::Llama2_7b]
+    };
+    if !full {
+        println!("(BERT + Llama-2 subset — set FIG5_FULL=1 for the full 6x6 sweep)");
+    }
+
+    banner("Figure 5: p99 latency and system throughput, all combinations @ 50% load");
+    println!(
+        "{:<22} {:<18} {:<16} {:>10} {:>9} {:>8}",
+        "inference (hp)", "training (be)", "system", "p99", "vs ideal", "sys-thr"
+    );
+
+    let mut overhead_sums: HashMap<&str, (f64, u32)> = HashMap::new();
+    let mut thr_sums: HashMap<&str, (f64, u32)> = HashMap::new();
+
+    for infer in infer_models {
+        let cfg = harness_for(infer);
+        for train in TrainModel::ALL {
+            let refs = solo_refs(&spec, infer, train, load, &cfg);
+            println!(
+                "{:<22} {:<18} {:<16} {:>10} {:>9} {:>8.2}",
+                infer.name(),
+                train.name(),
+                "ideal",
+                ms(refs.ideal_p99),
+                "-",
+                1.0
+            );
+            for system in FIG5_SYSTEMS {
+                let out = run_combo(&spec, infer, train, load, system, &refs, &cfg);
+                println!(
+                    "{:<22} {:<18} {:<16} {:>10} {:>8.0}% {:>8.2}",
+                    "", "", system, ms(out.p99), out.overhead * 100.0, out.system_throughput
+                );
+                let e = overhead_sums.entry(system).or_default();
+                e.0 += out.overhead;
+                e.1 += 1;
+                let t = thr_sums.entry(system).or_default();
+                t.0 += out.system_throughput;
+                t.1 += 1;
+            }
+        }
+    }
+
+    banner("Figure 5 summary: average p99 overhead vs Ideal");
+    println!("{:<16} {:>10} {:>12}", "system", "measured", "paper");
+    let paper: HashMap<&str, &str> = [
+        ("time-slicing", "252.3%"),
+        ("mps", "345.0%"),
+        ("mps-priority", "195.5%"),
+        ("tgs", "188.9%"),
+        ("tally", "7.2%"),
+    ]
+    .into();
+    for system in FIG5_SYSTEMS {
+        let (sum, n) = overhead_sums[system];
+        println!(
+            "{:<16} {:>9.1}% {:>12}",
+            system,
+            sum / n as f64 * 100.0,
+            paper[system]
+        );
+    }
+
+    banner("Figure 5 summary: system throughput, Tally relative to baselines");
+    let (tally_thr, tn) = thr_sums["tally"];
+    let tally_avg = tally_thr / tn as f64;
+    let paper_rel: HashMap<&str, &str> = [
+        ("time-slicing", "105.2%"),
+        ("mps", "83.6%"),
+        ("mps-priority", "80.6%"),
+        ("tgs", "80.3%"),
+    ]
+    .into();
+    println!("{:<16} {:>10} {:>14} {:>12}", "baseline", "sys-thr", "tally/baseline", "paper");
+    for system in &FIG5_SYSTEMS[..4] {
+        let (sum, n) = thr_sums[system];
+        let avg = sum / n as f64;
+        println!(
+            "{:<16} {:>10.2} {:>13.1}% {:>12}",
+            system,
+            avg,
+            tally_avg / avg * 100.0,
+            paper_rel[system]
+        );
+    }
+    println!("tally            {tally_avg:>10.2}");
+}

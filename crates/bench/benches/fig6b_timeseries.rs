@@ -1,0 +1,126 @@
+//! **Figure 6b**: time-series behaviour under a condensed MAF2-style
+//! diurnal trace — BERT inference co-located with BERT training. Three
+//! panels: (1) request count over time, (2) the service's windowed p99
+//! under every sharing system, (3) the trainer's windowed throughput under
+//! Tally vs its solo throughput.
+//!
+//! Paper reference: Tally's p99 hugs the ideal line throughout while the
+//! baselines inflate, and Tally opportunistically modulates the trainer —
+//! preserving over 68% of its solo throughput across the trace.
+
+use tally_bench::{banner, make_system, ms, FIG5_SYSTEMS};
+use tally_core::harness::{run_colocation, run_solo, HarnessConfig};
+use tally_core::metrics::ClientReport;
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
+use tally_workloads::maf2::condensed_trace;
+use tally_workloads::{InferModel, TrainModel};
+
+const WINDOW: SimSpan = SimSpan::from_secs(4);
+const DURATION: SimSpan = SimSpan::from_secs(60);
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let cfg = HarnessConfig {
+        duration: DURATION,
+        warmup: SimSpan::ZERO,
+        seed: 5,
+        jitter: 0.0,
+        record_timelines: true,
+    };
+    // BERT serves ~254 req/s at capacity; sweep up to ~95% of it.
+    let capacity = 1.0 / InferModel::Bert.paper_latency().as_secs_f64();
+    let (trace, counts) = condensed_trace(capacity, DURATION, 5);
+    let n_windows = (DURATION.as_nanos() / WINDOW.as_nanos()) as usize;
+
+    banner("Figure 6b panel 1: request count per window");
+    let per_window: Vec<u32> = (0..n_windows)
+        .map(|w| {
+            counts
+                .iter()
+                .filter(|(t, _)| (t.as_nanos() / WINDOW.as_nanos()) as usize == w)
+                .map(|&(_, n)| n)
+                .sum()
+        })
+        .collect();
+    print!("t(s):   ");
+    for w in 0..n_windows {
+        print!("{:>6}", w * 4);
+    }
+    println!();
+    print!("reqs:   ");
+    for n in &per_window {
+        print!("{n:>6}");
+    }
+    println!();
+
+    // Ideal (solo) run for reference.
+    let hp_job = InferModel::Bert.job(&spec, trace.clone());
+    let solo = run_solo(&spec, &hp_job, &cfg);
+    banner("Figure 6b panel 2: windowed p99 over time (ms)");
+    print_p99_row("ideal", &solo, n_windows);
+
+    let mut tally_be: Option<ClientReport> = None;
+    for system_name in FIG5_SYSTEMS {
+        let jobs = [
+            InferModel::Bert.job(&spec, trace.clone()),
+            TrainModel::Bert.job(&spec),
+        ];
+        let mut system = make_system(system_name);
+        let report = run_colocation(&spec, &jobs, system.as_mut(), &cfg);
+        print_p99_row(system_name, report.high_priority().expect("hp"), n_windows);
+        if system_name == "tally" {
+            tally_be = Some(report.best_effort().next().expect("be").clone());
+        }
+    }
+
+    banner("Figure 6b panel 3: best-effort BERT training throughput under Tally (it/s)");
+    let solo_be = run_solo(&spec, &TrainModel::Bert.job(&spec), &cfg);
+    let be = tally_be.expect("tally run recorded");
+    let ops_per_iter = be.op_times.len().max(1) as f64 / be.iterations.max(1) as f64;
+    print!("solo:   ");
+    for _ in 0..n_windows {
+        print!("{:>6.2}", solo_be.throughput);
+    }
+    println!();
+    print!("tally:  ");
+    let mut retained_sum = 0.0;
+    for w in 0..n_windows {
+        let lo = SimTime::ZERO + WINDOW * w as u64;
+        let hi = lo + WINDOW;
+        let ops = be.op_times.iter().filter(|&&t| t >= lo && t < hi).count() as f64;
+        let thr = ops / ops_per_iter / WINDOW.as_secs_f64();
+        retained_sum += thr / solo_be.throughput;
+        print!("{thr:>6.2}");
+    }
+    println!();
+    println!(
+        "\naverage retained training throughput: {:.0}%   [paper: >68% over the trace]",
+        retained_sum / n_windows as f64 * 100.0
+    );
+}
+
+fn print_p99_row(label: &str, client: &ClientReport, n_windows: usize) {
+    print!("{label:<8}");
+    for w in 0..n_windows {
+        let lo = SimTime::ZERO + WINDOW * w as u64;
+        let hi = lo + WINDOW;
+        let mut lats: Vec<SimSpan> = client
+            .timed_latencies
+            .iter()
+            .filter(|(a, _)| *a >= lo && *a < hi)
+            .map(|&(_, l)| l)
+            .collect();
+        if lats.is_empty() {
+            print!("{:>6}", "-");
+            continue;
+        }
+        lats.sort_unstable();
+        let idx = ((0.99 * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+        print!("{:>6}", trim(ms(lats[idx - 1])));
+    }
+    println!();
+}
+
+fn trim(s: String) -> String {
+    s.replace("ms", "").replace("us", "u")
+}

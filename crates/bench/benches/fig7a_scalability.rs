@@ -1,0 +1,52 @@
+//! **Figure 7a**: scalability with the number of co-located workloads —
+//! one high-priority online ResNet50 inference service at 10% load plus
+//! 1–10 best-effort offline ResNet50 inference jobs under Tally.
+//!
+//! Paper reference: the online p99 stays flat across the whole sweep while
+//! aggregate throughput (requests/minute) climbs until the GPU saturates
+//! around 8 concurrent best-effort workloads.
+
+use tally_bench::{banner, ms};
+use tally_core::harness::{run_colocation, HarnessConfig};
+use tally_core::scheduler::{TallyConfig, TallySystem};
+use tally_gpu::{GpuSpec, Priority, SimSpan};
+use tally_workloads::maf2::{arrivals, Maf2Config};
+use tally_workloads::InferModel;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let cfg = HarnessConfig {
+        duration: SimSpan::from_secs(10),
+        warmup: SimSpan::from_secs(1),
+        seed: 11,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    let model = InferModel::ResNet50;
+
+    banner("Figure 7a: scaling best-effort workloads under Tally");
+    println!("{:>4} {:>12} {:>18}", "N be", "online p99", "total req/min");
+    let mut prev_thr = 0.0;
+    for n in 0..=10usize {
+        let mut jobs = Vec::new();
+        let trace =
+            arrivals(&Maf2Config::new(0.10, model.paper_latency(), cfg.duration).with_seed(100));
+        jobs.push(model.job(&spec, trace));
+        for i in 0..n {
+            // Offline inference: saturating queues, best-effort class.
+            let trace = arrivals(
+                &Maf2Config::new(0.35, model.paper_latency(), cfg.duration)
+                    .with_seed(200 + i as u64),
+            );
+            jobs.push(model.job(&spec, trace).with_priority(Priority::BestEffort));
+        }
+        let mut tally = TallySystem::new(TallyConfig::paper_default());
+        let report = run_colocation(&spec, &jobs, &mut tally, &cfg);
+        let p99 = report.high_priority().and_then(|c| c.p99()).expect("latencies");
+        let total: f64 = report.clients.iter().map(|c| c.throughput * 60.0).sum();
+        println!("{n:>4} {:>12} {total:>18.0}", ms(p99));
+        prev_thr = total;
+    }
+    let _ = prev_thr;
+    println!("\nExpected shape: flat online p99; total req/min grows, then saturates.");
+}

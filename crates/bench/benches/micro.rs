@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the substrate components: engine event
+//! throughput, kernel transformation passes, interpreter speed, and
+//! scheduler decision latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+use tally_core::scheduler::{TallyConfig, TallySystem};
+use tally_gpu::{
+    ClientId, Engine, GpuSpec, KernelDesc, LaunchRequest, Priority, SimSpan, SimTime, Step,
+};
+use tally_ptx::interp::{run_kernel, Launch};
+use tally_ptx::{passes, samples};
+
+fn engine_throughput(c: &mut Criterion) {
+    c.bench_function("engine: 1000 single-wave kernels", |b| {
+        let spec = GpuSpec::a100();
+        let k = KernelDesc::builder("bench")
+            .grid(864)
+            .block(256)
+            .block_cost(SimSpan::from_micros(50))
+            .build_arc();
+        b.iter(|| {
+            let mut engine = Engine::new(spec.clone());
+            for _ in 0..1000 {
+                engine.submit(LaunchRequest::full(k.clone(), ClientId(0), Priority::High));
+            }
+            let mut done = 0;
+            while let Step::Notified(n) = engine.advance(SimTime::MAX) {
+                done += n.len();
+            }
+            assert_eq!(done, 1000);
+        });
+    });
+}
+
+fn transformation_passes(c: &mut Criterion) {
+    let kernel = samples::block_reduce_sum();
+    c.bench_function("passes: unified_sync", |b| {
+        b.iter(|| passes::unified_sync(&kernel));
+    });
+    c.bench_function("passes: ptb (incl. unified_sync)", |b| {
+        b.iter(|| passes::ptb(&kernel));
+    });
+    c.bench_function("passes: slicing", |b| {
+        b.iter(|| passes::slicing(&kernel));
+    });
+}
+
+fn interpreter(c: &mut Criterion) {
+    let kernel = samples::block_reduce_sum();
+    c.bench_function("interp: reduce 8 blocks x 8 threads", |b| {
+        b.iter(|| {
+            let mut mem = vec![1u64; 66];
+            run_kernel(&kernel, &Launch::linear(8, 8, vec![0, 64, 64]), &mut mem)
+                .expect("runs");
+            assert_eq!(mem[64], 64);
+        });
+    });
+}
+
+fn scheduler_colocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    group.bench_function("tally: 1s co-location", |b| {
+        let spec = GpuSpec::a100();
+        let hp_kernel = KernelDesc::builder("hp")
+            .grid(432)
+            .block(256)
+            .block_cost(SimSpan::from_micros(50))
+            .build_arc();
+        let be_kernel = KernelDesc::builder("be")
+            .grid(864 * 10)
+            .block(256)
+            .block_cost(SimSpan::from_micros(200))
+            .mem_intensity(0.7)
+            .build_arc();
+        let cfg = HarnessConfig {
+            duration: SimSpan::from_secs(1),
+            warmup: SimSpan::from_millis(100),
+            seed: 0,
+            jitter: 0.0,
+            record_timelines: false,
+        };
+        b.iter(|| {
+            let hp = JobSpec::inference(
+                "hp",
+                vec![WorkloadOp::Kernel(hp_kernel.clone()); 10],
+                (0..100).map(|i| SimTime::from_millis(10 * i)).collect(),
+            );
+            let be = JobSpec::training("be", vec![WorkloadOp::Kernel(be_kernel.clone())]);
+            let mut tally = TallySystem::new(TallyConfig::paper_default());
+            run_colocation(&spec, &[hp, be], &mut tally, &cfg)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_throughput,
+    transformation_passes,
+    interpreter,
+    scheduler_colocation
+);
+criterion_main!(benches);

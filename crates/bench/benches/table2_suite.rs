@@ -1,0 +1,62 @@
+//! **Table 2**: the benchmark suite's solo numbers — training iteration
+//! throughput and inference request latency — measured end to end through
+//! the simulator and compared to the published values.
+
+use tally_bench::{banner, ms};
+use tally_core::harness::{run_solo, HarnessConfig};
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
+use tally_workloads::{InferModel, TrainModel};
+
+fn main() {
+    let spec = GpuSpec::a100();
+
+    banner("Table 2 (training): solo iteration throughput");
+    println!("{:<20} {:>12} {:>12} {:>8}", "model", "measured", "paper", "err");
+    for m in TrainModel::ALL {
+        let secs = (20.0 / m.paper_throughput()).clamp(5.0, 40.0);
+        let cfg = HarnessConfig {
+            duration: SimSpan::from_secs_f64(secs),
+            warmup: SimSpan::from_secs_f64(secs * 0.1),
+            seed: 1,
+            jitter: 0.0,
+            record_timelines: false,
+        };
+        let rep = run_solo(&spec, &m.job(&spec), &cfg);
+        let paper = m.paper_throughput();
+        println!(
+            "{:<20} {:>9.2} it/s {:>9.2} it/s {:>7.1}%",
+            m.name(),
+            rep.throughput,
+            paper,
+            (rep.throughput / paper - 1.0) * 100.0
+        );
+    }
+
+    banner("Table 2 (inference): solo request latency");
+    println!("{:<24} {:>12} {:>12} {:>8}", "model", "measured", "paper", "err");
+    for m in InferModel::ALL {
+        // Serve widely spaced requests so there is no queueing.
+        let lat = m.paper_latency();
+        let period = lat * 4;
+        let n = 40u64;
+        let arrivals: Vec<SimTime> =
+            (0..n).map(|i| SimTime::ZERO + period * i).collect();
+        let duration = period * (n + 2);
+        let cfg = HarnessConfig {
+            duration,
+            warmup: SimSpan::ZERO,
+            seed: 1,
+            jitter: 0.0,
+            record_timelines: false,
+        };
+        let rep = run_solo(&spec, &m.job(&spec, arrivals), &cfg);
+        let measured = rep.latency.p50().expect("latencies");
+        println!(
+            "{:<24} {:>12} {:>12} {:>7.1}%",
+            m.name(),
+            ms(measured),
+            ms(lat),
+            (measured.ratio(lat) - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! # tally-bench — experiment machinery for regenerating the paper's tables
+//! and figures
+//!
+//! Each bench target under `benches/` is a standalone harness (no Criterion
+//! wrapper) that prints the rows/series of one table or figure of the
+//! paper, with the paper's reference numbers alongside where published.
+//! Absolute values are not expected to match a hardware testbed; the
+//! *shapes* — who wins, by roughly what factor, where crossovers fall —
+//! are.
+//!
+//! Shared machinery lives here: per-model run lengths, system construction
+//! by name, combo runners with solo normalization, and a work-queue
+//! parallel map for multicore hosts.
+
+#![warn(missing_docs)]
+
+use tally_baselines::{KernelLevelPriority, Mps, Tgs, TimeSlicing};
+use tally_core::harness::{run_colocation, run_solo, HarnessConfig, JobSpec};
+use tally_core::metrics::RunReport;
+use tally_core::scheduler::{TallyConfig, TallySystem};
+use tally_core::system::SharingSystem;
+use tally_gpu::{GpuSpec, SimSpan};
+use tally_workloads::maf2::{arrivals, Maf2Config};
+use tally_workloads::{InferModel, TrainModel};
+
+/// The systems of Figure 5, in paper order, plus Tally.
+pub const FIG5_SYSTEMS: [&str; 5] = ["time-slicing", "mps", "mps-priority", "tgs", "tally"];
+
+/// Builds a fresh sharing system by report name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn make_system(name: &str) -> Box<dyn SharingSystem> {
+    match name {
+        "time-slicing" => Box::new(TimeSlicing::new()),
+        "mps" => Box::new(Mps::new()),
+        "mps-priority" => Box::new(Mps::with_priority()),
+        "tgs" => Box::new(Tgs::new()),
+        "tally" => Box::new(TallySystem::new(TallyConfig::paper_default())),
+        "no-scheduling" => Box::new(Mps::no_scheduling()),
+        "sched-no-transform" => Box::new(KernelLevelPriority::new()),
+        other => panic!("unknown system `{other}`"),
+    }
+}
+
+/// Simulated run length appropriate for an inference model: long-latency
+/// services need longer windows to accumulate enough requests for a stable
+/// tail estimate.
+pub fn harness_for(infer: InferModel) -> HarnessConfig {
+    let long = infer.paper_latency() >= SimSpan::from_millis(100);
+    if long {
+        HarnessConfig {
+            duration: SimSpan::from_secs(36),
+            warmup: SimSpan::from_secs(4),
+            seed: 1,
+            jitter: 0.02,
+            record_timelines: false,
+        }
+    } else {
+        HarnessConfig {
+            duration: SimSpan::from_secs(10),
+            warmup: SimSpan::from_secs(1),
+            seed: 1,
+            jitter: 0.02,
+            record_timelines: false,
+        }
+    }
+}
+
+/// Solo reference numbers for one inference × training pairing.
+#[derive(Clone, Debug)]
+pub struct SoloRefs {
+    /// Solo p99 of the inference service at the given load.
+    pub ideal_p99: SimSpan,
+    /// Solo request throughput of the inference service.
+    pub infer_thr: f64,
+    /// Solo iteration throughput of the trainer.
+    pub train_thr: f64,
+}
+
+/// One co-location measurement.
+#[derive(Clone, Debug)]
+pub struct ComboOutcome {
+    /// System under test.
+    pub system: String,
+    /// Measured p99 of the high-priority service.
+    pub p99: SimSpan,
+    /// p99 overhead vs the solo ("Ideal") run, as a fraction (0.072 = 7.2%).
+    pub overhead: f64,
+    /// Normalized high-priority throughput.
+    pub hp_norm: f64,
+    /// Normalized best-effort throughput.
+    pub be_norm: f64,
+    /// System throughput (sum of normalized throughputs).
+    pub system_throughput: f64,
+}
+
+/// Builds the high-priority job for `infer` at `load` using the MAF2-style
+/// trace, matched to `cfg`'s duration.
+pub fn inference_job(spec: &GpuSpec, infer: InferModel, load: f64, cfg: &HarnessConfig) -> JobSpec {
+    let trace = arrivals(&Maf2Config::new(load, infer.paper_latency(), cfg.duration));
+    infer.job(spec, trace)
+}
+
+/// Runs the solo references for a pairing.
+pub fn solo_refs(
+    spec: &GpuSpec,
+    infer: InferModel,
+    train: TrainModel,
+    load: f64,
+    cfg: &HarnessConfig,
+) -> SoloRefs {
+    let hp = inference_job(spec, infer, load, cfg);
+    let solo_hp = run_solo(spec, &hp, cfg);
+    let solo_be = run_solo(spec, &train.job(spec), cfg);
+    SoloRefs {
+        ideal_p99: solo_hp.p99().unwrap_or(SimSpan::ZERO),
+        infer_thr: solo_hp.throughput,
+        train_thr: solo_be.throughput,
+    }
+}
+
+/// Runs one inference × training co-location under `system_name` and
+/// normalizes against `refs`.
+pub fn run_combo(
+    spec: &GpuSpec,
+    infer: InferModel,
+    train: TrainModel,
+    load: f64,
+    system_name: &str,
+    refs: &SoloRefs,
+    cfg: &HarnessConfig,
+) -> ComboOutcome {
+    let jobs = [inference_job(spec, infer, load, cfg), train.job(spec)];
+    let mut system = make_system(system_name);
+    let report = run_colocation(spec, &jobs, system.as_mut(), cfg);
+    outcome_from_report(&report, refs)
+}
+
+/// Converts a raw report into a normalized [`ComboOutcome`].
+pub fn outcome_from_report(report: &RunReport, refs: &SoloRefs) -> ComboOutcome {
+    let hp = report.high_priority().expect("high-priority client");
+    let be = report.best_effort().next().expect("best-effort client");
+    let p99 = hp.p99().unwrap_or(SimSpan::ZERO);
+    let overhead = if refs.ideal_p99.is_zero() { 0.0 } else { p99.ratio(refs.ideal_p99) - 1.0 };
+    let hp_norm = if refs.infer_thr > 0.0 { hp.throughput / refs.infer_thr } else { 0.0 };
+    let be_norm = if refs.train_thr > 0.0 { be.throughput / refs.train_thr } else { 0.0 };
+    ComboOutcome {
+        system: report.system.clone(),
+        p99,
+        overhead,
+        hp_norm,
+        be_norm,
+        system_throughput: hp_norm + be_norm,
+    }
+}
+
+/// Formats a span as milliseconds with sensible precision.
+pub fn ms(s: SimSpan) -> String {
+    let v = s.as_millis_f64();
+    if v >= 100.0 {
+        format!("{v:.0}ms")
+    } else if v >= 1.0 {
+        format!("{v:.2}ms")
+    } else {
+        format!("{:.0}us", s.as_micros_f64())
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

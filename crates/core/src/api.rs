@@ -1,0 +1,197 @@
+//! The non-intrusive virtualization layer (paper §4.3).
+//!
+//! Tally interposes on the device API via `LD_PRELOAD`: the client library
+//! intercepts each call and either answers it from locally cached execution
+//! state (`cudaGetDevice` and friends) or forwards it to the Tally server
+//! over a shared-memory channel. This module models that layer — call
+//! taxonomy, channel costs, and the client-side state cache — precisely
+//! enough to reproduce the paper's ~1% virtualization-overhead result and
+//! to let the overhead bench show *why* local-state caching matters.
+
+use std::collections::HashMap;
+
+use tally_gpu::SimSpan;
+
+/// A device API call, classified the way the interception layer cares
+/// about: does it mutate device state (must forward) or only read
+/// execution-context state (cacheable client-side)?
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ApiCall {
+    /// `cuLaunchKernel` — always forwarded.
+    LaunchKernel,
+    /// Host-to-device copy of `usize` bytes — forwarded.
+    MemcpyHtoD(usize),
+    /// Device-to-host copy — forwarded (synchronous).
+    MemcpyDtoH(usize),
+    /// `cuStreamSynchronize` — forwarded.
+    StreamSynchronize,
+    /// `cuMemAlloc` — forwarded.
+    MemAlloc(usize),
+    /// `__cudaRegisterFatBinary` — forwarded once at startup; this is the
+    /// interception point where the server captures device code (PTX).
+    RegisterFatbin,
+    /// `cudaGetDevice` — cacheable.
+    GetDevice,
+    /// `cudaGetDeviceProperties` — cacheable.
+    GetDeviceProperties,
+    /// `cudaGetLastError` in the common no-error fast path — cacheable.
+    GetLastError,
+    /// `cudaStreamQuery`-style context reads — cacheable.
+    ContextQuery,
+}
+
+impl ApiCall {
+    /// Whether the call can be answered from client-side cached state after
+    /// first being observed.
+    pub fn cacheable(&self) -> bool {
+        matches!(
+            self,
+            ApiCall::GetDevice
+                | ApiCall::GetDeviceProperties
+                | ApiCall::GetLastError
+                | ApiCall::ContextQuery
+        )
+    }
+}
+
+/// The client↔server transport.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Transport {
+    /// Shared-memory message channel: no context switch on the fast path
+    /// (~2 µs round trip) — Tally's choice.
+    SharedMemory,
+    /// A Unix-domain-socket style channel (~25 µs round trip) — what a
+    /// naive forwarding layer would pay.
+    Socket,
+}
+
+impl Transport {
+    /// Round-trip forwarding latency of one API call.
+    pub fn round_trip(self) -> SimSpan {
+        match self {
+            Transport::SharedMemory => SimSpan::from_micros(2),
+            Transport::Socket => SimSpan::from_micros(25),
+        }
+    }
+}
+
+/// Counters of interception activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct InterceptStats {
+    /// Calls forwarded to the server.
+    pub forwarded: u64,
+    /// Calls served from the client-side state cache.
+    pub served_locally: u64,
+    /// Total time spent in the interception layer.
+    pub total_cost: SimSpan,
+}
+
+impl InterceptStats {
+    /// Fraction of calls that avoided a server round trip.
+    pub fn local_fraction(&self) -> f64 {
+        let total = self.forwarded + self.served_locally;
+        if total == 0 {
+            0.0
+        } else {
+            self.served_locally as f64 / total as f64
+        }
+    }
+}
+
+/// The client-side interception stub: forwards state-mutating calls,
+/// caches context reads locally after first sight.
+///
+/// ```
+/// use tally_core::api::{ApiCall, ClientStub, Transport};
+///
+/// let mut stub = ClientStub::new(Transport::SharedMemory);
+/// stub.call(&ApiCall::GetDevice);  // first sight: forwarded
+/// stub.call(&ApiCall::GetDevice);  // now local
+/// stub.call(&ApiCall::LaunchKernel);
+/// assert_eq!(stub.stats().forwarded, 2);
+/// assert_eq!(stub.stats().served_locally, 1);
+/// ```
+#[derive(Debug)]
+pub struct ClientStub {
+    transport: Transport,
+    cache: HashMap<ApiCall, ()>,
+    caching_enabled: bool,
+    stats: InterceptStats,
+}
+
+/// Cost of answering a call from the local cache (a hash lookup).
+const LOCAL_COST: SimSpan = SimSpan::from_nanos(80);
+
+impl ClientStub {
+    /// A stub over the given transport, with local-state caching enabled.
+    pub fn new(transport: Transport) -> Self {
+        ClientStub { transport, cache: HashMap::new(), caching_enabled: true, stats: InterceptStats::default() }
+    }
+
+    /// Disables the local-state cache (every call forwards) — the ablation
+    /// the §4.3 optimization discussion implies.
+    pub fn without_caching(transport: Transport) -> Self {
+        ClientStub { caching_enabled: false, ..ClientStub::new(transport) }
+    }
+
+    /// Executes one intercepted call; returns the time it cost the client.
+    pub fn call(&mut self, api: &ApiCall) -> SimSpan {
+        let local = self.caching_enabled && api.cacheable() && self.cache.contains_key(api);
+        let cost = if local {
+            self.stats.served_locally += 1;
+            LOCAL_COST
+        } else {
+            self.stats.forwarded += 1;
+            if self.caching_enabled && api.cacheable() {
+                self.cache.insert(api.clone(), ());
+            }
+            self.transport.round_trip()
+        };
+        self.stats.total_cost += cost;
+        cost
+    }
+
+    /// Interception counters so far.
+    pub fn stats(&self) -> InterceptStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacheable_calls_go_local_after_first_sight() {
+        let mut stub = ClientStub::new(Transport::SharedMemory);
+        assert_eq!(stub.call(&ApiCall::GetDevice), SimSpan::from_micros(2));
+        assert_eq!(stub.call(&ApiCall::GetDevice), LOCAL_COST);
+        assert_eq!(stub.call(&ApiCall::GetLastError), SimSpan::from_micros(2));
+        assert_eq!(stub.call(&ApiCall::GetLastError), LOCAL_COST);
+        assert!((stub.stats().local_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutating_calls_always_forward() {
+        let mut stub = ClientStub::new(Transport::SharedMemory);
+        for _ in 0..3 {
+            assert_eq!(stub.call(&ApiCall::LaunchKernel), SimSpan::from_micros(2));
+        }
+        assert_eq!(stub.stats().forwarded, 3);
+        assert_eq!(stub.stats().served_locally, 0);
+    }
+
+    #[test]
+    fn disabling_cache_forwards_everything() {
+        let mut stub = ClientStub::without_caching(Transport::Socket);
+        stub.call(&ApiCall::GetDevice);
+        stub.call(&ApiCall::GetDevice);
+        assert_eq!(stub.stats().forwarded, 2);
+        assert_eq!(stub.stats().total_cost, SimSpan::from_micros(50));
+    }
+
+    #[test]
+    fn shared_memory_is_cheaper_than_socket() {
+        assert!(Transport::SharedMemory.round_trip() < Transport::Socket.round_trip());
+    }
+}

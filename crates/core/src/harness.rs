@@ -1,0 +1,513 @@
+//! The co-location harness: drives client workloads against a sharing
+//! system on the simulated GPU and collects the paper's metrics.
+//!
+//! A client is either a **training job** (an iteration template of kernels
+//! and CPU gaps, repeated forever) or an **inference service** (a request
+//! template served FIFO against a trace of arrival instants). Clients issue
+//! kernels strictly in order: the next kernel becomes ready only when the
+//! sharing system reports the previous one complete — the behaviour a
+//! synchronous stream gives real DL workloads.
+//!
+//! The harness settles each simulated instant to a fixed point: apply
+//! completions → advance client programs (delivering newly-ready kernels)
+//! → let the system poll — repeating until quiescent — so that, e.g., a
+//! high-priority client's next kernel always reaches the system *before*
+//! the system decides whether the GPU is idle enough to resume best-effort
+//! work.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use tally_gpu::{
+    ClientId, Engine, GpuSpec, KernelDesc, Priority, SimSpan, SimTime, Step,
+};
+
+use crate::metrics::{ClientReport, LatencyRecorder, RunReport};
+use crate::system::{ClientMeta, Ctx, SharingSystem};
+
+/// One step of a client's program.
+#[derive(Clone, Debug)]
+pub enum WorkloadOp {
+    /// Launch this kernel and wait for it to complete.
+    Kernel(Arc<KernelDesc>),
+    /// CPU-side work (data loading, preprocessing, scheduling gaps): the
+    /// client issues nothing for this long.
+    CpuGap(SimSpan),
+}
+
+/// What a client does.
+#[derive(Clone, Debug)]
+pub enum JobKind {
+    /// Repeat `iteration` forever (best-effort training in the paper).
+    Training {
+        /// The per-iteration op sequence.
+        iteration: Vec<WorkloadOp>,
+    },
+    /// Serve `request` once per arrival, FIFO (latency-critical inference).
+    Inference {
+        /// The per-request op sequence.
+        request: Vec<WorkloadOp>,
+        /// Absolute arrival instants, ascending.
+        arrivals: Vec<SimTime>,
+    },
+}
+
+/// A client job: name, priority class, and its program.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Display name.
+    pub name: String,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// The program.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// A high-priority inference job.
+    pub fn inference(
+        name: impl Into<String>,
+        request: Vec<WorkloadOp>,
+        arrivals: Vec<SimTime>,
+    ) -> Self {
+        JobSpec { name: name.into(), priority: Priority::High, kind: JobKind::Inference { request, arrivals } }
+    }
+
+    /// A best-effort training job.
+    pub fn training(name: impl Into<String>, iteration: Vec<WorkloadOp>) -> Self {
+        JobSpec { name: name.into(), priority: Priority::BestEffort, kind: JobKind::Training { iteration } }
+    }
+
+    /// Returns this job with the given priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Harness parameters.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Simulated run length.
+    pub duration: SimSpan,
+    /// Metrics (latencies, throughput) only count events after this offset,
+    /// excluding Tally's transparent-profiling ramp-up as the paper does.
+    pub warmup: SimSpan,
+    /// Engine RNG seed (duration jitter).
+    pub seed: u64,
+    /// Multiplicative kernel-duration jitter in `[0, 1)`.
+    pub jitter: f64,
+    /// Record per-event timelines (request arrival/latency pairs and op
+    /// completion instants) in the [`ClientReport`]s — needed by
+    /// time-series figures, off by default to keep reports small.
+    pub record_timelines: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            duration: SimSpan::from_secs(20),
+            warmup: SimSpan::from_secs(2),
+            seed: 1,
+            jitter: 0.0,
+            record_timelines: false,
+        }
+    }
+}
+
+struct Client {
+    spec: JobSpec,
+    op_idx: usize,
+    waiting_kernel: bool,
+    gap_until: Option<SimTime>,
+    next_arrival: usize,
+    queue: VecDeque<SimTime>,
+    active_request: Option<SimTime>,
+    kernels: u64,
+    requests: u64,
+    iterations: u64,
+    ops_post_warmup: u64,
+    requests_post_warmup: u64,
+    latency: LatencyRecorder,
+    record_timelines: bool,
+    timed_latencies: Vec<(SimTime, SimSpan)>,
+    op_times: Vec<SimTime>,
+}
+
+impl Client {
+    fn new(spec: JobSpec) -> Self {
+        Client {
+            spec,
+            op_idx: 0,
+            waiting_kernel: false,
+            gap_until: None,
+            next_arrival: 0,
+            queue: VecDeque::new(),
+            active_request: None,
+            kernels: 0,
+            requests: 0,
+            iterations: 0,
+            ops_post_warmup: 0,
+            requests_post_warmup: 0,
+            latency: LatencyRecorder::new(),
+            record_timelines: false,
+            timed_latencies: Vec::new(),
+            op_times: Vec::new(),
+        }
+    }
+
+    fn ops(&self) -> &[WorkloadOp] {
+        match &self.spec.kind {
+            JobKind::Training { iteration } => iteration,
+            JobKind::Inference { request, .. } => request,
+        }
+    }
+
+    fn next_arrival_time(&self) -> Option<SimTime> {
+        match &self.spec.kind {
+            JobKind::Training { .. } => None,
+            JobKind::Inference { arrivals, .. } => arrivals.get(self.next_arrival).copied(),
+        }
+    }
+
+    /// Accepts due arrivals and releases an expired CPU gap.
+    fn tick(&mut self, now: SimTime) {
+        if let JobKind::Inference { arrivals, .. } = &self.spec.kind {
+            while self
+                .next_arrival
+                .checked_sub(0)
+                .and_then(|i| arrivals.get(i))
+                .is_some_and(|&t| t <= now)
+            {
+                self.queue.push_back(arrivals[self.next_arrival]);
+                self.next_arrival += 1;
+            }
+        }
+        if self.gap_until.is_some_and(|t| t <= now) {
+            self.gap_until = None;
+        }
+    }
+
+    /// Advances the program as far as possible at `now`; returns a kernel
+    /// to hand to the system if one became ready.
+    fn advance(&mut self, now: SimTime, warmup: SimTime) -> Option<Arc<KernelDesc>> {
+        if self.waiting_kernel || self.gap_until.is_some() {
+            return None;
+        }
+        loop {
+            let is_inference = matches!(self.spec.kind, JobKind::Inference { .. });
+            if is_inference && self.active_request.is_none() {
+                match self.queue.pop_front() {
+                    Some(arrival) => {
+                        self.active_request = Some(arrival);
+                        self.op_idx = 0;
+                    }
+                    None => return None,
+                }
+            }
+            let ops_len = self.ops().len();
+            if self.op_idx >= ops_len {
+                // Finished an iteration or request.
+                if let Some(arrival) = self.active_request.take() {
+                    self.requests += 1;
+                    if self.record_timelines {
+                        self.timed_latencies.push((arrival, now.saturating_since(arrival)));
+                    }
+                    if arrival >= warmup {
+                        self.requests_post_warmup += 1;
+                        self.latency.record(now.saturating_since(arrival));
+                    }
+                } else {
+                    self.iterations += 1;
+                }
+                self.op_idx = 0;
+                continue;
+            }
+            match self.ops()[self.op_idx].clone() {
+                WorkloadOp::Kernel(k) => {
+                    self.waiting_kernel = true;
+                    return Some(k);
+                }
+                WorkloadOp::CpuGap(g) => {
+                    self.finish_op(now, warmup);
+                    self.gap_until = Some(now + g);
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn finish_op(&mut self, now: SimTime, warmup: SimTime) {
+        self.op_idx += 1;
+        if self.record_timelines {
+            self.op_times.push(now);
+        }
+        if now >= warmup {
+            self.ops_post_warmup += 1;
+        }
+    }
+
+    fn report(&self, measured: SimSpan) -> ClientReport {
+        let secs = measured.as_secs_f64().max(1e-9);
+        let throughput = match &self.spec.kind {
+            JobKind::Training { iteration } => {
+                self.ops_post_warmup as f64 / iteration.len().max(1) as f64 / secs
+            }
+            JobKind::Inference { .. } => self.requests_post_warmup as f64 / secs,
+        };
+        ClientReport {
+            name: self.spec.name.clone(),
+            high_priority: self.spec.priority.is_high(),
+            requests: self.requests,
+            iterations: self.iterations,
+            kernels: self.kernels,
+            latency: self.latency.clone(),
+            throughput,
+            timed_latencies: self.timed_latencies.clone(),
+            op_times: self.op_times.clone(),
+        }
+    }
+}
+
+/// Runs `jobs` under `system` on a GPU described by `spec`.
+///
+/// Client ids are assigned in job order: `jobs[i]` is `ClientId(i)`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+/// use tally_core::system::Passthrough;
+/// use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
+///
+/// let k = KernelDesc::builder("req")
+///     .grid(64).block(128)
+///     .block_cost(SimSpan::from_micros(100))
+///     .build_arc();
+/// let arrivals = (0..100).map(|i| SimTime::from_millis(10 * i)).collect();
+/// let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(k)], arrivals);
+/// let cfg = HarnessConfig {
+///     duration: SimSpan::from_secs(2),
+///     warmup: SimSpan::ZERO,
+///     ..Default::default()
+/// };
+/// let report = run_colocation(&GpuSpec::a100(), &[job], &mut Passthrough::new(), &cfg);
+/// assert_eq!(report.clients[0].requests, 100);
+/// ```
+pub fn run_colocation(
+    spec: &GpuSpec,
+    jobs: &[JobSpec],
+    system: &mut dyn SharingSystem,
+    cfg: &HarnessConfig,
+) -> RunReport {
+    assert!(!jobs.is_empty(), "at least one job required");
+    assert!(cfg.warmup < cfg.duration, "warmup must be shorter than the run");
+    let mut engine = Engine::with_seed(spec.clone(), cfg.seed);
+    if cfg.jitter > 0.0 {
+        engine.set_jitter(cfg.jitter);
+    }
+    let metas: Vec<ClientMeta> = jobs
+        .iter()
+        .map(|j| ClientMeta { name: j.name.clone(), priority: j.priority })
+        .collect();
+    let mut clients: Vec<Client> = jobs.iter().cloned().map(Client::new).collect();
+    for c in &mut clients {
+        c.record_timelines = cfg.record_timelines;
+    }
+    let end = SimTime::ZERO + cfg.duration;
+    let warmup = SimTime::ZERO + cfg.warmup;
+
+    let mut pending_completions: Vec<ClientId> = Vec::new();
+    loop {
+        // Settle the current instant to a fixed point.
+        loop {
+            let now = engine.now();
+            let mut progressed = false;
+            for c in pending_completions.drain(..) {
+                let client = &mut clients[c.0 as usize];
+                client.waiting_kernel = false;
+                client.kernels += 1;
+                client.finish_op(now, warmup);
+                progressed = true;
+            }
+            let mut ctx = Ctx::new(&mut engine, &metas);
+            for (i, client) in clients.iter_mut().enumerate() {
+                client.tick(now);
+                if let Some(kernel) = client.advance(now, warmup) {
+                    system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel);
+                    progressed = true;
+                }
+            }
+            system.poll(&mut ctx);
+            pending_completions = ctx.take_completions();
+            if !progressed && pending_completions.is_empty() {
+                break;
+            }
+        }
+
+        if engine.now() >= end {
+            break;
+        }
+
+        // Next interesting instant.
+        let mut wake = end;
+        if let Some(t) = engine.next_event_time() {
+            wake = wake.min(t);
+        }
+        for client in &clients {
+            if let Some(t) = client.next_arrival_time() {
+                wake = wake.min(t);
+            }
+            if let Some(t) = client.gap_until {
+                wake = wake.min(t);
+            }
+        }
+        if let Some(t) = system.next_timer() {
+            wake = wake.min(t.max(engine.now()));
+        }
+
+        match engine.advance(wake) {
+            Step::Notified(notes) => {
+                let mut ctx = Ctx::new(&mut engine, &metas);
+                for n in &notes {
+                    system.on_notification(&mut ctx, n);
+                }
+                pending_completions.extend(ctx.take_completions());
+            }
+            Step::ReachedLimit | Step::Idle => {}
+        }
+    }
+
+    let measured = cfg.duration - cfg.warmup;
+    RunReport {
+        system: system.name().to_string(),
+        duration: cfg.duration,
+        clients: clients.iter().map(|c| c.report(measured)).collect(),
+    }
+}
+
+/// Runs a single job alone under [`Passthrough`](crate::system::Passthrough)
+/// — the paper's *Ideal* configuration — and returns its report.
+pub fn run_solo(spec: &GpuSpec, job: &JobSpec, cfg: &HarnessConfig) -> ClientReport {
+    let mut system = crate::system::Passthrough::new();
+    let report = run_colocation(spec, std::slice::from_ref(job), &mut system, cfg);
+    report.clients.into_iter().next().expect("one client")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Passthrough;
+
+    fn kernel(us: u64) -> Arc<KernelDesc> {
+        KernelDesc::builder("k")
+            .grid(16)
+            .block(512)
+            .block_cost(SimSpan::from_micros(us))
+            .build_arc()
+    }
+
+    fn cfg(secs: u64) -> HarnessConfig {
+        HarnessConfig {
+            duration: SimSpan::from_secs(secs),
+            warmup: SimSpan::ZERO,
+            seed: 0,
+            jitter: 0.0,
+            record_timelines: false,
+        }
+    }
+
+    #[test]
+    fn training_iterations_accumulate() {
+        // Iteration = 1ms kernel + 1ms gap => ~500 iterations in 1s.
+        let job = JobSpec::training(
+            "train",
+            vec![WorkloadOp::Kernel(kernel(1000)), WorkloadOp::CpuGap(SimSpan::from_millis(1))],
+        );
+        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &cfg(1));
+        let c = &report.clients[0];
+        assert!(
+            (480..=500).contains(&c.iterations),
+            "expected ~497 iterations, got {}",
+            c.iterations
+        );
+        assert!((c.throughput - c.iterations as f64).abs() < 2.0);
+    }
+
+    #[test]
+    fn inference_latency_measured_from_arrival() {
+        // One 1ms kernel per request, arrivals every 10ms: no queueing.
+        let arrivals: Vec<SimTime> = (0..50).map(|i| SimTime::from_millis(10 * i)).collect();
+        let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals);
+        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &cfg(1));
+        let c = &report.clients[0];
+        assert_eq!(c.requests, 50);
+        let p99 = c.p99().expect("has latencies");
+        // 4us launch overhead + 1ms kernel.
+        assert_eq!(p99, SimSpan::from_micros(1004));
+    }
+
+    #[test]
+    fn queued_requests_wait() {
+        // Two requests arrive together; the second waits for the first.
+        let arrivals = vec![SimTime::ZERO, SimTime::ZERO];
+        let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals);
+        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &cfg(1));
+        let lat = report.clients[0].latency.samples();
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat[0], SimSpan::from_micros(1004));
+        assert_eq!(lat[1], SimSpan::from_micros(2008));
+    }
+
+    #[test]
+    fn warmup_excludes_early_samples() {
+        let arrivals: Vec<SimTime> = (0..100).map(|i| SimTime::from_millis(10 * i)).collect();
+        let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals);
+        let mut c = cfg(1);
+        c.warmup = SimSpan::from_millis(500);
+        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &c);
+        let client = &report.clients[0];
+        assert_eq!(client.requests, 100, "all requests served");
+        assert_eq!(client.latency.len(), 50, "only post-warmup latencies recorded");
+        // Throughput normalized to the measured window.
+        assert!((client.throughput - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn two_clients_share_the_gpu() {
+        let hp = JobSpec::inference(
+            "hp",
+            vec![WorkloadOp::Kernel(kernel(100))],
+            (0..100).map(|i| SimTime::from_millis(10 * i)).collect(),
+        );
+        let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(500))]);
+        let report =
+            run_colocation(&GpuSpec::tiny(), &[hp, be], &mut Passthrough::new(), &cfg(1));
+        assert_eq!(report.clients[0].requests, 100);
+        assert!(report.clients[1].iterations > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let hp = JobSpec::inference(
+                "hp",
+                vec![WorkloadOp::Kernel(kernel(100))],
+                (0..100).map(|i| SimTime::from_millis(7 * i)).collect(),
+            );
+            let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(700))]);
+            run_colocation(&GpuSpec::tiny(), &[hp, be], &mut Passthrough::new(), &cfg(1))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.clients[0].latency.samples(), b.clients[0].latency.samples());
+        assert_eq!(a.clients[1].iterations, b.clients[1].iterations);
+    }
+
+    #[test]
+    fn solo_run_reports_single_client() {
+        let job = JobSpec::training("solo", vec![WorkloadOp::Kernel(kernel(1000))]);
+        let rep = run_solo(&GpuSpec::tiny(), &job, &cfg(1));
+        assert_eq!(rep.name, "solo");
+        assert!(rep.iterations > 900, "a 1ms kernel loops ~995x in 1s, got {}", rep.iterations);
+    }
+}

@@ -1,0 +1,70 @@
+//! # tally-core — the Tally GPU-sharing system
+//!
+//! A reproduction of *"Tally: Non-Intrusive Performance Isolation for
+//! Concurrent Deep Learning Workloads"* (ASPLOS 2025). Tally is a
+//! transparent virtualization layer that co-locates one latency-critical
+//! task with best-effort tasks on a single GPU while keeping the
+//! latency-critical task's tail latency within a few percent of solo
+//! execution.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! | paper component | module |
+//! |---|---|
+//! | non-intrusive virtualization layer (§4.3) | [`api`] |
+//! | kernel transformer (§4.1; device-code passes in [`tally_ptx::passes`]) | [`transform`] |
+//! | transparent profiler + turnaround estimation (§4.2, Eq. 1) | [`profiler`] |
+//! | priority-aware scheduler (Figure 4) | [`scheduler`] |
+//! | co-location experiment harness + metrics (§5.1) | [`harness`], [`metrics`] |
+//! | the `SharingSystem` interface baselines implement | [`system`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+//! use tally_core::scheduler::{TallyConfig, TallySystem};
+//! use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
+//!
+//! // A high-priority inference service…
+//! let infer = KernelDesc::builder("bert::layer")
+//!     .grid(432).block(256)
+//!     .block_cost(SimSpan::from_micros(50))
+//!     .build_arc();
+//! let hp = JobSpec::inference(
+//!     "bert-infer",
+//!     vec![WorkloadOp::Kernel(infer)],
+//!     (0..200).map(|i| SimTime::from_millis(5 * i)).collect(),
+//! );
+//! // …co-located with a best-effort trainer with long kernels.
+//! let train = KernelDesc::builder("whisper::attn")
+//!     .grid(8640).block(256)
+//!     .block_cost(SimSpan::from_micros(150))
+//!     .mem_intensity(0.7)
+//!     .build_arc();
+//! let be = JobSpec::training("whisper-train", vec![WorkloadOp::Kernel(train)]);
+//!
+//! let mut tally = TallySystem::new(TallyConfig::paper_default());
+//! let cfg = HarnessConfig {
+//!     duration: SimSpan::from_secs(2),
+//!     warmup: SimSpan::from_millis(200),
+//!     ..Default::default()
+//! };
+//! let report = run_colocation(&GpuSpec::a100(), &[hp, be], &mut tally, &cfg);
+//! println!("p99 = {:?}", report.high_priority().unwrap().p99());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod harness;
+pub mod metrics;
+pub mod profiler;
+pub mod scheduler;
+pub mod system;
+pub mod transform;
+
+pub use harness::{run_colocation, run_solo, HarnessConfig, JobKind, JobSpec, WorkloadOp};
+pub use metrics::{ClientReport, LatencyRecorder, RunReport};
+pub use scheduler::{TallyConfig, TallySystem};
+pub use system::{ClientMeta, Ctx, Passthrough, SharingSystem};

@@ -1,0 +1,238 @@
+//! Latency and throughput metrics — the quantities the paper reports.
+
+use serde::{Deserialize, Serialize};
+use tally_gpu::SimSpan;
+
+/// Records a stream of latency samples and answers quantile queries.
+///
+/// The paper's headline metric is the 99th-percentile latency of the
+/// high-priority inference task ([`LatencyRecorder::p99`]).
+///
+/// ```
+/// use tally_core::metrics::LatencyRecorder;
+/// use tally_gpu::SimSpan;
+///
+/// let mut rec = LatencyRecorder::new();
+/// for ms in 1..=100 {
+///     rec.record(SimSpan::from_millis(ms));
+/// }
+/// assert_eq!(rec.p99(), Some(SimSpan::from_millis(99)));
+/// assert_eq!(rec.quantile(0.5), Some(SimSpan::from_millis(50)));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<SimSpan>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, latency: SimSpan) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples, in arrival order.
+    pub fn samples(&self) -> &[SimSpan] {
+        &self.samples
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`.
+    ///
+    /// Returns `None` when no samples exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimSpan> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// The 99th-percentile latency.
+    pub fn p99(&self) -> Option<SimSpan> {
+        self.quantile(0.99)
+    }
+
+    /// The median latency.
+    pub fn p50(&self) -> Option<SimSpan> {
+        self.quantile(0.50)
+    }
+
+    /// The arithmetic mean.
+    pub fn mean(&self) -> Option<SimSpan> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|s| s.as_nanos() as u128).sum();
+        Some(SimSpan::from_nanos((total / self.samples.len() as u128) as u64))
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> Option<SimSpan> {
+        self.samples.iter().copied().max()
+    }
+}
+
+/// Per-client outcome of a co-location run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClientReport {
+    /// Client name (e.g. `"bert-infer"`).
+    pub name: String,
+    /// Whether the client ran as the high-priority task.
+    pub high_priority: bool,
+    /// Inference requests completed (0 for training jobs).
+    pub requests: u64,
+    /// Training iterations completed (0 for inference jobs).
+    pub iterations: u64,
+    /// GPU kernels completed.
+    pub kernels: u64,
+    /// Request latencies (inference jobs, post-warmup).
+    pub latency: LatencyRecorder,
+    /// Work units (requests or iterations) per second of simulated time,
+    /// measured post-warmup.
+    pub throughput: f64,
+    /// `(arrival, latency)` per request, whole run — only populated when
+    /// the harness records timelines.
+    pub timed_latencies: Vec<(tally_gpu::SimTime, SimSpan)>,
+    /// Completion instant of every program op — only populated when the
+    /// harness records timelines.
+    pub op_times: Vec<tally_gpu::SimTime>,
+}
+
+impl ClientReport {
+    /// The 99th-percentile latency, if any requests completed.
+    pub fn p99(&self) -> Option<SimSpan> {
+        self.latency.p99()
+    }
+}
+
+/// Outcome of one co-location run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the sharing system that produced this run.
+    pub system: String,
+    /// Simulated duration.
+    pub duration: SimSpan,
+    /// Per-client outcomes, in client-id order.
+    pub clients: Vec<ClientReport>,
+}
+
+impl RunReport {
+    /// The report of the first high-priority client.
+    pub fn high_priority(&self) -> Option<&ClientReport> {
+        self.clients.iter().find(|c| c.high_priority)
+    }
+
+    /// Reports of all best-effort clients.
+    pub fn best_effort(&self) -> impl Iterator<Item = &ClientReport> {
+        self.clients.iter().filter(|c| !c.high_priority)
+    }
+
+    /// System throughput: the sum over clients of their throughput
+    /// normalized by the matching solo throughput (the paper's definition).
+    ///
+    /// `solo` maps client index → solo throughput in the same units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `solo` has fewer entries than there are clients.
+    pub fn system_throughput(&self, solo: &[f64]) -> f64 {
+        assert!(solo.len() >= self.clients.len(), "missing solo throughput entries");
+        self.clients
+            .iter()
+            .zip(solo)
+            .map(|(c, &s)| if s > 0.0 { c.throughput / s } else { 0.0 })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_has_no_quantiles() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.p99(), None);
+        assert_eq!(rec.mean(), None);
+        assert_eq!(rec.max(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(SimSpan::from_micros(7));
+        assert_eq!(rec.p50(), Some(SimSpan::from_micros(7)));
+        assert_eq!(rec.p99(), Some(SimSpan::from_micros(7)));
+        assert_eq!(rec.quantile(0.0), Some(SimSpan::from_micros(7)));
+        assert_eq!(rec.quantile(1.0), Some(SimSpan::from_micros(7)));
+    }
+
+    #[test]
+    fn p99_ignores_order() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        for i in 0..200 {
+            a.record(SimSpan::from_micros(i));
+            b.record(SimSpan::from_micros(199 - i));
+        }
+        assert_eq!(a.p99(), b.p99());
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn system_throughput_normalizes() {
+        let report = RunReport {
+            system: "test".into(),
+            duration: SimSpan::from_secs(1),
+            clients: vec![
+                ClientReport {
+                    name: "hp".into(),
+                    high_priority: true,
+                    requests: 100,
+                    iterations: 0,
+                    kernels: 0,
+                    latency: LatencyRecorder::new(),
+                    throughput: 50.0,
+                    timed_latencies: Vec::new(),
+                    op_times: Vec::new(),
+                },
+                ClientReport {
+                    name: "be".into(),
+                    high_priority: false,
+                    requests: 0,
+                    iterations: 10,
+                    kernels: 0,
+                    latency: LatencyRecorder::new(),
+                    throughput: 5.0,
+                    timed_latencies: Vec::new(),
+                    op_times: Vec::new(),
+                },
+            ],
+        };
+        // hp at 50/100 = 0.5, be at 5/10 = 0.5.
+        let st = report.system_throughput(&[100.0, 10.0]);
+        assert!((st - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! The [`SharingSystem`] abstraction: how a GPU-sharing policy plugs into
+//! the co-location harness.
+//!
+//! A sharing system sits between clients (whose kernels arrive one at a
+//! time, in order) and the [`Engine`]. The harness tells the system when a
+//! client's next kernel is ready; the system decides *when and in what
+//! shape* to put work on the GPU, and signals logical kernel completion
+//! back through [`Ctx::complete_kernel`] so the harness can advance the
+//! client's program.
+//!
+//! Both Tally and every baseline (Time-Slicing, MPS, MPS-Priority, TGS, and
+//! the ablations) implement this one trait, which is what makes the
+//! paper's head-to-head experiments one-liners.
+
+use std::sync::Arc;
+
+use tally_gpu::{ClientId, Engine, KernelDesc, Notification, Priority, SimSpan, SimTime};
+
+/// Static facts about one client, available to systems through [`Ctx`].
+#[derive(Clone, Debug)]
+pub struct ClientMeta {
+    /// Display name.
+    pub name: String,
+    /// Scheduling class.
+    pub priority: Priority,
+}
+
+/// The interface a sharing system sees while a co-location run executes.
+///
+/// Wraps the engine plus the client table, and collects the logical
+/// kernel-completion signals the system emits.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The GPU engine; systems submit and preempt launches through it.
+    pub engine: &'a mut Engine,
+    clients: &'a [ClientMeta],
+    completions: Vec<ClientId>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context (harness-internal; public for custom harnesses).
+    pub fn new(engine: &'a mut Engine, clients: &'a [ClientMeta]) -> Self {
+        Ctx { engine, clients, completions: Vec::new() }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Scheduling class of `client`.
+    pub fn priority(&self, client: ClientId) -> Priority {
+        self.clients[client.0 as usize].priority
+    }
+
+    /// Number of clients in the run.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Signals that `client`'s current logical kernel has finished; the
+    /// harness will advance that client's program.
+    pub fn complete_kernel(&mut self, client: ClientId) {
+        self.completions.push(client);
+    }
+
+    /// Drains the completion signals (harness-internal).
+    pub fn take_completions(&mut self) -> Vec<ClientId> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+/// A GPU-sharing policy under test.
+///
+/// The harness guarantees:
+///
+/// * per client, at most one logical kernel is outstanding — a new
+///   [`SharingSystem::on_kernel_ready`] for a client only follows that
+///   client's [`Ctx::complete_kernel`];
+/// * every engine [`Notification`] is delivered exactly once, in timestamp
+///   order, via [`SharingSystem::on_notification`];
+/// * [`SharingSystem::poll`] runs after each batch of deliveries and
+///   client-program advances, and at every [`SharingSystem::next_timer`]
+///   expiry — all scheduling decisions can be confined there.
+pub trait SharingSystem {
+    /// Short system name (used in reports, e.g. `"tally"`, `"mps"`).
+    fn name(&self) -> &str;
+
+    /// A client's next logical kernel is ready for scheduling.
+    fn on_kernel_ready(&mut self, ctx: &mut Ctx<'_>, client: ClientId, kernel: Arc<KernelDesc>);
+
+    /// An engine notification (launch completed / preempted) fired.
+    fn on_notification(&mut self, ctx: &mut Ctx<'_>, note: &Notification);
+
+    /// Make scheduling decisions (called after deliveries and timer fires).
+    fn poll(&mut self, ctx: &mut Ctx<'_>);
+
+    /// The next instant the system wants `poll` to run even with no other
+    /// activity (rate controllers, time-slicing quanta). `None` = no timer.
+    fn next_timer(&self) -> Option<SimTime> {
+        None
+    }
+}
+
+/// The trivial system: forwards every kernel to the GPU immediately at its
+/// client's priority and reports completion when the engine does.
+///
+/// Used for solo ("Ideal") runs and as the *No-Scheduling* ablation of the
+/// paper's performance decomposition (Figure 7b) when several clients run
+/// concurrently.
+#[derive(Debug, Default)]
+pub struct Passthrough {
+    /// Extra pre-launch latency applied to every kernel (models API
+    /// forwarding cost; zero for native execution).
+    pub comm_latency: SimSpan,
+    in_flight: Vec<(tally_gpu::LaunchId, ClientId)>,
+}
+
+impl Passthrough {
+    /// Native passthrough (no added latency).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Passthrough with a per-launch forwarding latency.
+    pub fn with_comm_latency(comm_latency: SimSpan) -> Self {
+        Passthrough { comm_latency, in_flight: Vec::new() }
+    }
+}
+
+impl SharingSystem for Passthrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn on_kernel_ready(&mut self, ctx: &mut Ctx<'_>, client: ClientId, kernel: Arc<KernelDesc>) {
+        let priority = ctx.priority(client);
+        let id = ctx.engine.submit_after(
+            tally_gpu::LaunchRequest::full(kernel, client, priority),
+            self.comm_latency,
+        );
+        self.in_flight.push((id, client));
+    }
+
+    fn on_notification(&mut self, ctx: &mut Ctx<'_>, note: &Notification) {
+        if let Notification::Completed { id, client, .. } = *note {
+            if let Some(pos) = self.in_flight.iter().position(|&(l, _)| l == id) {
+                self.in_flight.swap_remove(pos);
+                ctx.complete_kernel(client);
+            }
+        }
+    }
+
+    fn poll(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tally_gpu::GpuSpec;
+
+    #[test]
+    fn ctx_collects_completions() {
+        let mut engine = Engine::new(GpuSpec::tiny());
+        let clients = vec![
+            ClientMeta { name: "a".into(), priority: Priority::High },
+            ClientMeta { name: "b".into(), priority: Priority::BestEffort },
+        ];
+        let mut ctx = Ctx::new(&mut engine, &clients);
+        assert_eq!(ctx.priority(ClientId(1)), Priority::BestEffort);
+        ctx.complete_kernel(ClientId(0));
+        ctx.complete_kernel(ClientId(1));
+        assert_eq!(ctx.take_completions(), vec![ClientId(0), ClientId(1)]);
+        assert!(ctx.take_completions().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! GPU hardware specification and the contention model parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimSpan;
+
+/// Static description of the simulated GPU.
+///
+/// The defaults model an NVIDIA A100-SXM4-40GB, the device used throughout
+/// the paper's evaluation: 108 streaming multiprocessors (SMs), up to 32
+/// resident thread blocks and 2048 resident threads per SM, and 164 KiB of
+/// shared memory per SM.
+///
+/// The simulator accounts for occupancy in aggregate (total block slots,
+/// total thread slots, total shared memory) rather than per-SM, which is
+/// accurate when blocks of a kernel are homogeneous — always true for the
+/// workloads modeled here.
+///
+/// ```
+/// use tally_gpu::GpuSpec;
+///
+/// let spec = GpuSpec::a100();
+/// assert_eq!(spec.num_sms, 108);
+/// assert_eq!(spec.total_block_slots(), 108 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Shared memory per SM, in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Fixed cost of a kernel launch (driver + hardware dispatch).
+    pub launch_overhead: SimSpan,
+    /// Cost of a driver-level context switch (used by time-slicing).
+    pub context_switch_overhead: SimSpan,
+    /// Strength of the memory-bandwidth interference model.
+    ///
+    /// When a block starts, its duration is scaled by
+    /// `1 + contention_beta * I`, where `I` is the sum over *other* resident
+    /// launches of `mem_intensity * thread_occupancy_share`. `0.0` disables
+    /// interference entirely.
+    pub contention_beta: f64,
+}
+
+impl GpuSpec {
+    /// The A100-SXM4-40GB configuration used by the paper.
+    pub fn a100() -> Self {
+        GpuSpec {
+            num_sms: 108,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            shared_mem_per_sm: 164 * 1024,
+            launch_overhead: SimSpan::from_micros(4),
+            context_switch_overhead: SimSpan::from_micros(120),
+            contention_beta: 0.35,
+        }
+    }
+
+    /// A tiny 4-SM configuration, convenient for unit tests where wave
+    /// arithmetic should be easy to reason about by hand.
+    pub fn tiny() -> Self {
+        GpuSpec {
+            num_sms: 4,
+            max_blocks_per_sm: 4,
+            max_threads_per_sm: 2048,
+            shared_mem_per_sm: 64 * 1024,
+            launch_overhead: SimSpan::from_micros(4),
+            context_switch_overhead: SimSpan::from_micros(120),
+            contention_beta: 0.0,
+        }
+    }
+
+    /// Total resident-block capacity across all SMs.
+    pub fn total_block_slots(&self) -> u64 {
+        self.num_sms as u64 * self.max_blocks_per_sm as u64
+    }
+
+    /// Total resident-thread capacity across all SMs.
+    pub fn total_thread_slots(&self) -> u64 {
+        self.num_sms as u64 * self.max_threads_per_sm as u64
+    }
+
+    /// Total shared memory across all SMs, in bytes.
+    pub fn total_shared_mem(&self) -> u64 {
+        self.num_sms as u64 * self.shared_mem_per_sm as u64
+    }
+
+    /// How many blocks with the given per-block footprint can be resident
+    /// simultaneously (the size of one "wave").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads_per_block` is zero.
+    pub fn wave_capacity(&self, threads_per_block: u32, smem_per_block: u32) -> u64 {
+        assert!(threads_per_block > 0, "a block must have at least one thread");
+        let by_blocks = self.total_block_slots();
+        let by_threads = self.total_thread_slots() / threads_per_block as u64;
+        let by_smem = if smem_per_block == 0 {
+            u64::MAX
+        } else {
+            self.total_shared_mem() / smem_per_block as u64
+        };
+        by_blocks.min(by_threads).min(by_smem)
+    }
+
+    /// Number of full-capacity waves needed to run `blocks` blocks.
+    pub fn waves(&self, blocks: u64, threads_per_block: u32, smem_per_block: u32) -> u64 {
+        let cap = self.wave_capacity(threads_per_block, smem_per_block);
+        blocks.div_ceil(cap.max(1))
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_capacity() {
+        let s = GpuSpec::a100();
+        assert_eq!(s.total_block_slots(), 3456);
+        assert_eq!(s.total_thread_slots(), 221_184);
+        // 256-thread blocks: limited by threads (8 per SM), not block slots.
+        assert_eq!(s.wave_capacity(256, 0), 864);
+        // 1024-thread blocks: 2 per SM.
+        assert_eq!(s.wave_capacity(1024, 0), 216);
+        // 32-thread blocks: limited by block slots.
+        assert_eq!(s.wave_capacity(32, 0), 3456);
+    }
+
+    #[test]
+    fn smem_limits_capacity() {
+        let s = GpuSpec::a100();
+        // 164 KiB per SM, 82 KiB per block => 2 blocks per SM.
+        assert_eq!(s.wave_capacity(32, 82 * 1024), 216);
+    }
+
+    #[test]
+    fn wave_count() {
+        let s = GpuSpec::tiny(); // 16 block slots, 8192 thread slots
+        assert_eq!(s.wave_capacity(512, 0), 16);
+        assert_eq!(s.waves(33, 512, 0), 3);
+        assert_eq!(s.waves(0, 512, 0), 0);
+        assert_eq!(s.waves(16, 512, 0), 1);
+    }
+}

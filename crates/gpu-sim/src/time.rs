@@ -1,0 +1,387 @@
+//! Simulated time: nanosecond-resolution instants and spans.
+//!
+//! The simulator works entirely in virtual time. [`SimTime`] is an instant
+//! (nanoseconds since simulation start) and [`SimSpan`] is a duration.
+//! Keeping the two as distinct newtypes prevents the classic
+//! instant-vs-duration mixups ([C-NEWTYPE]).
+//!
+//! ```
+//! use tally_gpu::{SimTime, SimSpan};
+//!
+//! let t = SimTime::ZERO + SimSpan::from_millis(2);
+//! assert_eq!(t.as_micros(), 2_000);
+//! assert_eq!(t - SimTime::ZERO, SimSpan::from_micros(2_000));
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (a duration), in nanoseconds.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant `s` seconds after the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the epoch (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the epoch (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimSpan {
+    /// The empty span.
+    pub const ZERO: SimSpan = SimSpan(0);
+    /// The greatest representable span.
+    pub const MAX: SimSpan = SimSpan(u64::MAX);
+
+    /// A span of `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimSpan(ns)
+    }
+
+    /// A span of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+
+    /// A span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+
+    /// A span of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimSpan(s * 1_000_000_000)
+    }
+
+    /// A span of `s` seconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "span seconds must be finite and non-negative");
+        SimSpan((s * 1e9).round() as u64)
+    }
+
+    /// A span of `ms` milliseconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// A span of `us` microseconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us` is negative or not finite.
+    pub fn from_micros_f64(us: f64) -> Self {
+        Self::from_secs_f64(us / 1e6)
+    }
+
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds in this span, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds in this span, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds in this span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Whether this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales the span by a non-negative factor, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimSpan {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "span scale factor must be finite and non-negative"
+        );
+        SimSpan((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The ratio of this span to `other`, as a float.
+    ///
+    /// Returns `f64::INFINITY` when `other` is zero and `self` is not,
+    /// and `0.0` when both are zero.
+    pub fn ratio(self, other: SimSpan) -> f64 {
+        if other.0 == 0 {
+            if self.0 == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.min(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.max(other.0))
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when ordering is uncertain.
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        debug_assert!(self.0 >= rhs.0, "subtracting a later instant from an earlier one");
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimSpan {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        debug_assert!(self.0 >= rhs.0, "subtracting a longer span from a shorter one");
+        SimSpan(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimSpan {
+    fn sub_assign(&mut self, rhs: SimSpan) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl Sum for SimSpan {
+    fn sum<I: Iterator<Item = SimSpan>>(iter: I) -> SimSpan {
+        iter.fold(SimSpan::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimSpan(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimSpan::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimSpan::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimSpan::from_secs(5).as_nanos(), 5_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert!((SimSpan::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instant_span_arithmetic() {
+        let t0 = SimTime::from_micros(10);
+        let t1 = t0 + SimSpan::from_micros(5);
+        assert_eq!(t1.as_micros(), 15);
+        assert_eq!(t1 - t0, SimSpan::from_micros(5));
+        assert_eq!(t0.saturating_since(t1), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn span_scaling() {
+        let s = SimSpan::from_micros(100);
+        assert_eq!(s.mul_f64(1.25), SimSpan::from_micros(125));
+        assert_eq!(s * 3, SimSpan::from_micros(300));
+        assert_eq!(s / 4, SimSpan::from_micros(25));
+        assert!((s.ratio(SimSpan::from_micros(50)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(SimSpan::ZERO.ratio(SimSpan::ZERO), 0.0);
+        assert_eq!(SimSpan::from_nanos(1).ratio(SimSpan::ZERO), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimSpan::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimSpan::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimSpan::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimSpan::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: SimSpan = (1..=4).map(SimSpan::from_micros).sum();
+        assert_eq!(total, SimSpan::from_micros(10));
+    }
+}

@@ -1,0 +1,807 @@
+//! A functional interpreter for the mini-PTX IR.
+//!
+//! The interpreter exists to *prove* that Tally's kernel transformations
+//! preserve semantics: tests execute an original kernel and its
+//! sliced/preemptible forms and compare the resulting global memory
+//! bit-for-bit.
+//!
+//! # Execution model
+//!
+//! Threads within a block run cooperatively: a thread executes until it hits
+//! a barrier (`bar` / `bar.or.pred`), exits (`ret`), or the step budget runs
+//! out. A barrier releases once **every** thread of the block is waiting at
+//! a barrier; if some threads have exited while others wait, the interpreter
+//! reports [`InterpError::BarrierDivergence`] — the "infinite kernel stall"
+//! the paper's unified synchronization transformation exists to prevent.
+//!
+//! Blocks can be executed to completion in order ([`run_kernel`]) or
+//! interleaved manually in arbitrary schedules ([`GridExec::step_block`]),
+//! which is how the tests exercise preemption of persistent-thread-block
+//! kernels mid-flight: flip the preemption flag in global memory between
+//! steps, observe workers drain, then relaunch and check equivalence.
+
+use std::fmt;
+
+use crate::ir::{Axis, BinOp, CmpOp, Instr, Kernel, Op, Operand, Space, Sreg};
+
+/// Launch geometry and arguments for one kernel execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Launch {
+    /// Grid dimensions `(x, y, z)` — number of blocks.
+    pub grid: (u32, u32, u32),
+    /// Block dimensions `(x, y, z)` — threads per block.
+    pub block: (u32, u32, u32),
+    /// Positional arguments matching [`Kernel::params`].
+    pub params: Vec<u64>,
+}
+
+impl Launch {
+    /// A 1-D launch.
+    pub fn linear(grid: u32, block: u32, params: Vec<u64>) -> Self {
+        Launch { grid: (grid, 1, 1), block: (block, 1, 1), params }
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.0 as u64 * self.grid.1 as u64 * self.grid.2 as u64
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.block.0 as u64 * self.block.1 as u64 * self.block.2 as u64
+    }
+}
+
+/// Errors raised during interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// The kernel failed structural validation.
+    Invalid(crate::ir::ValidateError),
+    /// The number of launch arguments does not match the kernel's parameters.
+    ParamCountMismatch {
+        /// Parameters the kernel declares.
+        expected: usize,
+        /// Arguments the launch supplied.
+        got: usize,
+    },
+    /// A load/store touched memory outside the allocated range.
+    OobAccess {
+        /// Which memory space.
+        space: Space,
+        /// The faulting word address.
+        addr: u64,
+    },
+    /// Some threads of a block exited while others wait at a barrier —
+    /// undefined behaviour on real GPUs (a hang), reported as an error here.
+    BarrierDivergence {
+        /// Linear index of the faulting block.
+        block: u64,
+    },
+    /// A `brx` index evaluated outside its target table.
+    BrxOutOfRange {
+        /// The evaluated index.
+        idx: u64,
+        /// The table length.
+        table_len: usize,
+    },
+    /// The global step budget was exhausted (likely an infinite loop).
+    StepLimit,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Invalid(e) => write!(f, "invalid kernel: {e}"),
+            InterpError::ParamCountMismatch { expected, got } => {
+                write!(f, "expected {expected} launch arguments, got {got}")
+            }
+            InterpError::OobAccess { space, addr } => {
+                write!(f, "out-of-bounds {space:?} access at word {addr}")
+            }
+            InterpError::BarrierDivergence { block } => {
+                write!(f, "barrier divergence in block {block}: exited threads while others sync")
+            }
+            InterpError::BrxOutOfRange { idx, table_len } => {
+                write!(f, "brx index {idx} outside target table of length {table_len}")
+            }
+            InterpError::StepLimit => f.write_str("instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<crate::ir::ValidateError> for InterpError {
+    fn from(e: crate::ir::ValidateError) -> Self {
+        InterpError::Invalid(e)
+    }
+}
+
+/// Execution statistics of a completed run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Dynamic instructions executed (across all threads).
+    pub instructions: u64,
+    /// Barrier releases.
+    pub barriers: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ThreadStatus {
+    Ready,
+    /// Waiting at a barrier; `or` carries the `bar.or.pred` payload.
+    AtBar { or: Option<(crate::ir::Pred, bool)> },
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct ThreadCtx {
+    coords: (u32, u32, u32),
+    regs: Vec<u64>,
+    preds: Vec<bool>,
+    pc: usize,
+    status: ThreadStatus,
+    /// Destination predicate of a pending `bar.or.pred`, written with the
+    /// block-wide OR when the barrier releases.
+    pending_or_dst: Option<u16>,
+}
+
+/// Progress state of one block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BlockState {
+    /// The block still has runnable work.
+    InProgress,
+    /// Every thread of the block has exited.
+    Done,
+}
+
+/// Resumable execution state of one thread block.
+#[derive(Clone, Debug)]
+pub struct BlockExec {
+    coords: (u32, u32, u32),
+    threads: Vec<ThreadCtx>,
+    shared: Vec<u64>,
+    done: bool,
+}
+
+/// Resumable execution of a full grid, block by block.
+///
+/// Blocks are created lazily-equivalent (all up front, they are small) and
+/// can be advanced in any interleaving via [`GridExec::step_block`] —
+/// thread blocks of a kernel are independent, so any schedule must produce
+/// the same result, and the test suite checks exactly that.
+#[derive(Debug)]
+pub struct GridExec<'k> {
+    kernel: &'k Kernel,
+    labels: Vec<usize>,
+    launch: Launch,
+    blocks: Vec<BlockExec>,
+    stats: InterpStats,
+}
+
+impl<'k> GridExec<'k> {
+    /// Prepares an execution of `kernel` under `launch`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel does not validate or the launch arguments do not
+    /// match the declared parameters.
+    pub fn new(kernel: &'k Kernel, launch: Launch) -> Result<Self, InterpError> {
+        kernel.validate()?;
+        if launch.params.len() != kernel.params.len() {
+            return Err(InterpError::ParamCountMismatch {
+                expected: kernel.params.len(),
+                got: launch.params.len(),
+            });
+        }
+        let labels = kernel.resolve_labels()?;
+        let mut blocks = Vec::with_capacity(launch.num_blocks() as usize);
+        for bz in 0..launch.grid.2 {
+            for by in 0..launch.grid.1 {
+                for bx in 0..launch.grid.0 {
+                    blocks.push(BlockExec::new(kernel, &launch, (bx, by, bz)));
+                }
+            }
+        }
+        Ok(GridExec { kernel, labels, launch, blocks, stats: InterpStats::default() })
+    }
+
+    /// Number of blocks in the launch.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the given block has finished.
+    pub fn block_done(&self, block: usize) -> bool {
+        self.blocks[block].done
+    }
+
+    /// Whether every block has finished.
+    pub fn all_done(&self) -> bool {
+        self.blocks.iter().all(|b| b.done)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> InterpStats {
+        self.stats
+    }
+
+    /// Advances one block by at most `budget` dynamic instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`InterpError`] raised by the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn step_block(
+        &mut self,
+        block: usize,
+        budget: u64,
+        global: &mut [u64],
+    ) -> Result<BlockState, InterpError> {
+        let b = &mut self.blocks[block];
+        if b.done {
+            return Ok(BlockState::Done);
+        }
+        let state = b.advance(self.kernel, &self.labels, &self.launch, global, budget, &mut self.stats)?;
+        Ok(state)
+    }
+
+    /// Runs every block to completion, in block order, with a global step
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors; returns [`InterpError::StepLimit`] if
+    /// the budget is exhausted.
+    pub fn run(&mut self, global: &mut [u64], max_steps: u64) -> Result<(), InterpError> {
+        let mut remaining = max_steps;
+        for i in 0..self.blocks.len() {
+            loop {
+                if remaining == 0 {
+                    return Err(InterpError::StepLimit);
+                }
+                let quantum = remaining.min(100_000);
+                let before = self.stats.instructions;
+                let state = self.step_block(i, quantum, global)?;
+                let used = self.stats.instructions - before;
+                remaining = remaining.saturating_sub(used.max(1));
+                if state == BlockState::Done {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates and runs `kernel` under `launch` against `global` memory,
+/// blocks in order, with a generous default step budget.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+///
+/// ```
+/// use tally_ptx::{parse_kernel, interp::{run_kernel, Launch}};
+///
+/// let k = parse_kernel(r#"
+///     .entry scale(.param n, .param out) {
+///         mov r0, %ctaid.x; mad r1, r0, %ntid.x, %tid.x;
+///         setp.ge p0, r1, $n; @p0 ret;
+///         bin.mul r2, r1, 3;
+///         st.global [$out + r1], r2;
+///         ret;
+///     }"#).unwrap();
+/// let mut mem = vec![0u64; 8];
+/// run_kernel(&k, &Launch::linear(2, 4, vec![8, 0]), &mut mem).unwrap();
+/// assert_eq!(mem, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+/// ```
+pub fn run_kernel(
+    kernel: &Kernel,
+    launch: &Launch,
+    global: &mut [u64],
+) -> Result<InterpStats, InterpError> {
+    let mut exec = GridExec::new(kernel, launch.clone())?;
+    exec.run(global, 500_000_000)?;
+    Ok(exec.stats())
+}
+
+impl BlockExec {
+    fn new(kernel: &Kernel, launch: &Launch, coords: (u32, u32, u32)) -> Self {
+        let mut threads = Vec::with_capacity(launch.threads_per_block() as usize);
+        for tz in 0..launch.block.2 {
+            for ty in 0..launch.block.1 {
+                for tx in 0..launch.block.0 {
+                    threads.push(ThreadCtx {
+                        coords: (tx, ty, tz),
+                        regs: vec![0; kernel.num_regs as usize],
+                        preds: vec![false; kernel.num_preds as usize],
+                        pc: 0,
+                        status: ThreadStatus::Ready,
+                        pending_or_dst: None,
+                    });
+                }
+            }
+        }
+        BlockExec {
+            coords,
+            threads,
+            shared: vec![0; kernel.shared_words as usize],
+            done: false,
+        }
+    }
+
+    fn linear_index(&self, launch: &Launch) -> u64 {
+        self.coords.0 as u64
+            + launch.grid.0 as u64 * (self.coords.1 as u64 + launch.grid.1 as u64 * self.coords.2 as u64)
+    }
+
+    fn advance(
+        &mut self,
+        kernel: &Kernel,
+        labels: &[usize],
+        launch: &Launch,
+        global: &mut [u64],
+        budget: u64,
+        stats: &mut InterpStats,
+    ) -> Result<BlockState, InterpError> {
+        let mut budget = budget;
+        loop {
+            let mut progressed = false;
+            for t in 0..self.threads.len() {
+                if budget == 0 {
+                    return Ok(BlockState::InProgress);
+                }
+                if self.threads[t].status == ThreadStatus::Ready {
+                    progressed = true;
+                    self.exec_thread(t, kernel, labels, launch, global, &mut budget, stats)?;
+                }
+            }
+            if !progressed {
+                // No runnable threads: all done, or a barrier to release.
+                if self.threads.iter().all(|t| t.status == ThreadStatus::Done) {
+                    self.done = true;
+                    return Ok(BlockState::Done);
+                }
+                let any_done = self.threads.iter().any(|t| t.status == ThreadStatus::Done);
+                if any_done {
+                    return Err(InterpError::BarrierDivergence {
+                        block: self.linear_index(launch),
+                    });
+                }
+                // Everyone is at a barrier: release it.
+                let mut or_val = false;
+                for t in &self.threads {
+                    if let ThreadStatus::AtBar { or: Some((src, _)) } = t.status {
+                        or_val |= t.preds[src.0 as usize];
+                    }
+                }
+                for t in &mut self.threads {
+                    t.status = ThreadStatus::Ready;
+                    if let Some(d) = t.pending_or_dst.take() {
+                        t.preds[d as usize] = or_val;
+                    }
+                }
+                stats.barriers += 1;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_thread(
+        &mut self,
+        t: usize,
+        kernel: &Kernel,
+        labels: &[usize],
+        launch: &Launch,
+        global: &mut [u64],
+        budget: &mut u64,
+        stats: &mut InterpStats,
+    ) -> Result<(), InterpError> {
+        loop {
+            if *budget == 0 {
+                return Ok(());
+            }
+            let pc = self.threads[t].pc;
+            if pc >= kernel.body.len() {
+                // Falling off the end behaves like `ret`.
+                self.threads[t].status = ThreadStatus::Done;
+                return Ok(());
+            }
+            *budget -= 1;
+            stats.instructions += 1;
+            let instr: &Instr = &kernel.body[pc];
+            if let Some((p, polarity)) = instr.guard {
+                if self.threads[t].preds[p.0 as usize] != polarity {
+                    self.threads[t].pc += 1;
+                    continue;
+                }
+            }
+            match &instr.op {
+                Op::Label(_) => {
+                    self.threads[t].pc += 1;
+                }
+                Op::Mov { d, a } => {
+                    let v = self.eval(t, *a, launch);
+                    self.threads[t].regs[d.0 as usize] = v;
+                    self.threads[t].pc += 1;
+                }
+                Op::Bin { op, d, a, b } => {
+                    let av = self.eval(t, *a, launch);
+                    let bv = self.eval(t, *b, launch);
+                    self.threads[t].regs[d.0 as usize] = eval_bin(*op, av, bv);
+                    self.threads[t].pc += 1;
+                }
+                Op::Mad { d, a, b, c } => {
+                    let av = self.eval(t, *a, launch);
+                    let bv = self.eval(t, *b, launch);
+                    let cv = self.eval(t, *c, launch);
+                    self.threads[t].regs[d.0 as usize] = av.wrapping_mul(bv).wrapping_add(cv);
+                    self.threads[t].pc += 1;
+                }
+                Op::SetP { op, d, a, b } => {
+                    let av = self.eval(t, *a, launch);
+                    let bv = self.eval(t, *b, launch);
+                    self.threads[t].preds[d.0 as usize] = eval_cmp(*op, av, bv);
+                    self.threads[t].pc += 1;
+                }
+                Op::NotP { d, a } => {
+                    let v = !self.threads[t].preds[a.0 as usize];
+                    self.threads[t].preds[d.0 as usize] = v;
+                    self.threads[t].pc += 1;
+                }
+                Op::Ld { space, d, addr, off } => {
+                    let base = self.eval(t, *addr, launch);
+                    let a = base.wrapping_add(self.eval(t, *off, launch));
+                    let v = self.load(*space, a, global)?;
+                    self.threads[t].regs[d.0 as usize] = v;
+                    self.threads[t].pc += 1;
+                }
+                Op::St { space, addr, off, a } => {
+                    let base = self.eval(t, *addr, launch);
+                    let v = self.eval(t, *a, launch);
+                    let ad = base.wrapping_add(self.eval(t, *off, launch));
+                    self.store(*space, ad, v, global)?;
+                    self.threads[t].pc += 1;
+                }
+                Op::AtomAdd { space, d, addr, off, a } => {
+                    let base = self.eval(t, *addr, launch);
+                    let v = self.eval(t, *a, launch);
+                    let ad = base.wrapping_add(self.eval(t, *off, launch));
+                    let old = self.load(*space, ad, global)?;
+                    self.store(*space, ad, old.wrapping_add(v), global)?;
+                    self.threads[t].regs[d.0 as usize] = old;
+                    self.threads[t].pc += 1;
+                }
+                Op::Bar => {
+                    self.threads[t].pc += 1;
+                    self.threads[t].status = ThreadStatus::AtBar { or: None };
+                    return Ok(());
+                }
+                Op::BarOrPred { d, a } => {
+                    self.threads[t].pc += 1;
+                    self.threads[t].pending_or_dst = Some(d.0);
+                    self.threads[t].status = ThreadStatus::AtBar { or: Some((*a, true)) };
+                    return Ok(());
+                }
+                Op::Bra { t: tgt } => {
+                    self.threads[t].pc = labels[tgt.0 as usize];
+                }
+                Op::Brx { table, idx } => {
+                    let i = self.eval(t, *idx, launch);
+                    let Some(l) = table.get(i as usize) else {
+                        return Err(InterpError::BrxOutOfRange {
+                            idx: i,
+                            table_len: table.len(),
+                        });
+                    };
+                    self.threads[t].pc = labels[l.0 as usize];
+                }
+                Op::Ret => {
+                    self.threads[t].status = ThreadStatus::Done;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn eval(&self, t: usize, o: Operand, launch: &Launch) -> u64 {
+        let th = &self.threads[t];
+        match o {
+            Operand::Reg(r) => th.regs[r.0 as usize],
+            Operand::Imm(v) => v,
+            Operand::Param(i) => launch.params[i as usize],
+            Operand::Sreg(s) => match s {
+                Sreg::Tid(a) => pick(th.coords, a) as u64,
+                Sreg::Ntid(a) => pick(launch.block, a) as u64,
+                Sreg::Ctaid(a) => pick(self.coords, a) as u64,
+                Sreg::Nctaid(a) => pick(launch.grid, a) as u64,
+            },
+        }
+    }
+
+    fn load(&self, space: Space, addr: u64, global: &[u64]) -> Result<u64, InterpError> {
+        let mem: &[u64] = match space {
+            Space::Global => global,
+            Space::Shared => &self.shared,
+        };
+        mem.get(addr as usize)
+            .copied()
+            .ok_or(InterpError::OobAccess { space, addr })
+    }
+
+    fn store(
+        &mut self,
+        space: Space,
+        addr: u64,
+        v: u64,
+        global: &mut [u64],
+    ) -> Result<(), InterpError> {
+        let mem: &mut [u64] = match space {
+            Space::Global => global,
+            Space::Shared => &mut self.shared,
+        };
+        match mem.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(InterpError::OobAccess { space, addr }),
+        }
+    }
+}
+
+fn pick(v: (u32, u32, u32), a: Axis) -> u32 {
+    match a {
+        Axis::X => v.0,
+        Axis::Y => v.1,
+        Axis::Z => v.2,
+    }
+}
+
+fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 % 64),
+        BinOp::Shr => a.wrapping_shr(b as u32 % 64),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Op, Operand};
+
+    fn simple_store_kernel() -> Kernel {
+        // out[ctaid.x * ntid.x + tid.x] = ctaid.x * 100 + tid.x
+        let mut k = Kernel::new("store");
+        let out = k.add_param("out");
+        let r0 = k.fresh_reg();
+        let r1 = k.fresh_reg();
+        k.push(Op::Mad {
+            d: r0,
+            a: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+            b: Operand::Sreg(Sreg::Ntid(Axis::X)),
+            c: Operand::Sreg(Sreg::Tid(Axis::X)),
+        });
+        k.push(Op::Mad {
+            d: r1,
+            a: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+            b: Operand::Imm(100),
+            c: Operand::Sreg(Sreg::Tid(Axis::X)),
+        });
+        k.push(Op::Bin { op: BinOp::Add, d: r0, a: r0.into(), b: out });
+        k.push(Op::St { space: Space::Global, addr: r0.into(), off: Operand::Imm(0), a: r1.into() });
+        k.push(Op::Ret);
+        k
+    }
+
+    #[test]
+    fn stores_land_per_thread() {
+        let k = simple_store_kernel();
+        let mut mem = vec![0u64; 8];
+        let stats = run_kernel(&k, &Launch::linear(2, 4, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem, vec![0, 1, 2, 3, 100, 101, 102, 103]);
+        assert!(stats.instructions > 0);
+    }
+
+    #[test]
+    fn param_count_checked() {
+        let k = simple_store_kernel();
+        let mut mem = vec![0u64; 8];
+        let err = run_kernel(&k, &Launch::linear(1, 1, vec![]), &mut mem).unwrap_err();
+        assert_eq!(err, InterpError::ParamCountMismatch { expected: 1, got: 0 });
+    }
+
+    #[test]
+    fn oob_store_detected() {
+        let k = simple_store_kernel();
+        let mut mem = vec![0u64; 2];
+        let err = run_kernel(&k, &Launch::linear(2, 4, vec![0]), &mut mem).unwrap_err();
+        assert!(matches!(err, InterpError::OobAccess { space: Space::Global, .. }));
+    }
+
+    #[test]
+    fn barrier_synchronizes_shared_memory() {
+        // Threads write shared[tid], sync, then read shared[ntid-1-tid]
+        // (a reversal — wrong without the barrier).
+        let mut k = Kernel::new("reverse");
+        let out = k.add_param("out");
+        let r_tid = k.fresh_reg();
+        let r_rev = k.fresh_reg();
+        let r_val = k.fresh_reg();
+        let r_addr = k.fresh_reg();
+        k.push(Op::Mov { d: r_tid, a: Operand::Sreg(Sreg::Tid(Axis::X)) });
+        k.push(Op::St { space: Space::Shared, addr: r_tid.into(), off: Operand::Imm(0), a: r_tid.into() });
+        k.push(Op::Bar);
+        k.push(Op::Bin {
+            op: BinOp::Sub,
+            d: r_rev,
+            a: Operand::Sreg(Sreg::Ntid(Axis::X)),
+            b: r_tid.into(),
+        });
+        k.push(Op::Bin { op: BinOp::Sub, d: r_rev, a: r_rev.into(), b: Operand::Imm(1) });
+        k.push(Op::Ld { space: Space::Shared, d: r_val, addr: r_rev.into(), off: Operand::Imm(0) });
+        k.push(Op::Bin { op: BinOp::Add, d: r_addr, a: r_tid.into(), b: out });
+        k.push(Op::St { space: Space::Global, addr: r_addr.into(), off: Operand::Imm(0), a: r_val.into() });
+        k.push(Op::Ret);
+        k.shared_words = 4;
+        let mut mem = vec![0u64; 4];
+        run_kernel(&k, &Launch::linear(1, 4, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn divergent_barrier_is_detected() {
+        // Thread 0 returns early; the rest hit a barrier => divergence.
+        let mut k = Kernel::new("divergent");
+        let p = k.fresh_pred();
+        k.push(Op::SetP {
+            op: CmpOp::Eq,
+            d: p,
+            a: Operand::Sreg(Sreg::Tid(Axis::X)),
+            b: Operand::Imm(0),
+        });
+        k.push_guarded(p, true, Op::Ret);
+        k.push(Op::Bar);
+        k.push(Op::Ret);
+        let mut mem = vec![0u64; 1];
+        let err = run_kernel(&k, &Launch::linear(1, 4, vec![]), &mut mem).unwrap_err();
+        assert_eq!(err, InterpError::BarrierDivergence { block: 0 });
+    }
+
+    #[test]
+    fn bar_or_pred_reduces_across_threads() {
+        // p = (tid == 2); bar.or.pred q, p; out[tid] = q ? 1 : 0.
+        let mut k = Kernel::new("orpred");
+        let out = k.add_param("out");
+        let p = k.fresh_pred();
+        let q = k.fresh_pred();
+        let r = k.fresh_reg();
+        let r_addr = k.fresh_reg();
+        k.push(Op::SetP {
+            op: CmpOp::Eq,
+            d: p,
+            a: Operand::Sreg(Sreg::Tid(Axis::X)),
+            b: Operand::Imm(2),
+        });
+        k.push(Op::BarOrPred { d: q, a: p });
+        k.push(Op::Mov { d: r, a: Operand::Imm(0) });
+        k.push_guarded(q, true, Op::Mov { d: r, a: Operand::Imm(1) });
+        k.push(Op::Bin {
+            op: BinOp::Add,
+            d: r_addr,
+            a: Operand::Sreg(Sreg::Tid(Axis::X)),
+            b: out,
+        });
+        k.push(Op::St { space: Space::Global, addr: r_addr.into(), off: Operand::Imm(0), a: r.into() });
+        k.push(Op::Ret);
+        let mut mem = vec![0u64; 4];
+        run_kernel(&k, &Launch::linear(1, 4, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem, vec![1, 1, 1, 1], "OR result must reach every thread");
+    }
+
+    #[test]
+    fn atomics_accumulate_across_blocks() {
+        let mut k = Kernel::new("count");
+        let ctr = k.add_param("ctr");
+        let r = k.fresh_reg();
+        k.push(Op::AtomAdd { space: Space::Global, d: r, addr: ctr, off: Operand::Imm(0), a: Operand::Imm(1) });
+        k.push(Op::Ret);
+        let mut mem = vec![0u64; 1];
+        run_kernel(&k, &Launch::linear(5, 3, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem[0], 15);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut k = Kernel::new("spin");
+        let l = k.fresh_label("loop");
+        k.push(Op::Label(l));
+        k.push(Op::Bra { t: l });
+        let mut exec = GridExec::new(&k, Launch::linear(1, 1, vec![])).expect("valid");
+        let mut mem = vec![];
+        let err = exec.run(&mut mem, 10_000).unwrap_err();
+        assert_eq!(err, InterpError::StepLimit);
+    }
+
+    #[test]
+    fn guard_polarity_respected() {
+        let mut k = Kernel::new("guard");
+        let out = k.add_param("out");
+        let p = k.fresh_pred();
+        let r = k.fresh_reg();
+        k.push(Op::SetP { op: CmpOp::Eq, d: p, a: Operand::Imm(1), b: Operand::Imm(1) });
+        k.push_guarded(p, false, Op::Mov { d: r, a: Operand::Imm(99) }); // skipped
+        k.push_guarded(p, true, Op::Mov { d: r, a: Operand::Imm(42) }); // taken
+        k.push(Op::St { space: Space::Global, addr: out, off: Operand::Imm(0), a: r.into() });
+        k.push(Op::Ret);
+        let mut mem = vec![0u64; 1];
+        run_kernel(&k, &Launch::linear(1, 1, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem[0], 42);
+    }
+
+    #[test]
+    fn three_dimensional_coords() {
+        // out[linear block index] += 1 for a (2,3,2) grid.
+        let mut k = Kernel::new("coords3d");
+        let out = k.add_param("out");
+        let r = k.fresh_reg();
+        let tmp = k.fresh_reg();
+        // linear = x + gx*(y + gy*z)
+        k.push(Op::Mad {
+            d: r,
+            a: Operand::Sreg(Sreg::Ctaid(Axis::Z)),
+            b: Operand::Sreg(Sreg::Nctaid(Axis::Y)),
+            c: Operand::Sreg(Sreg::Ctaid(Axis::Y)),
+        });
+        k.push(Op::Mad {
+            d: r,
+            a: r.into(),
+            b: Operand::Sreg(Sreg::Nctaid(Axis::X)),
+            c: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+        });
+        k.push(Op::Bin { op: BinOp::Add, d: tmp, a: r.into(), b: out });
+        k.push(Op::St { space: Space::Global, addr: tmp.into(), off: Operand::Imm(0), a: r.into() });
+        k.push(Op::Ret);
+        let mut mem = vec![0u64; 12];
+        let launch = Launch { grid: (2, 3, 2), block: (1, 1, 1), params: vec![0] };
+        run_kernel(&k, &launch, &mut mem).expect("runs");
+        assert_eq!(mem, (0..12).collect::<Vec<u64>>());
+    }
+}

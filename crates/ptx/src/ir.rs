@@ -1,0 +1,655 @@
+//! The mini-PTX intermediate representation.
+//!
+//! A deliberately small subset of PTX that is still rich enough to express
+//! real GPU kernels with barriers, shared memory, atomics, predication, and
+//! indirect branches — everything Tally's transformation passes (paper
+//! Figure 3) need to operate on.
+//!
+//! Differences from real PTX, chosen for clarity:
+//!
+//! * registers are untyped 64-bit integers (`r0`, `r1`, …) plus one-bit
+//!   predicate registers (`p0`, `p1`, …);
+//! * memory is addressed in 8-byte *words*, not bytes;
+//! * kernel parameters are read directly as operands (`$name`) instead of
+//!   through `ld.param`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A virtual general-purpose register (64-bit).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+/// A virtual predicate (1-bit) register.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Pred(pub u16);
+
+/// A branch label, indexing into [`Kernel::label_names`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+/// Built-in special registers exposing the thread's position in the launch
+/// hierarchy (cf. CUDA `threadIdx` / `blockIdx` / `blockDim` / `gridDim`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Sreg {
+    /// `%tid.{x,y,z}` — thread index within the block.
+    Tid(Axis),
+    /// `%ntid.{x,y,z}` — block dimensions.
+    Ntid(Axis),
+    /// `%ctaid.{x,y,z}` — block index within the grid.
+    Ctaid(Axis),
+    /// `%nctaid.{x,y,z}` — grid dimensions.
+    Nctaid(Axis),
+}
+
+/// One of the three launch-geometry axes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Axis {
+    /// The x axis.
+    X,
+    /// The y axis.
+    Y,
+    /// The z axis.
+    Z,
+}
+
+impl Axis {
+    /// All three axes, in order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    fn suffix(self) -> &'static str {
+        match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+            Axis::Z => "z",
+        }
+    }
+}
+
+/// A source operand.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// An immediate (stored as the u64 bit pattern).
+    Imm(u64),
+    /// A special register.
+    Sreg(Sreg),
+    /// A kernel parameter, by index into [`Kernel::params`].
+    Param(u16),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<Sreg> for Operand {
+    fn from(s: Sreg) -> Self {
+        Operand::Sreg(s)
+    }
+}
+
+/// Two-operand integer ALU operations (wrapping, unsigned semantics except
+/// where noted).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 64 bits).
+    Mul,
+    /// Unsigned division; division by zero yields all-ones (hardware-like).
+    Div,
+    /// Unsigned remainder; by zero yields the dividend.
+    Rem,
+    /// Minimum (unsigned).
+    Min,
+    /// Maximum (unsigned).
+    Max,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Logical shift right (modulo 64).
+    Shr,
+}
+
+/// Comparison operators for `setp` (unsigned semantics).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+/// Memory spaces.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Space {
+    /// Device-global memory, shared by all blocks and persistent across
+    /// launches.
+    Global,
+    /// Per-block shared memory.
+    Shared,
+}
+
+/// An operation (the instruction without its guard).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Op {
+    /// A branch-target marker; executes as a no-op.
+    Label(Label),
+    /// `d = a`.
+    Mov {
+        /// Destination register.
+        d: Reg,
+        /// Source operand.
+        a: Operand,
+    },
+    /// `d = a <op> b`.
+    Bin {
+        /// The ALU operation.
+        op: BinOp,
+        /// Destination register.
+        d: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Fused multiply-add: `d = a * b + c` (low 64 bits).
+    Mad {
+        /// Destination register.
+        d: Reg,
+        /// Multiplicand.
+        a: Operand,
+        /// Multiplier.
+        b: Operand,
+        /// Addend.
+        c: Operand,
+    },
+    /// `d = (a <cmp> b)`.
+    SetP {
+        /// The comparison.
+        op: CmpOp,
+        /// Destination predicate.
+        d: Pred,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `d = !a` on predicates.
+    NotP {
+        /// Destination predicate.
+        d: Pred,
+        /// Source predicate.
+        a: Pred,
+    },
+    /// `d = mem[addr + off]`.
+    Ld {
+        /// Memory space.
+        space: Space,
+        /// Destination register.
+        d: Reg,
+        /// Base address (word index).
+        addr: Operand,
+        /// Word offset (wrapping add; negative constants are two's
+        /// complement immediates).
+        off: Operand,
+    },
+    /// `mem[addr + off] = a`.
+    St {
+        /// Memory space.
+        space: Space,
+        /// Base address (word index).
+        addr: Operand,
+        /// Word offset.
+        off: Operand,
+        /// Value to store.
+        a: Operand,
+    },
+    /// Atomic fetch-and-add: `d = mem[addr + off]; mem[addr + off] += a`.
+    AtomAdd {
+        /// Memory space.
+        space: Space,
+        /// Destination register (receives the old value).
+        d: Reg,
+        /// Base address (word index).
+        addr: Operand,
+        /// Word offset.
+        off: Operand,
+        /// Addend.
+        a: Operand,
+    },
+    /// `bar.sync` — block-wide barrier.
+    Bar,
+    /// `bar.or.pred d, a` — block-wide barrier that also OR-reduces `a`
+    /// across the block's threads into every thread's `d`.
+    BarOrPred {
+        /// Destination predicate (same value in every thread).
+        d: Pred,
+        /// Per-thread source predicate.
+        a: Pred,
+    },
+    /// Unconditional (modulo guard) branch.
+    Bra {
+        /// Branch target.
+        t: Label,
+    },
+    /// Indirect branch through a target table (`brx.idx` over a
+    /// `.branchtargets` table): jumps to `table[idx]`.
+    Brx {
+        /// The branch-target table.
+        table: Vec<Label>,
+        /// Index operand; must evaluate to `< table.len()`.
+        idx: Operand,
+    },
+    /// Thread exit.
+    Ret,
+}
+
+/// One instruction: an optional guard predicate plus an operation.
+///
+/// A guard `(p, true)` executes the operation only when `p` is set
+/// (`@p op` in PTX); `(p, false)` only when clear (`@!p op`).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Instr {
+    /// Optional guard predicate and required polarity.
+    pub guard: Option<(Pred, bool)>,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Instr {
+    /// An unguarded instruction.
+    pub fn new(op: Op) -> Self {
+        Instr { guard: None, op }
+    }
+
+    /// An instruction guarded on `p` having value `polarity`.
+    pub fn guarded(p: Pred, polarity: bool, op: Op) -> Self {
+        Instr { guard: Some((p, polarity)), op }
+    }
+}
+
+impl From<Op> for Instr {
+    fn from(op: Op) -> Self {
+        Instr::new(op)
+    }
+}
+
+/// A kernel function: parameters, register counts, and a body.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Parameter names; launch arguments are positional.
+    pub params: Vec<String>,
+    /// Number of general-purpose registers used (registers are `0..num_regs`).
+    pub num_regs: u16,
+    /// Number of predicate registers used.
+    pub num_preds: u16,
+    /// Shared-memory words each block uses.
+    pub shared_words: u32,
+    /// The instruction sequence.
+    pub body: Vec<Instr>,
+    /// Names of labels, indexed by [`Label`].
+    pub label_names: Vec<String>,
+}
+
+/// Errors found by [`Kernel::validate`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidateError {
+    /// A branch or table referenced a label with no `Label` marker in the body.
+    UndefinedLabel(Label),
+    /// The same label is defined at two positions.
+    DuplicateLabel(Label),
+    /// A register index is out of the declared range.
+    RegOutOfRange(Reg),
+    /// A predicate index is out of the declared range.
+    PredOutOfRange(Pred),
+    /// A parameter index is out of range.
+    ParamOutOfRange(u16),
+    /// A `brx` instruction has an empty target table.
+    EmptyBrxTable,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UndefinedLabel(l) => write!(f, "undefined label L{}", l.0),
+            ValidateError::DuplicateLabel(l) => write!(f, "duplicate label L{}", l.0),
+            ValidateError::RegOutOfRange(r) => write!(f, "register r{} out of range", r.0),
+            ValidateError::PredOutOfRange(p) => write!(f, "predicate p{} out of range", p.0),
+            ValidateError::ParamOutOfRange(i) => write!(f, "parameter ${i} out of range"),
+            ValidateError::EmptyBrxTable => write!(f, "brx with an empty target table"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Kernel {
+    /// An empty kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel {
+            name: name.into(),
+            params: Vec::new(),
+            num_regs: 0,
+            num_preds: 0,
+            shared_words: 0,
+            body: Vec::new(),
+            label_names: Vec::new(),
+        }
+    }
+
+    /// Appends a parameter and returns its operand.
+    pub fn add_param(&mut self, name: impl Into<String>) -> Operand {
+        self.params.push(name.into());
+        Operand::Param((self.params.len() - 1) as u16)
+    }
+
+    /// Index of the parameter named `name`, if present.
+    pub fn param_index(&self, name: &str) -> Option<u16> {
+        self.params.iter().position(|p| p == name).map(|i| i as u16)
+    }
+
+    /// Allocates a fresh general-purpose register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Allocates a fresh predicate register.
+    pub fn fresh_pred(&mut self) -> Pred {
+        let p = Pred(self.num_preds);
+        self.num_preds += 1;
+        p
+    }
+
+    /// Allocates a fresh label with the given display name.
+    pub fn fresh_label(&mut self, name: impl Into<String>) -> Label {
+        let l = Label(self.label_names.len() as u32);
+        self.label_names.push(name.into());
+        l
+    }
+
+    /// Pushes an unguarded instruction.
+    pub fn push(&mut self, op: Op) {
+        self.body.push(Instr::new(op));
+    }
+
+    /// Pushes a guarded instruction.
+    pub fn push_guarded(&mut self, p: Pred, polarity: bool, op: Op) {
+        self.body.push(Instr::guarded(p, polarity, op));
+    }
+
+    /// Builds the label → instruction-index map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a label is defined twice or referenced but never
+    /// defined.
+    pub fn resolve_labels(&self) -> Result<Vec<usize>, ValidateError> {
+        let mut map = vec![usize::MAX; self.label_names.len()];
+        for (pc, instr) in self.body.iter().enumerate() {
+            if let Op::Label(l) = instr.op {
+                if map[l.0 as usize] != usize::MAX {
+                    return Err(ValidateError::DuplicateLabel(l));
+                }
+                map[l.0 as usize] = pc;
+            }
+        }
+        for instr in &self.body {
+            let check = |l: &Label| -> Result<(), ValidateError> {
+                if map.get(l.0 as usize).copied().unwrap_or(usize::MAX) == usize::MAX {
+                    Err(ValidateError::UndefinedLabel(*l))
+                } else {
+                    Ok(())
+                }
+            };
+            match &instr.op {
+                Op::Bra { t } => check(t)?,
+                Op::Brx { table, .. } => {
+                    for t in table {
+                        check(t)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(map)
+    }
+
+    /// Structural validation: register/parameter ranges and label integrity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        self.resolve_labels()?;
+        let check_reg = |r: Reg| {
+            if r.0 < self.num_regs {
+                Ok(())
+            } else {
+                Err(ValidateError::RegOutOfRange(r))
+            }
+        };
+        let check_pred = |p: Pred| {
+            if p.0 < self.num_preds {
+                Ok(())
+            } else {
+                Err(ValidateError::PredOutOfRange(p))
+            }
+        };
+        let check_opnd = |o: &Operand| match *o {
+            Operand::Reg(r) => check_reg(r),
+            Operand::Param(i) => {
+                if (i as usize) < self.params.len() {
+                    Ok(())
+                } else {
+                    Err(ValidateError::ParamOutOfRange(i))
+                }
+            }
+            _ => Ok(()),
+        };
+        for instr in &self.body {
+            if let Some((p, _)) = instr.guard {
+                check_pred(p)?;
+            }
+            match &instr.op {
+                Op::Label(_) | Op::Bar | Op::Ret | Op::Bra { .. } => {}
+                Op::Mov { d, a } => {
+                    check_reg(*d)?;
+                    check_opnd(a)?;
+                }
+                Op::Bin { d, a, b, .. } => {
+                    check_reg(*d)?;
+                    check_opnd(a)?;
+                    check_opnd(b)?;
+                }
+                Op::Mad { d, a, b, c } => {
+                    check_reg(*d)?;
+                    check_opnd(a)?;
+                    check_opnd(b)?;
+                    check_opnd(c)?;
+                }
+                Op::SetP { d, a, b, .. } => {
+                    check_pred(*d)?;
+                    check_opnd(a)?;
+                    check_opnd(b)?;
+                }
+                Op::NotP { d, a } => {
+                    check_pred(*d)?;
+                    check_pred(*a)?;
+                }
+                Op::Ld { d, addr, off, .. } => {
+                    check_reg(*d)?;
+                    check_opnd(addr)?;
+                    check_opnd(off)?;
+                }
+                Op::St { addr, off, a, .. } => {
+                    check_opnd(addr)?;
+                    check_opnd(off)?;
+                    check_opnd(a)?;
+                }
+                Op::AtomAdd { d, addr, off, a, .. } => {
+                    check_reg(*d)?;
+                    check_opnd(addr)?;
+                    check_opnd(off)?;
+                    check_opnd(a)?;
+                }
+                Op::BarOrPred { d, a } => {
+                    check_pred(*d)?;
+                    check_pred(*a)?;
+                }
+                Op::Brx { table, idx } => {
+                    if table.is_empty() {
+                        return Err(ValidateError::EmptyBrxTable);
+                    }
+                    check_opnd(idx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over every operand read by the body, mutably — the hook the
+    /// transformation passes use to rewrite `%ctaid` / `%nctaid` reads.
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        for instr in &mut self.body {
+            match &mut instr.op {
+                Op::Label(_) | Op::Bar | Op::Ret | Op::Bra { .. } | Op::NotP { .. }
+                | Op::BarOrPred { .. } => {}
+                Op::Mov { a, .. } => f(a),
+                Op::Bin { a, b, .. } => {
+                    f(a);
+                    f(b);
+                }
+                Op::Mad { a, b, c, .. } => {
+                    f(a);
+                    f(b);
+                    f(c);
+                }
+                Op::SetP { a, b, .. } => {
+                    f(a);
+                    f(b);
+                }
+                Op::Ld { addr, off, .. } => {
+                    f(addr);
+                    f(off);
+                }
+                Op::St { addr, off, a, .. } => {
+                    f(addr);
+                    f(off);
+                    f(a);
+                }
+                Op::AtomAdd { addr, off, a, .. } => {
+                    f(addr);
+                    f(off);
+                    f(a);
+                }
+                Op::Brx { idx, .. } => f(idx),
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sreg::Tid(a) => write!(f, "%tid.{}", a.suffix()),
+            Sreg::Ntid(a) => write!(f, "%ntid.{}", a.suffix()),
+            Sreg::Ctaid(a) => write!(f, "%ctaid.{}", a.suffix()),
+            Sreg::Nctaid(a) => write!(f, "%nctaid.{}", a.suffix()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocators_track_counts() {
+        let mut k = Kernel::new("k");
+        let r0 = k.fresh_reg();
+        let r1 = k.fresh_reg();
+        let p0 = k.fresh_pred();
+        assert_eq!((r0, r1, p0), (Reg(0), Reg(1), Pred(0)));
+        assert_eq!((k.num_regs, k.num_preds), (2, 1));
+    }
+
+    #[test]
+    fn validate_catches_bad_register() {
+        let mut k = Kernel::new("k");
+        k.push(Op::Mov { d: Reg(3), a: Operand::Imm(0) });
+        assert_eq!(k.validate(), Err(ValidateError::RegOutOfRange(Reg(3))));
+    }
+
+    #[test]
+    fn validate_catches_undefined_label() {
+        let mut k = Kernel::new("k");
+        let l = k.fresh_label("nowhere");
+        k.push(Op::Bra { t: l });
+        assert_eq!(k.validate(), Err(ValidateError::UndefinedLabel(l)));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_label() {
+        let mut k = Kernel::new("k");
+        let l = k.fresh_label("twice");
+        k.push(Op::Label(l));
+        k.push(Op::Label(l));
+        assert_eq!(k.validate(), Err(ValidateError::DuplicateLabel(l)));
+    }
+
+    #[test]
+    fn resolve_labels_maps_positions() {
+        let mut k = Kernel::new("k");
+        let a = k.fresh_label("a");
+        let b = k.fresh_label("b");
+        k.push(Op::Ret);
+        k.push(Op::Label(a));
+        k.push(Op::Label(b));
+        let map = k.resolve_labels().expect("valid labels");
+        assert_eq!(map[a.0 as usize], 1);
+        assert_eq!(map[b.0 as usize], 2);
+    }
+
+    #[test]
+    fn operand_rewriting_visits_reads() {
+        let mut k = Kernel::new("k");
+        let r = k.fresh_reg();
+        k.push(Op::Mov { d: r, a: Operand::Sreg(Sreg::Ctaid(Axis::X)) });
+        k.for_each_operand_mut(|o| {
+            if matches!(o, Operand::Sreg(Sreg::Ctaid(Axis::X))) {
+                *o = Operand::Imm(7);
+            }
+        });
+        assert_eq!(k.body[0].op, Op::Mov { d: r, a: Operand::Imm(7) });
+    }
+}

@@ -1,0 +1,47 @@
+//! # tally-ptx — a mini-PTX IR with Tally's kernel transformation passes
+//!
+//! Tally's central mechanism (paper §4.1) is a set of *task-agnostic* device
+//! code transformations that retrofit block-level scheduling onto unmodified
+//! GPU kernels:
+//!
+//! * [`passes::slicing`] — launch any contiguous chunk of a kernel's grid as
+//!   a sub-kernel by offsetting `blockIdx`;
+//! * [`passes::unified_sync`] — reroute every barrier and return through one
+//!   synchronization block so a block's threads always exit together;
+//! * [`passes::ptb`] — rewrite the kernel into persistent-thread-block form:
+//!   a worker loop over a global task counter with a preemption flag, giving
+//!   microsecond-scale, semantics-preserving preemption.
+//!
+//! This crate implements those passes over a small but honest PTX-like IR
+//! ([`ir`]) with a parser ([`parse_kernel`]), a printer, and a functional
+//! [interpreter](interp) used to verify — per kernel, per configuration —
+//! that transformed executions produce bit-identical memory to the original.
+//!
+//! ```
+//! use tally_ptx::{samples, passes, interp::{run_kernel, Launch}};
+//!
+//! // Take a reduction kernel with barriers and early returns…
+//! let k = samples::block_reduce_sum();
+//! // …make it preemptible…
+//! let ptb = passes::ptb(&k);
+//! // …and run it with 2 persistent workers instead of 4 blocks.
+//! let mut mem = vec![0u64; 40];
+//! for i in 0..32 { mem[i] = 1; }
+//! // input at 0, out at 32, counter at 34, flag at 35.
+//! let launch = ptb.launch(&[0, 32, 32], 2, (4, 1, 1), (8, 1, 1), 34, 35);
+//! run_kernel(&ptb.kernel, &launch, &mut mem).unwrap();
+//! assert_eq!(mem[32], 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod interp;
+pub mod ir;
+pub mod parse;
+pub mod passes;
+mod print;
+pub mod samples;
+
+pub use ir::Kernel;
+pub use parse::{parse_kernel, ParseError};

@@ -1,0 +1,646 @@
+//! Parser for the textual mini-PTX form.
+//!
+//! The grammar is line-oriented; instructions are separated by `;` or
+//! newlines, `//` starts a comment. See the crate docs for a full example.
+//!
+//! ```
+//! use tally_ptx::parse_kernel;
+//!
+//! let k = parse_kernel(r#"
+//!     .entry axpy(.param a, .param xs, .param ys, .param n) {
+//!         mov r0, %ctaid.x;
+//!         mad r1, r0, %ntid.x, %tid.x;   // global thread index
+//!         setp.ge p0, r1, $n;
+//!         @p0 ret;
+//!         ld.global r2, [$xs + r1];
+//!         mul r3, r2, $a;
+//!         ld.global r4, [$ys + r1];
+//!         add r5, r3, r4;
+//!         st.global [$ys + r1], r5;
+//!         ret;
+//!     }
+//! "#).unwrap();
+//! assert_eq!(k.name, "axpy");
+//! assert_eq!(k.params.len(), 4);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{Axis, BinOp, CmpOp, Kernel, Label, Op, Operand, Pred, Reg, Space, Sreg};
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a single kernel from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending line; the parsed
+/// kernel is additionally [validated](Kernel::validate).
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    Parser::new(src).parse()
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    kernel: Kernel,
+    labels: HashMap<String, Label>,
+    max_reg: i32,
+    max_pred: i32,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Self {
+        Parser {
+            src,
+            kernel: Kernel::new(""),
+            labels: HashMap::new(),
+            max_reg: -1,
+            max_pred: -1,
+        }
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line, message: msg.into() })
+    }
+
+    fn parse(mut self) -> Result<Kernel, ParseError> {
+        let mut in_body = false;
+        let mut saw_close = false;
+        for (ln, raw) in self.src.lines().enumerate() {
+            let line_no = ln + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            for stmt in line.split(';') {
+                let stmt = stmt.trim();
+                if stmt.is_empty() {
+                    continue;
+                }
+                if !in_body {
+                    if let Some(rest) = stmt.strip_prefix(".entry") {
+                        self.parse_header(rest.trim(), line_no)?;
+                        in_body = true;
+                    } else {
+                        return self.err(line_no, format!("expected `.entry`, found `{stmt}`"));
+                    }
+                } else if stmt == "}" {
+                    saw_close = true;
+                } else if saw_close {
+                    return self.err(line_no, "content after closing `}`");
+                } else {
+                    self.parse_stmt(stmt, line_no)?;
+                }
+            }
+        }
+        if !in_body {
+            return self.err(1, "no `.entry` found");
+        }
+        if !saw_close {
+            return self.err(self.src.lines().count(), "missing closing `}`");
+        }
+        self.kernel.num_regs = (self.max_reg + 1) as u16;
+        self.kernel.num_preds = (self.max_pred + 1) as u16;
+        self.kernel
+            .validate()
+            .map_err(|e| ParseError { line: 0, message: e.to_string() })?;
+        Ok(self.kernel)
+    }
+
+    fn parse_header(&mut self, rest: &str, line: usize) -> Result<(), ParseError> {
+        // name(.param a, .param b) {
+        let Some(open) = rest.find('(') else {
+            return self.err(line, "expected `(` in `.entry` header");
+        };
+        let Some(close) = rest.find(')') else {
+            return self.err(line, "expected `)` in `.entry` header");
+        };
+        let name = rest[..open].trim();
+        if name.is_empty() {
+            return self.err(line, "kernel name missing");
+        }
+        self.kernel.name = name.to_string();
+        let params = &rest[open + 1..close];
+        for p in params.split(',') {
+            let p = p.trim();
+            if p.is_empty() {
+                continue;
+            }
+            let Some(pname) = p.strip_prefix(".param") else {
+                return self.err(line, format!("expected `.param <name>`, found `{p}`"));
+            };
+            self.kernel.add_param(pname.trim());
+        }
+        let tail = rest[close + 1..].trim();
+        if tail != "{" && !tail.is_empty() {
+            return self.err(line, format!("unexpected `{tail}` after parameter list"));
+        }
+        Ok(())
+    }
+
+    fn parse_stmt(&mut self, stmt: &str, line: usize) -> Result<(), ParseError> {
+        // Shared-memory declaration: `.shared N`
+        if let Some(count) = stmt.strip_prefix(".shared") {
+            let words: u32 = count.trim().parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad `.shared` count `{}`", count.trim()),
+            })?;
+            self.kernel.shared_words = words;
+            return Ok(());
+        }
+        // Label definition: `NAME:`
+        if let Some(name) = stmt.strip_suffix(':') {
+            if is_ident(name) {
+                let l = self.label(name);
+                self.kernel.push(Op::Label(l));
+                return Ok(());
+            }
+        }
+        // Guard: `@p0` or `@!p0`
+        let (guard, rest) = if let Some(rest) = stmt.strip_prefix('@') {
+            let (g, r) = rest.split_once(char::is_whitespace).ok_or(ParseError {
+                line,
+                message: "guard must be followed by an instruction".into(),
+            })?;
+            let (polarity, pname) =
+                if let Some(n) = g.strip_prefix('!') { (false, n) } else { (true, g) };
+            let p = self.pred(pname, line)?;
+            (Some((p, polarity)), r.trim())
+        } else {
+            (None, stmt)
+        };
+        let (mnemonic, args) = match rest.split_once(char::is_whitespace) {
+            Some((m, a)) => (m, a.trim()),
+            None => (rest, ""),
+        };
+        let op = self.parse_op(mnemonic, args, line)?;
+        match guard {
+            Some((p, polarity)) => self.kernel.push_guarded(p, polarity, op),
+            None => self.kernel.push(op),
+        }
+        Ok(())
+    }
+
+    fn parse_op(&mut self, m: &str, args: &str, line: usize) -> Result<Op, ParseError> {
+        let m = m.strip_prefix("bin.").unwrap_or(m);
+        if let Some(op) = bin_op(m) {
+            let (d, a, b) = self.three(args, line)?;
+            return Ok(Op::Bin { op, d: self.dst_reg(&d, line)?, a: self.operand(&a, line)?, b: self.operand(&b, line)? });
+        }
+        match m {
+            "mov" => {
+                let (d, a) = self.two(args, line)?;
+                Ok(Op::Mov { d: self.dst_reg(&d, line)?, a: self.operand(&a, line)? })
+            }
+            "mad" => {
+                let (d, a, b, c) = self.four(args, line)?;
+                Ok(Op::Mad {
+                    d: self.dst_reg(&d, line)?,
+                    a: self.operand(&a, line)?,
+                    b: self.operand(&b, line)?,
+                    c: self.operand(&c, line)?,
+                })
+            }
+            "notp" => {
+                let (d, a) = self.two(args, line)?;
+                Ok(Op::NotP { d: self.pred(&d, line)?, a: self.pred(&a, line)? })
+            }
+            "bar.sync" | "bar" => Ok(Op::Bar),
+            "bar.or.pred" => {
+                let (d, a) = self.two(args, line)?;
+                Ok(Op::BarOrPred { d: self.pred(&d, line)?, a: self.pred(&a, line)? })
+            }
+            "bra" => {
+                if !is_ident(args) {
+                    return self.err(line, format!("bad branch target `{args}`"));
+                }
+                let t = self.label(args);
+                Ok(Op::Bra { t })
+            }
+            "brx" => {
+                // brx idx, [L0, L1, ...]
+                let Some((idx, table)) = args.split_once(',') else {
+                    return self.err(line, "brx needs an index and a target table");
+                };
+                let idx = self.operand(idx.trim(), line)?;
+                let table = table.trim();
+                let Some(inner) = table.strip_prefix('[').and_then(|t| t.strip_suffix(']')) else {
+                    return self.err(line, "brx table must be `[L0, L1, ...]`");
+                };
+                let mut labels = Vec::new();
+                for t in inner.split(',') {
+                    let t = t.trim();
+                    if !is_ident(t) {
+                        return self.err(line, format!("bad brx target `{t}`"));
+                    }
+                    labels.push(self.label(t));
+                }
+                Ok(Op::Brx { table: labels, idx })
+            }
+            "ret" | "exit" => Ok(Op::Ret),
+            _ if m.starts_with("setp.") => {
+                let op = cmp_op(&m[5..])
+                    .ok_or_else(|| ParseError { line, message: format!("bad setp op `{m}`") })?;
+                let (d, a, b) = self.three(args, line)?;
+                Ok(Op::SetP {
+                    op,
+                    d: self.pred(&d, line)?,
+                    a: self.operand(&a, line)?,
+                    b: self.operand(&b, line)?,
+                })
+            }
+            _ if m.starts_with("ld.") => {
+                let space = self.space(&m[3..], line)?;
+                let (d, addr) = self.two(args, line)?;
+                let (base, off) = self.address(&addr, line)?;
+                Ok(Op::Ld { space, d: self.dst_reg(&d, line)?, addr: base, off })
+            }
+            _ if m.starts_with("st.") => {
+                let space = self.space(&m[3..], line)?;
+                let (addr, a) = self.two(args, line)?;
+                let (base, off) = self.address(&addr, line)?;
+                Ok(Op::St { space, addr: base, off, a: self.operand(&a, line)? })
+            }
+            _ if m.starts_with("atom.add.") => {
+                let space = self.space(&m[9..], line)?;
+                let (d, addr, a) = self.three(args, line)?;
+                let (base, off) = self.address(&addr, line)?;
+                Ok(Op::AtomAdd {
+                    space,
+                    d: self.dst_reg(&d, line)?,
+                    addr: base,
+                    off,
+                    a: self.operand(&a, line)?,
+                })
+            }
+            _ => self.err(line, format!("unknown mnemonic `{m}`")),
+        }
+    }
+
+    // ---- small helpers ----
+
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.kernel.fresh_label(name);
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+
+    fn split_args(&self, args: &str, n: usize, line: usize) -> Result<Vec<String>, ParseError> {
+        // Split on commas that are not inside brackets.
+        let mut parts = Vec::new();
+        let mut depth = 0usize;
+        let mut cur = String::new();
+        for ch in args.chars() {
+            match ch {
+                '[' => {
+                    depth += 1;
+                    cur.push(ch);
+                }
+                ']' => {
+                    depth = depth.saturating_sub(1);
+                    cur.push(ch);
+                }
+                ',' if depth == 0 => {
+                    parts.push(cur.trim().to_string());
+                    cur = String::new();
+                }
+                _ => cur.push(ch),
+            }
+        }
+        if !cur.trim().is_empty() {
+            parts.push(cur.trim().to_string());
+        }
+        if parts.len() != n {
+            return self.err(line, format!("expected {n} operands, found {} in `{args}`", parts.len()));
+        }
+        Ok(parts)
+    }
+
+    fn two(&self, args: &str, line: usize) -> Result<(String, String), ParseError> {
+        let v = self.split_args(args, 2, line)?;
+        Ok((v[0].clone(), v[1].clone()))
+    }
+
+    fn three(&self, args: &str, line: usize) -> Result<(String, String, String), ParseError> {
+        let v = self.split_args(args, 3, line)?;
+        Ok((v[0].clone(), v[1].clone(), v[2].clone()))
+    }
+
+    fn four(&self, args: &str, line: usize) -> Result<(String, String, String, String), ParseError> {
+        let v = self.split_args(args, 4, line)?;
+        Ok((v[0].clone(), v[1].clone(), v[2].clone(), v[3].clone()))
+    }
+
+    fn dst_reg(&mut self, s: &str, line: usize) -> Result<Reg, ParseError> {
+        match self.operand(s, line)? {
+            Operand::Reg(r) => Ok(r),
+            _ => self.err(line, format!("destination must be a register, found `{s}`")),
+        }
+    }
+
+    fn pred(&mut self, s: &str, line: usize) -> Result<Pred, ParseError> {
+        let s = s.trim();
+        if let Some(n) = s.strip_prefix('p') {
+            if let Ok(i) = n.parse::<u16>() {
+                self.max_pred = self.max_pred.max(i as i32);
+                return Ok(Pred(i));
+            }
+        }
+        self.err(line, format!("expected predicate register, found `{s}`"))
+    }
+
+    fn space(&self, s: &str, line: usize) -> Result<Space, ParseError> {
+        match s {
+            "global" => Ok(Space::Global),
+            "shared" => Ok(Space::Shared),
+            _ => self.err(line, format!("unknown memory space `{s}`")),
+        }
+    }
+
+    fn address(&mut self, s: &str, line: usize) -> Result<(Operand, Operand), ParseError> {
+        let s = s.trim();
+        let Some(inner) = s.strip_prefix('[').and_then(|t| t.strip_suffix(']')) else {
+            return self.err(line, format!("address must be `[base]` or `[base +/- off]`, found `{s}`"));
+        };
+        let inner = inner.trim();
+        // Split on a top-level + or - ; the offset may be any operand
+        // (register-indexed addressing), a negative constant becomes a
+        // two's-complement immediate.
+        for (i, ch) in inner.char_indices().skip(1) {
+            if ch == '+' || ch == '-' {
+                let base = self.operand(inner[..i].trim(), line)?;
+                let off_str = inner[i + 1..].trim();
+                if ch == '-' {
+                    let Ok(off) = off_str.parse::<i64>() else {
+                        return self.err(line, format!("`-` offsets must be constant in `{s}`"));
+                    };
+                    return Ok((base, Operand::Imm((-off) as u64)));
+                }
+                let off = self.operand(off_str, line)?;
+                return Ok((base, off));
+            }
+        }
+        Ok((self.operand(inner, line)?, Operand::Imm(0)))
+    }
+
+    fn operand(&mut self, s: &str, line: usize) -> Result<Operand, ParseError> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix('$') {
+            let Some(i) = self.kernel.param_index(rest) else {
+                return self.err(line, format!("unknown parameter `${rest}`"));
+            };
+            return Ok(Operand::Param(i));
+        }
+        if let Some(rest) = s.strip_prefix('%') {
+            return self
+                .sreg(rest)
+                .map(Operand::Sreg)
+                .ok_or(ParseError { line, message: format!("unknown special register `%{rest}`") });
+        }
+        if let Some(n) = s.strip_prefix('r') {
+            if let Ok(i) = n.parse::<u16>() {
+                self.max_reg = self.max_reg.max(i as i32);
+                return Ok(Operand::Reg(Reg(i)));
+            }
+        }
+        if let Ok(v) = s.parse::<i64>() {
+            return Ok(Operand::Imm(v as u64));
+        }
+        if let Some(hex) = s.strip_prefix("0x") {
+            if let Ok(v) = u64::from_str_radix(hex, 16) {
+                return Ok(Operand::Imm(v));
+            }
+        }
+        self.err(line, format!("cannot parse operand `{s}`"))
+    }
+
+    fn sreg(&self, s: &str) -> Option<Sreg> {
+        let (base, axis) = s.split_once('.')?;
+        let axis = match axis {
+            "x" => Axis::X,
+            "y" => Axis::Y,
+            "z" => Axis::Z,
+            _ => return None,
+        };
+        match base {
+            "tid" => Some(Sreg::Tid(axis)),
+            "ntid" => Some(Sreg::Ntid(axis)),
+            "ctaid" => Some(Sreg::Ctaid(axis)),
+            "nctaid" => Some(Sreg::Nctaid(axis)),
+            _ => None,
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn bin_op(m: &str) -> Option<BinOp> {
+    Some(match m {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn cmp_op(m: &str) -> Option<CmpOp> {
+    Some(match m {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_kernel, Launch};
+
+    #[test]
+    fn parses_and_runs_vecadd() {
+        let k = parse_kernel(
+            r#"
+            .entry vecadd(.param xs, .param ys, .param out, .param n) {
+                mov r0, %ctaid.x;
+                mad r1, r0, %ntid.x, %tid.x;
+                setp.ge p0, r1, $n;
+                @p0 ret;
+                ld.global r2, [$xs + r1];
+                ld.global r3, [$ys + r1];
+                add r4, r2, r3;
+                add r5, $out, r1;
+                st.global [r5], r4;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(k.name, "vecadd");
+        let mut mem = vec![0u64; 24];
+        for i in 0..8 {
+            mem[i] = i as u64; // xs at 0..8
+            mem[8 + i] = 10 * i as u64; // ys at 8..16
+        }
+        run_kernel(&k, &Launch::linear(2, 4, vec![0, 8, 16, 8]), &mut mem).expect("runs");
+        assert_eq!(&mem[16..24], &[0, 11, 22, 33, 44, 55, 66, 77]);
+    }
+
+    #[test]
+    fn register_indexed_addressing() {
+        let k = parse_kernel(
+            r#"
+            .entry gather(.param a, .param out) {
+                mov r1, %tid.x;
+                ld.global r0, [$a + r1];
+                st.global [$out + r1], r0;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        let mut mem = vec![5, 6, 7, 8, 0, 0, 0, 0];
+        run_kernel(&k, &Launch::linear(1, 4, vec![0, 4]), &mut mem).expect("runs");
+        assert_eq!(&mem[4..], &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn labels_guards_and_loops() {
+        // Sum 0..n into out[0] with a loop in a single thread.
+        let k = parse_kernel(
+            r#"
+            .entry sum(.param n, .param out) {
+                mov r0, 0;       // i
+                mov r1, 0;       // acc
+            LOOP:
+                setp.ge p0, r0, $n;
+                @p0 bra DONE;
+                add r1, r1, r0;
+                add r0, r0, 1;
+                bra LOOP;
+            DONE:
+                st.global [$out], r1;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        let mut mem = vec![0u64; 1];
+        run_kernel(&k, &Launch::linear(1, 1, vec![10, 0]), &mut mem).expect("runs");
+        assert_eq!(mem[0], 45);
+    }
+
+    #[test]
+    fn shared_decl_and_negative_offsets() {
+        let k = parse_kernel(
+            r#"
+            .entry shmem(.param out) {
+                .shared 2;
+                mov r0, 1;
+                st.shared [r0 - 1], 42;
+                bar.sync;
+                ld.shared r1, [r0 + 1 - 2];
+                st.global [$out], r1;
+                ret;
+            }
+            "#,
+        );
+        // `r0 + 1 - 2` is not valid (two operators) => expect error there.
+        assert!(k.is_err());
+        let k = parse_kernel(
+            r#"
+            .entry shmem(.param out) {
+                .shared 2;
+                mov r0, 1;
+                st.shared [r0 - 1], 42;
+                bar.sync;
+                ld.shared r1, [r0 - 1];
+                st.global [$out], r1;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(k.shared_words, 2);
+        let mut mem = vec![0u64; 1];
+        run_kernel(&k, &Launch::linear(1, 2, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem[0], 42);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_kernel(".entry k() {\n frobnicate r0;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_param_rejected() {
+        let err = parse_kernel(".entry k() { mov r0, $missing; ret; }").unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn brx_parses_table() {
+        let k = parse_kernel(
+            r#"
+            .entry jump(.param out) {
+                mov r0, 1;
+                brx r0, [A, B];
+            A:
+                st.global [$out], 10;
+                ret;
+            B:
+                st.global [$out], 20;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        let mut mem = vec![0u64; 1];
+        run_kernel(&k, &Launch::linear(1, 1, vec![0]), &mut mem).expect("runs");
+        assert_eq!(mem[0], 20);
+    }
+}

@@ -1,0 +1,681 @@
+//! Tally's kernel transformation passes (paper §4.1, Figure 3).
+//!
+//! Three passes, each preserving the original kernel's functional semantics:
+//!
+//! 1. **Slicing** ([`slicing`]): makes the kernel launchable as sub-kernels
+//!    covering a contiguous range of the original grid. A linear
+//!    block-offset parameter is added and every `%ctaid` / `%nctaid` read is
+//!    rewritten to the *virtual* block index reconstructed from
+//!    `offset + blockIdx` against the original grid dimensions.
+//! 2. **Unified synchronization** ([`unified_sync`]): reroutes every
+//!    `bar.sync` and `ret` through a single synchronization block so that
+//!    all threads of a block return together. This is the prepositional
+//!    pass that makes the preemption transformation safe for kernels with
+//!    arbitrary barrier placement — without it, early-returning threads
+//!    would diverge from syncing threads and hang the block.
+//! 3. **Persistent thread blocks** ([`ptb`]): wraps the (unified-sync'd)
+//!    body in a worker loop driven by a global task counter, with a
+//!    preemption flag checked once per task. Progress lives entirely in the
+//!    counter word, so a preempted kernel resumes by simply relaunching
+//!    with the same counter buffer.
+//!
+//! Every pass is checked by executing original and transformed kernels in
+//! the [interpreter](crate::interp) and comparing memory bit-for-bit — see
+//! the tests in this module and the property tests in `tests/`.
+
+use crate::interp::Launch;
+use crate::ir::{Axis, BinOp, CmpOp, Instr, Kernel, Op, Operand, Pred, Reg, Space, Sreg};
+
+
+/// Result of the slicing transformation.
+#[derive(Clone, Debug)]
+pub struct Sliced {
+    /// The transformed kernel; launch it in 1-D slices via
+    /// [`Sliced::launch`].
+    pub kernel: Kernel,
+    n_orig_params: usize,
+}
+
+/// Result of the persistent-thread-block transformation.
+#[derive(Clone, Debug)]
+pub struct Ptb {
+    /// The transformed kernel; launch workers via [`Ptb::launch`].
+    pub kernel: Kernel,
+    n_orig_params: usize,
+}
+
+/// Sets a predicate to a constant (PTX `setp` against immediates).
+fn set_pred_const(p: Pred, value: bool) -> Op {
+    Op::SetP {
+        op: CmpOp::Eq,
+        d: p,
+        a: Operand::Imm(if value { 0 } else { 1 }),
+        b: Operand::Imm(0),
+    }
+}
+
+/// Ensures the body ends with an explicit `ret` (falling off the end of a
+/// kernel is an implicit return).
+fn normalize_tail(k: &mut Kernel) {
+    match k.body.last() {
+        Some(Instr { guard: None, op: Op::Ret | Op::Bra { .. } | Op::Brx { .. } }) => {}
+        _ => k.push(Op::Ret),
+    }
+}
+
+/// Rewrites every `%ctaid.{x,y,z}` read to the given registers and every
+/// `%nctaid.{x,y,z}` read to the given operands (the original grid dims).
+fn rewrite_block_identity(k: &mut Kernel, vctaid: [Reg; 3], grid_dims: [Operand; 3]) {
+    k.for_each_operand_mut(|o| {
+        if let Operand::Sreg(s) = *o {
+            match s {
+                Sreg::Ctaid(a) => *o = Operand::Reg(vctaid[axis_idx(a)]),
+                Sreg::Nctaid(a) => *o = grid_dims[axis_idx(a)],
+                _ => {}
+            }
+        }
+    });
+}
+
+fn axis_idx(a: Axis) -> usize {
+    match a {
+        Axis::X => 0,
+        Axis::Y => 1,
+        Axis::Z => 2,
+    }
+}
+
+/// Emits the virtual-blockIdx reconstruction from a linear task index:
+/// `vx = t % gx; vy = (t / gx) % gy; vz = t / (gx * gy)`.
+fn emit_coords_from_linear(
+    prologue: &mut Vec<Instr>,
+    task: Reg,
+    tmp: Reg,
+    vctaid: [Reg; 3],
+    gx: Operand,
+    gy: Operand,
+) {
+    prologue.push(Op::Bin { op: BinOp::Rem, d: vctaid[0], a: task.into(), b: gx }.into());
+    prologue.push(Op::Bin { op: BinOp::Div, d: tmp, a: task.into(), b: gx }.into());
+    prologue.push(Op::Bin { op: BinOp::Rem, d: vctaid[1], a: tmp.into(), b: gy }.into());
+    prologue.push(Op::Bin { op: BinOp::Div, d: vctaid[2], a: tmp.into(), b: gy }.into());
+}
+
+/// The **slicing transformation** (paper Figure 3a, left).
+///
+/// The returned kernel takes four extra parameters — the linear block
+/// offset and the original grid dimensions — and must be launched as a 1-D
+/// grid of `count` blocks via [`Sliced::launch`]. Collectively the slices
+/// `(0, c0), (c0, c1), …` perform exactly the original kernel's work.
+///
+/// ```
+/// use tally_ptx::{parse_kernel, passes, interp::run_kernel};
+///
+/// let k = parse_kernel(r#"
+///     .entry double(.param xs) {
+///         mad r0, %ctaid.x, %ntid.x, %tid.x;
+///         ld.global r1, [$xs + r0];
+///         add r1, r1, r1;
+///         st.global [$xs + r0], r1;
+///         ret;
+///     }"#).unwrap();
+/// let sliced = passes::slicing(&k);
+/// let mut mem: Vec<u64> = (0..32).collect();
+/// // Two slices of 2 blocks each cover the 4-block grid.
+/// for (off, count) in [(0, 2), (2, 2)] {
+///     let launch = sliced.launch(&[0], off, count, (4, 1, 1), (8, 1, 1));
+///     run_kernel(&sliced.kernel, &launch, &mut mem).unwrap();
+/// }
+/// assert_eq!(mem, (0..32).map(|v| v * 2).collect::<Vec<u64>>());
+/// ```
+pub fn slicing(original: &Kernel) -> Sliced {
+    let mut k = original.clone();
+    let n_orig_params = k.params.len();
+    k.name = format!("{}__sliced", k.name);
+    normalize_tail(&mut k);
+    let p_off = k.add_param("__tally_off");
+    let p_gx = k.add_param("__tally_gx");
+    let p_gy = k.add_param("__tally_gy");
+    let _p_gz = k.add_param("__tally_gz");
+    let task = k.fresh_reg();
+    let tmp = k.fresh_reg();
+    let vctaid = [k.fresh_reg(), k.fresh_reg(), k.fresh_reg()];
+
+    // Virtual linear block index = offset + blockIdx.x (slices are 1-D).
+    let mut prologue: Vec<Instr> = Vec::new();
+    prologue.push(
+        Op::Bin {
+            op: BinOp::Add,
+            d: task,
+            a: p_off,
+            b: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+        }
+        .into(),
+    );
+    emit_coords_from_linear(&mut prologue, task, tmp, vctaid, p_gx, p_gy);
+
+    rewrite_block_identity(&mut k, vctaid, [p_gx, p_gy, _p_gz]);
+    prologue.append(&mut k.body);
+    k.body = prologue;
+    k
+        .validate()
+        .expect("slicing produces a valid kernel");
+    Sliced { kernel: k, n_orig_params }
+}
+
+impl Sliced {
+    /// Builds the launch for one slice covering original linear block
+    /// indices `[offset, offset + count)`.
+    ///
+    /// `orig_params` are the original kernel's arguments; `orig_grid` and
+    /// `block` are the original launch geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count mismatches the original parameter list
+    /// or the slice range exceeds the original grid.
+    pub fn launch(
+        &self,
+        orig_params: &[u64],
+        offset: u64,
+        count: u64,
+        orig_grid: (u32, u32, u32),
+        block: (u32, u32, u32),
+    ) -> Launch {
+        assert_eq!(orig_params.len(), self.n_orig_params, "argument count mismatch");
+        let total = orig_grid.0 as u64 * orig_grid.1 as u64 * orig_grid.2 as u64;
+        assert!(count > 0 && offset + count <= total, "slice out of range");
+        let mut params = orig_params.to_vec();
+        params.extend([offset, orig_grid.0 as u64, orig_grid.1 as u64, orig_grid.2 as u64]);
+        Launch { grid: (count as u32, 1, 1), block, params }
+    }
+
+    /// Evenly partitions a grid of `total` blocks into `slices` contiguous
+    /// ranges (the launch plan the scheduler iterates over).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero.
+    pub fn plan(total: u64, slices: u64) -> Vec<(u64, u64)> {
+        assert!(slices > 0, "at least one slice required");
+        let slices = slices.min(total.max(1));
+        let base = total / slices;
+        let extra = total % slices;
+        let mut out = Vec::with_capacity(slices as usize);
+        let mut off = 0;
+        for i in 0..slices {
+            let len = base + u64::from(i < extra);
+            if len == 0 {
+                continue;
+            }
+            out.push((off, len));
+            off += len;
+        }
+        out
+    }
+}
+
+/// The **unified synchronization transformation** (paper Figure 3b).
+///
+/// Every `bar.sync` and every `ret` is rewritten to branch to a single
+/// postpended synchronization block. There, a `bar.or.pred` establishes
+/// whether any thread still wants to synchronize: if so, syncing threads
+/// jump back to their recorded resume points (through a `brx` branch-target
+/// table) while returned threads loop on the barrier; once no thread
+/// syncs, all threads return together. The resulting kernel has exactly
+/// one `ret`, and threads can never diverge across barrier and exit states.
+pub fn unified_sync(original: &Kernel) -> Kernel {
+    let mut k = Kernel {
+        body: Vec::new(),
+        ..original.clone()
+    };
+    let mut src = original.body.clone();
+    // Normalize an implicit trailing return.
+    match src.last() {
+        Some(Instr { guard: None, op: Op::Ret | Op::Bra { .. } | Op::Brx { .. } }) => {}
+        _ => src.push(Instr::new(Op::Ret)),
+    }
+
+    let is_sync = k.fresh_pred();
+    let has_sync = k.fresh_pred();
+    let pos = k.fresh_reg();
+    let bb_sync = k.fresh_label("__tally_bb_sync");
+
+    let mut resume_labels: Vec<crate::ir::Label> = Vec::new();
+    let mut out: Vec<Instr> = Vec::new();
+    let mut ret_pos_fixups: Vec<usize> = Vec::new();
+    let mut skip_counter = 0u32;
+    for instr in src {
+        match instr.op {
+            Op::Bar => {
+                assert!(
+                    instr.guard.is_none(),
+                    "guarded barriers are divergent by construction and unsupported"
+                );
+                let resume = k.fresh_label(format!("__tally_resume_{}", resume_labels.len()));
+                let idx = resume_labels.len() as u64;
+                resume_labels.push(resume);
+                out.push(set_pred_const(is_sync, true).into());
+                out.push(Op::Mov { d: pos, a: Operand::Imm(idx) }.into());
+                out.push(Op::Bra { t: bb_sync }.into());
+                out.push(Op::Label(resume).into());
+            }
+            Op::Ret => {
+                // `pos` for returning threads indexes the bb_sync entry,
+                // appended after all resume labels — patched below once the
+                // resume count is known, so emit a placeholder and fix up.
+                match instr.guard {
+                    None => {
+                        out.push(set_pred_const(is_sync, false).into());
+                        ret_pos_fixups.push(out.len());
+                        out.push(Op::Mov { d: pos, a: Operand::Imm(0) }.into());
+                        out.push(Op::Bra { t: bb_sync }.into());
+                    }
+                    Some((p, polarity)) => {
+                        let skip = k.fresh_label(format!("__tally_skip_{skip_counter}"));
+                        skip_counter += 1;
+                        out.push(Instr::guarded(p, !polarity, Op::Bra { t: skip }));
+                        out.push(set_pred_const(is_sync, false).into());
+                        ret_pos_fixups.push(out.len());
+                        out.push(Op::Mov { d: pos, a: Operand::Imm(0) }.into());
+                        out.push(Op::Bra { t: bb_sync }.into());
+                        out.push(Op::Label(skip).into());
+                    }
+                }
+            }
+            Op::BarOrPred { .. } => {
+                unreachable!("bar.or.pred only appears in already-transformed kernels")
+            }
+            _ => out.push(instr),
+        }
+    }
+
+    // Patch the returning-thread `pos` placeholders now that the table size
+    // is known: returning threads index the bb_sync entry appended after
+    // all resume labels.
+    let ret_idx = resume_labels.len() as u64;
+    for i in ret_pos_fixups {
+        if let Op::Mov { a: Operand::Imm(v), .. } = &mut out[i].op {
+            *v = ret_idx;
+        }
+    }
+
+    // The unified synchronization block.
+    out.push(Op::Label(bb_sync).into());
+    out.push(Op::BarOrPred { d: has_sync, a: is_sync }.into());
+    let mut table = resume_labels;
+    table.push(bb_sync);
+    out.push(Instr::guarded(has_sync, true, Op::Brx { table, idx: pos.into() }));
+    out.push(Op::Ret.into());
+
+    k.body = out;
+    k.validate().expect("unified sync produces a valid kernel");
+    k
+}
+
+/// The **preemption (persistent-thread-block) transformation**
+/// (paper Figure 3a, right).
+///
+/// Applies [`unified_sync`] first, then wraps the body in a worker loop:
+/// each iteration the block's leader thread reads the preemption flag and
+/// fetches the next task index from a global counter (both device-memory
+/// words supplied at launch), broadcasts it through shared memory, and all
+/// threads either exit (preempted / work exhausted) or execute the original
+/// body with `blockIdx` reconstructed from the task index.
+///
+/// Execution progress lives in the counter word: relaunching with the same
+/// counter resumes exactly where the preempted launch stopped.
+pub fn ptb(original: &Kernel) -> Ptb {
+    let synced = unified_sync(original);
+    let mut k = Kernel { body: Vec::new(), ..synced.clone() };
+    let n_orig_params = original.params.len();
+    k.name = format!("{}__ptb", original.name);
+
+    // Broadcast slot appended after the body's shared allocation.
+    let bcast = k.shared_words as u64;
+    k.shared_words += 1;
+
+    let p_ctr = k.add_param("__tally_ctr");
+    let p_flag = k.add_param("__tally_flag");
+    let p_gx = k.add_param("__tally_gx");
+    let p_gy = k.add_param("__tally_gy");
+    let p_gz = k.add_param("__tally_gz");
+    let p_total = k.add_param("__tally_total");
+
+    let r_tid = k.fresh_reg();
+    let r_task = k.fresh_reg();
+    let r_tmp = k.fresh_reg();
+    let vctaid = [k.fresh_reg(), k.fresh_reg(), k.fresh_reg()];
+    let p_leader = k.fresh_pred();
+    let p_pre = k.fresh_pred();
+    let p_exit = k.fresh_pred();
+    let l_loop = k.fresh_label("__tally_loop");
+    let l_fetched = k.fresh_label("__tally_fetched");
+    let l_loop_end = k.fresh_label("__tally_loop_end");
+
+    let mut out: Vec<Instr> = Vec::new();
+    // linear tid = tid.x + ntid.x * (tid.y + ntid.y * tid.z)
+    out.push(
+        Op::Mad {
+            d: r_tid,
+            a: Operand::Sreg(Sreg::Tid(Axis::Z)),
+            b: Operand::Sreg(Sreg::Ntid(Axis::Y)),
+            c: Operand::Sreg(Sreg::Tid(Axis::Y)),
+        }
+        .into(),
+    );
+    out.push(
+        Op::Mad {
+            d: r_tid,
+            a: r_tid.into(),
+            b: Operand::Sreg(Sreg::Ntid(Axis::X)),
+            c: Operand::Sreg(Sreg::Tid(Axis::X)),
+        }
+        .into(),
+    );
+    out.push(Op::SetP { op: CmpOp::Eq, d: p_leader, a: r_tid.into(), b: Operand::Imm(0) }.into());
+
+    out.push(Op::Label(l_loop).into());
+    // Leader: read flag; preempted => sentinel task, else fetch from counter.
+    out.push(Instr::guarded(p_leader, false, Op::Bra { t: l_fetched }));
+    out.push(Op::Ld { space: Space::Global, d: r_tmp, addr: p_flag, off: Operand::Imm(0) }.into());
+    out.push(Op::SetP { op: CmpOp::Ne, d: p_pre, a: r_tmp.into(), b: Operand::Imm(0) }.into());
+    out.push(Op::Mov { d: r_task, a: p_total }.into());
+    out.push(Instr::guarded(
+        p_pre,
+        false,
+        Op::AtomAdd {
+            space: Space::Global,
+            d: r_task,
+            addr: p_ctr,
+            off: Operand::Imm(0),
+            a: Operand::Imm(1),
+        },
+    ));
+    out.push(Op::St { space: Space::Shared, addr: Operand::Imm(bcast), off: Operand::Imm(0), a: r_task.into() }.into());
+    out.push(Op::Label(l_fetched).into());
+    out.push(Op::Bar.into());
+    out.push(Op::Ld { space: Space::Shared, d: r_task, addr: Operand::Imm(bcast), off: Operand::Imm(0) }.into());
+    out.push(Op::Bar.into());
+    out.push(Op::SetP { op: CmpOp::Ge, d: p_exit, a: r_task.into(), b: p_total }.into());
+    out.push(Instr::guarded(p_exit, true, Op::Ret));
+    emit_coords_from_linear(&mut out, r_task, r_tmp, vctaid, p_gx, p_gy);
+
+    // Splice in the unified-sync'd body with block identity virtualized and
+    // its single `ret` redirected to the loop tail.
+    let mut body = synced.body;
+    let mut spliced = Kernel { body, ..k.clone() };
+    rewrite_block_identity(&mut spliced, vctaid, [p_gx, p_gy, p_gz]);
+    body = spliced.body;
+    for instr in &mut body {
+        if matches!(instr.op, Op::Ret) && instr.guard.is_none() {
+            instr.op = Op::Bra { t: l_loop_end };
+        } else if matches!(instr.op, Op::Ret) {
+            unreachable!("unified sync leaves no guarded ret");
+        }
+    }
+    out.append(&mut body);
+
+    out.push(Op::Label(l_loop_end).into());
+    out.push(Op::Bar.into());
+    out.push(Op::Bra { t: l_loop }.into());
+
+    k.body = out;
+    k.validate().expect("ptb produces a valid kernel");
+    Ptb { kernel: k, n_orig_params }
+}
+
+impl Ptb {
+    /// Builds a worker launch.
+    ///
+    /// * `orig_params` — the original kernel's arguments.
+    /// * `workers` — number of persistent worker blocks.
+    /// * `orig_grid` / `block` — the original launch geometry.
+    /// * `ctr_addr` / `flag_addr` — global-memory word addresses of the task
+    ///   counter and preemption flag. To start from block `offset`, store
+    ///   `offset` in the counter word before launching; to resume, simply
+    ///   relaunch with the counter left as the preempted launch's drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on argument-count mismatch or `workers == 0`.
+    pub fn launch(
+        &self,
+        orig_params: &[u64],
+        workers: u32,
+        orig_grid: (u32, u32, u32),
+        block: (u32, u32, u32),
+        ctr_addr: u64,
+        flag_addr: u64,
+    ) -> Launch {
+        assert_eq!(orig_params.len(), self.n_orig_params, "argument count mismatch");
+        assert!(workers > 0, "PTB launch needs at least one worker");
+        let total = orig_grid.0 as u64 * orig_grid.1 as u64 * orig_grid.2 as u64;
+        let mut params = orig_params.to_vec();
+        params.extend([
+            ctr_addr,
+            flag_addr,
+            orig_grid.0 as u64,
+            orig_grid.1 as u64,
+            orig_grid.2 as u64,
+            total,
+        ]);
+        Launch { grid: (workers, 1, 1), block, params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_kernel, GridExec, InterpError};
+    use crate::parse::parse_kernel;
+
+    /// A 2-D grid kernel with a barrier and shared memory: each block
+    /// reverses an 8-element tile in shared memory then writes it out,
+    /// tagged with its 2-D block coords.
+    fn tile_reverse() -> Kernel {
+        parse_kernel(
+            r#"
+            .entry tile_reverse(.param out) {
+                .shared 8;
+                mov r0, %tid.x;
+                st.shared [r0], r0;
+                bar.sync;
+                sub r1, %ntid.x, r0;
+                sub r1, r1, 1;
+                ld.shared r2, [r1];
+                mad r3, %ctaid.y, %nctaid.x, %ctaid.x;  // linear block
+                mul r3, r3, %ntid.x;
+                add r3, r3, r0;
+                mad r4, %ctaid.x, 10, r2;               // value tags block x
+                st.global [$out + r3], r4;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses")
+    }
+
+    fn reference_memory() -> Vec<u64> {
+        let k = tile_reverse();
+        let mut mem = vec![0u64; 6 * 8];
+        let launch = Launch { grid: (3, 2, 1), block: (8, 1, 1), params: vec![0] };
+        run_kernel(&k, &launch, &mut mem).expect("reference runs");
+        mem
+    }
+
+    #[test]
+    fn slicing_covers_grid_in_any_partition() {
+        let k = tile_reverse();
+        let reference = reference_memory();
+        let sliced = slicing(&k);
+        for slices in [1, 2, 3, 6] {
+            let mut mem = vec![0u64; 6 * 8];
+            for (off, count) in Sliced::plan(6, slices) {
+                let launch = sliced.launch(&[0], off, count, (3, 2, 1), (8, 1, 1));
+                run_kernel(&sliced.kernel, &launch, &mut mem).expect("slice runs");
+            }
+            assert_eq!(mem, reference, "partition into {slices} slices diverged");
+        }
+    }
+
+    #[test]
+    fn slice_plan_is_a_partition() {
+        for total in [1u64, 5, 16, 97] {
+            for slices in [1u64, 2, 3, 7, 100] {
+                let plan = Sliced::plan(total, slices);
+                let mut expect = 0;
+                for (off, count) in plan {
+                    assert_eq!(off, expect);
+                    assert!(count > 0);
+                    expect += count;
+                }
+                assert_eq!(expect, total);
+            }
+        }
+    }
+
+    #[test]
+    fn unified_sync_preserves_semantics() {
+        let k = tile_reverse();
+        let synced = unified_sync(&k);
+        let reference = reference_memory();
+        let mut mem = vec![0u64; 6 * 8];
+        let launch = Launch { grid: (3, 2, 1), block: (8, 1, 1), params: vec![0] };
+        run_kernel(&synced, &launch, &mut mem).expect("synced kernel runs");
+        assert_eq!(mem, reference);
+        // Exactly one ret remains.
+        let rets = synced.body.iter().filter(|i| matches!(i.op, Op::Ret)).count();
+        assert_eq!(rets, 1);
+    }
+
+    #[test]
+    fn unified_sync_fixes_divergent_early_return() {
+        // Threads with tid < 2 return before the barrier: plain execution
+        // hangs (divergence), the unified-sync form must not.
+        let k = parse_kernel(
+            r#"
+            .entry early(.param out) {
+                .shared 4;
+                mov r0, %tid.x;
+                setp.lt p0, r0, 2;
+                @p0 ret;
+                st.shared [r0], r0;
+                bar.sync;
+                ld.shared r1, [r0];
+                st.global [$out + r0], r1;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        let launch = Launch::linear(1, 4, vec![0]);
+        let mut mem = vec![0u64; 4];
+        let err = run_kernel(&k, &launch, &mut mem).unwrap_err();
+        assert!(matches!(err, InterpError::BarrierDivergence { .. }));
+
+        let synced = unified_sync(&k);
+        let mut mem = vec![0u64; 4];
+        run_kernel(&synced, &launch, &mut mem).expect("no divergence after unified sync");
+        assert_eq!(mem, vec![0, 0, 2, 3]);
+    }
+
+    #[test]
+    fn ptb_completes_all_tasks_with_any_worker_count() {
+        let k = tile_reverse();
+        let reference = reference_memory();
+        let transformed = ptb(&k);
+        for workers in [1u32, 2, 3, 6, 8] {
+            // Device layout: out in 0..48, counter at 48, flag at 49.
+            let mut mem = vec![0u64; 50];
+            let launch = transformed.launch(&[0], workers, (3, 2, 1), (8, 1, 1), 48, 49);
+            run_kernel(&transformed.kernel, &launch, &mut mem).expect("ptb runs");
+            assert_eq!(&mem[..48], &reference[..], "{workers} workers diverged");
+            assert!(mem[48] >= 6, "counter covers all tasks");
+        }
+    }
+
+    #[test]
+    fn ptb_preempt_then_resume_matches_reference() {
+        let k = tile_reverse();
+        let reference = reference_memory();
+        let transformed = ptb(&k);
+        let mut mem = vec![0u64; 50];
+        let launch = transformed.launch(&[0], 2, (3, 2, 1), (8, 1, 1), 48, 49);
+
+        // Run the two workers interleaved; set the preemption flag after a
+        // few hundred instructions.
+        let mut exec = GridExec::new(&transformed.kernel, launch.clone()).expect("valid");
+        let mut flipped = false;
+        let mut steps = 0;
+        while !exec.all_done() {
+            for b in 0..exec.num_blocks() {
+                let _ = exec.step_block(b, 150, &mut mem).expect("steps");
+            }
+            steps += 1;
+            if steps == 3 && !flipped {
+                mem[49] = 1; // preempt!
+                flipped = true;
+            }
+            assert!(steps < 10_000, "workers must drain after preemption");
+        }
+        let done = mem[48];
+        assert!(done < 6, "preemption should stop before all tasks (did {done})");
+
+        // Resume: clear the flag, relaunch with the same counter.
+        mem[49] = 0;
+        run_kernel(&transformed.kernel, &launch, &mut mem).expect("resume runs");
+        assert_eq!(&mem[..48], &reference[..]);
+    }
+
+    #[test]
+    fn ptb_on_kernel_with_early_returns() {
+        // Guarded returns + barrier: the composition unified-sync → ptb
+        // must still be exact.
+        // All threads zero the tile first (shared memory is undefined at
+        // block start on real GPUs, so a correct kernel initializes what it
+        // reads); inactive lanes then return early, before the second
+        // barrier — the divergence hazard unified-sync exists for.
+        let k = parse_kernel(
+            r#"
+            .entry early(.param out, .param n) {
+                .shared 4;
+                mov r1, %tid.x;
+                st.shared [r1], 0;
+                bar.sync;
+                mad r0, %ctaid.x, %ntid.x, r1;
+                setp.ge p0, r0, $n;
+                @p0 ret;
+                st.shared [r1], r0;
+                bar.sync;
+                sub r2, %ntid.x, 1;
+                sub r2, r2, r1;
+                ld.shared r3, [r2];
+                st.global [$out + r0], r3;
+                ret;
+            }
+            "#,
+        )
+        .expect("parses");
+        // Reference: n = 10 limits the last block's threads.
+        // NOTE: with n=10, block 2 has threads 8..11 active-mixed; shared
+        // reads of inactive lanes read zeros — same in both executions.
+        let launch = Launch { grid: (3, 1, 1), block: (4, 1, 1), params: vec![0, 10] };
+        let mut reference = vec![0u64; 16];
+        run_kernel(&unified_sync(&k), &launch, &mut reference).expect("reference");
+
+        let transformed = ptb(&k);
+        let mut mem = vec![0u64; 16];
+        // out in 0..12, counter at 12... keep out 0..12, ctr 13, flag 14.
+        let mut mem2 = vec![0u64; 16];
+        let pl = transformed.launch(&[0, 10], 2, (3, 1, 1), (4, 1, 1), 13, 14);
+        run_kernel(&transformed.kernel, &pl, &mut mem2).expect("ptb runs");
+        mem.copy_from_slice(&mem2);
+        mem[13] = 0;
+        mem[14] = 0;
+        let mut ref_clean = reference.clone();
+        ref_clean[13] = 0;
+        ref_clean[14] = 0;
+        assert_eq!(&mem[..12], &ref_clean[..12]);
+    }
+}

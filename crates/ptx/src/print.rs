@@ -1,0 +1,183 @@
+//! Pretty-printer for the mini-PTX IR; the output round-trips through
+//! [`parse_kernel`](crate::parse_kernel).
+
+use std::fmt;
+
+use crate::ir::{BinOp, CmpOp, Instr, Kernel, Label, Op, Operand, Space};
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".entry {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, ".param {p}")?;
+        }
+        f.write_str(") {\n")?;
+        if self.shared_words > 0 {
+            writeln!(f, "    .shared {};", self.shared_words)?;
+        }
+        for instr in &self.body {
+            write_instr(f, self, instr)?;
+        }
+        f.write_str("}\n")
+    }
+}
+
+fn label_name(k: &Kernel, l: Label) -> &str {
+    &k.label_names[l.0 as usize]
+}
+
+fn write_instr(f: &mut fmt::Formatter<'_>, k: &Kernel, instr: &Instr) -> fmt::Result {
+    if let Op::Label(l) = instr.op {
+        return writeln!(f, "{}:", label_name(k, l));
+    }
+    f.write_str("    ")?;
+    if let Some((p, polarity)) = instr.guard {
+        write!(f, "@{}p{} ", if polarity { "" } else { "!" }, p.0)?;
+    }
+    match &instr.op {
+        Op::Label(_) => unreachable!("handled above"),
+        Op::Mov { d, a } => write!(f, "mov r{}, {}", d.0, Dis(a, k))?,
+        Op::Bin { op, d, a, b } => {
+            write!(f, "{} r{}, {}, {}", bin_name(*op), d.0, Dis(a, k), Dis(b, k))?
+        }
+        Op::Mad { d, a, b, c } => {
+            write!(f, "mad r{}, {}, {}, {}", d.0, Dis(a, k), Dis(b, k), Dis(c, k))?
+        }
+        Op::SetP { op, d, a, b } => {
+            write!(f, "setp.{} p{}, {}, {}", cmp_name(*op), d.0, Dis(a, k), Dis(b, k))?
+        }
+        Op::NotP { d, a } => write!(f, "notp p{}, p{}", d.0, a.0)?,
+        Op::Ld { space, d, addr, off } => {
+            write!(f, "ld.{} r{}, {}", space_name(*space), d.0, Addr(addr, off, k))?
+        }
+        Op::St { space, addr, off, a } => {
+            write!(f, "st.{} {}, {}", space_name(*space), Addr(addr, off, k), Dis(a, k))?
+        }
+        Op::AtomAdd { space, d, addr, off, a } => write!(
+            f,
+            "atom.add.{} r{}, {}, {}",
+            space_name(*space),
+            d.0,
+            Addr(addr, off, k),
+            Dis(a, k)
+        )?,
+        Op::Bar => f.write_str("bar.sync")?,
+        Op::BarOrPred { d, a } => write!(f, "bar.or.pred p{}, p{}", d.0, a.0)?,
+        Op::Bra { t } => write!(f, "bra {}", label_name(k, *t))?,
+        Op::Brx { table, idx } => {
+            write!(f, "brx {}, [", Dis(idx, k))?;
+            for (i, t) in table.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                f.write_str(label_name(k, *t))?;
+            }
+            f.write_str("]")?;
+        }
+        Op::Ret => f.write_str("ret")?,
+    }
+    f.write_str(";\n")
+}
+
+struct Dis<'a>(&'a Operand, &'a Kernel);
+
+impl fmt::Display for Dis<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Operand::Reg(r) => write!(f, "r{}", r.0),
+            Operand::Imm(v) => {
+                // Print small negatives as signed for readability.
+                let s = *v as i64;
+                if (-4096..0).contains(&s) {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Operand::Sreg(s) => write!(f, "{s}"),
+            Operand::Param(i) => write!(f, "${}", self.1.params[*i as usize]),
+        }
+    }
+}
+
+struct Addr<'a>(&'a Operand, &'a Operand, &'a Kernel);
+
+impl fmt::Display for Addr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.1 {
+            Operand::Imm(0) => write!(f, "[{}]", Dis(self.0, self.2)),
+            Operand::Imm(v) if (*v as i64) < 0 => {
+                write!(f, "[{} - {}]", Dis(self.0, self.2), -(*v as i64))
+            }
+            off => write!(f, "[{} + {}]", Dis(self.0, self.2), Dis(off, self.2)),
+        }
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn space_name(s: Space) -> &'static str {
+    match s {
+        Space::Global => "global",
+        Space::Shared => "shared",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_kernel;
+
+    #[test]
+    fn printed_kernel_reparses_with_same_shape() {
+        let src = r#"
+            .entry demo(.param xs, .param n) {
+                .shared 3;
+                mov r0, %ctaid.x;
+                mad r1, r0, %ntid.x, %tid.x;
+                setp.ge p0, r1, $n;
+                @p0 ret;
+                ld.global r2, [$xs + r1];
+                add r2, r2, 1;
+                st.shared [r1], r2;
+                bar.sync;
+                st.global [$xs + r1], r2;
+                ret;
+            }
+        "#;
+        let k = parse_kernel(src).expect("parses");
+        let printed = k.to_string();
+        let k2 = parse_kernel(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(k.body, k2.body);
+        assert_eq!(k.shared_words, k2.shared_words);
+        assert_eq!(k.num_regs, k2.num_regs);
+    }
+}

@@ -1,0 +1,201 @@
+//! Canonical sample kernels used by tests, examples, and documentation.
+//!
+//! Each constructor returns a validated [`Kernel`] written in the textual
+//! mini-PTX form; the accompanying helpers build reference launches.
+
+use crate::ir::Kernel;
+use crate::parse::parse_kernel;
+
+/// `ys[i] = a * xs[i] + ys[i]` over `n` elements — the classic saxpy, with
+/// a bounds check and early return.
+pub fn saxpy() -> Kernel {
+    parse_kernel(
+        r#"
+        .entry saxpy(.param a, .param xs, .param ys, .param n) {
+            mad r0, %ctaid.x, %ntid.x, %tid.x;
+            setp.ge p0, r0, $n;
+            @p0 ret;
+            ld.global r1, [$xs + r0];
+            mul r1, r1, $a;
+            ld.global r2, [$ys + r0];
+            add r1, r1, r2;
+            st.global [$ys + r0], r1;
+            ret;
+        }
+        "#,
+    )
+    .expect("saxpy parses")
+}
+
+/// Per-block shared-memory tile reversal with a barrier: block `b` writes
+/// `out[b*ntid + t] = in[b*ntid + (ntid-1-t)]`.
+pub fn tile_reverse() -> Kernel {
+    parse_kernel(
+        r#"
+        .entry tile_reverse(.param input, .param out) {
+            .shared 64;
+            mov r0, %tid.x;
+            mad r1, %ctaid.x, %ntid.x, r0;
+            ld.global r2, [$input + r1];
+            st.shared [r0], r2;
+            bar.sync;
+            sub r3, %ntid.x, r0;
+            sub r3, r3, 1;
+            ld.shared r4, [r3];
+            st.global [$out + r1], r4;
+            ret;
+        }
+        "#,
+    )
+    .expect("tile_reverse parses")
+}
+
+/// Block-local tree reduction (sum) over a power-of-two block size, with a
+/// barrier per step; block sums are combined with a global atomic — a
+/// miniature of the reduction kernels ubiquitous in DL workloads.
+pub fn block_reduce_sum() -> Kernel {
+    parse_kernel(
+        r#"
+        .entry block_reduce_sum(.param input, .param out, .param n) {
+            .shared 64;
+            mov r0, %tid.x;
+            mad r1, %ctaid.x, %ntid.x, r0;
+            mov r2, 0;
+            setp.ge p0, r1, $n;
+            @p0 bra PAD;
+            ld.global r2, [$input + r1];
+        PAD:
+            st.shared [r0], r2;
+            bar.sync;
+            shr r3, %ntid.x, 1;     // stride
+        LOOP:
+            setp.eq p1, r3, 0;
+            @p1 bra DONE;
+            setp.ge p2, r0, r3;
+            @p2 bra SKIP;
+            add r4, r0, r3;
+            ld.shared r5, [r4];
+            ld.shared r6, [r0];
+            add r6, r6, r5;
+            st.shared [r0], r6;
+        SKIP:
+            bar.sync;
+            shr r3, r3, 1;
+            bra LOOP;
+        DONE:
+            setp.ne p3, r0, 0;
+            @p3 ret;
+            ld.shared r7, [r0];
+            atom.add.global r8, [$out], r7;
+            ret;
+        }
+        "#,
+    )
+    .expect("block_reduce_sum parses")
+}
+
+/// A 2-D grid kernel (grid `(gx, gy, 1)`) computing
+/// `out[y][x] = x * 1000 + y` per block — exercises multi-dimensional
+/// `blockIdx` reconstruction in the transformation passes.
+pub fn grid2d_tag() -> Kernel {
+    parse_kernel(
+        r#"
+        .entry grid2d_tag(.param out) {
+            mad r0, %ctaid.y, %nctaid.x, %ctaid.x;   // linear block
+            mad r1, r0, %ntid.x, %tid.x;             // linear thread
+            mad r2, %ctaid.x, 1000, %ctaid.y;        // tag
+            add r2, r2, %tid.x;
+            st.global [$out + r1], r2;
+            ret;
+        }
+        "#,
+    )
+    .expect("grid2d_tag parses")
+}
+
+/// Histogram over 16 bins using shared-memory atomics, a barrier, then a
+/// flush to global atomics — a kernel whose correctness is very sensitive
+/// to block scheduling mistakes.
+pub fn histogram16() -> Kernel {
+    parse_kernel(
+        r#"
+        .entry histogram16(.param input, .param hist, .param n) {
+            .shared 16;
+            mov r0, %tid.x;
+            // zero the block-local bins (first 16 threads).
+            setp.ge p0, r0, 16;
+            @p0 bra ZEROED;
+            st.shared [r0], 0;
+        ZEROED:
+            bar.sync;
+            mad r1, %ctaid.x, %ntid.x, r0;
+            setp.ge p1, r1, $n;
+            @p1 bra COUNTED;
+            ld.global r2, [$input + r1];
+            and r2, r2, 15;
+            atom.add.shared r3, [r2], 1;
+        COUNTED:
+            bar.sync;
+            setp.ge p2, r0, 16;
+            @p2 ret;
+            ld.shared r4, [r0];
+            atom.add.global r5, [$hist + r0], r4;
+            ret;
+        }
+        "#,
+    )
+    .expect("histogram16 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_kernel, Launch};
+
+    #[test]
+    fn saxpy_reference() {
+        let k = saxpy();
+        let mut mem = vec![0u64; 20];
+        for i in 0..10 {
+            mem[i] = i as u64;
+            mem[10 + i] = 1;
+        }
+        run_kernel(&k, &Launch::linear(3, 4, vec![2, 0, 10, 10]), &mut mem).expect("runs");
+        let ys: Vec<u64> = (0..10).map(|i| 2 * i + 1).collect();
+        assert_eq!(&mem[10..], &ys[..]);
+    }
+
+    #[test]
+    fn block_reduce_sums() {
+        let k = block_reduce_sum();
+        let mut mem = vec![0u64; 33];
+        for i in 0..30 {
+            mem[i] = i as u64 + 1;
+        }
+        // input at 0..32 (n=30), out at 32; 4 blocks of 8 threads.
+        run_kernel(&k, &Launch::linear(4, 8, vec![0, 32, 30]), &mut mem).expect("runs");
+        assert_eq!(mem[32], (1..=30).sum::<u64>());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let k = histogram16();
+        let mut mem = vec![0u64; 80];
+        for i in 0..64 {
+            mem[i] = i as u64; // 4 of each bin value 0..15
+        }
+        run_kernel(&k, &Launch::linear(2, 32, vec![0, 64, 64]), &mut mem).expect("runs");
+        assert_eq!(&mem[64..80], &[4u64; 16]);
+    }
+
+    #[test]
+    fn grid2d_tags() {
+        let k = grid2d_tag();
+        let mut mem = vec![0u64; 12];
+        let launch = Launch { grid: (3, 2, 1), block: (2, 1, 1), params: vec![0] };
+        run_kernel(&k, &launch, &mut mem).expect("runs");
+        assert_eq!(mem[0], 0); // block (0,0) thread 0
+        assert_eq!(mem[5], 2001); // block (2,0) thread 1: 2*1000 + 0 + 1
+        assert_eq!(mem[6], 1); // block (0,1) thread 0
+    }
+}

@@ -1,0 +1,34 @@
+//! # tally-workloads — the paper's benchmark suite and traffic traces
+//!
+//! Builders for the twelve DL workloads of the paper's Table 2 (six
+//! PyTorch training jobs, six inference services) as deterministic
+//! kernel-trace generators calibrated against the published solo numbers,
+//! plus a synthetic MAF2-style bursty arrival-trace generator.
+//!
+//! ```
+//! use tally_gpu::{GpuSpec, SimSpan};
+//! use tally_workloads::{InferModel, TrainModel};
+//! use tally_workloads::maf2::{arrivals, Maf2Config};
+//!
+//! let spec = GpuSpec::a100();
+//! // Best-effort Whisper training…
+//! let trainer = TrainModel::WhisperV3.job(&spec);
+//! // …co-located with BERT inference at 50% load.
+//! let cfg = Maf2Config::new(
+//!     0.5,
+//!     InferModel::Bert.paper_latency(),
+//!     SimSpan::from_secs(20),
+//! );
+//! let service = InferModel::Bert.job(&spec, arrivals(&cfg));
+//! assert_eq!(trainer.name, "whisper-v3-train");
+//! assert_eq!(service.name, "bert-infer");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+pub mod maf2;
+pub mod models;
+
+pub use models::{InferModel, TrainModel};

@@ -1,0 +1,63 @@
+//! Quickstart: co-locate a latency-critical BERT inference service with a
+//! best-effort Whisper training job under Tally, and compare the service's
+//! tail latency against solo ("Ideal") execution.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tally::prelude::*;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let duration = SimSpan::from_secs(15);
+    let cfg = HarnessConfig {
+        duration,
+        warmup: SimSpan::from_secs(2),
+        seed: 1,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+
+    // The high-priority side: BERT inference (3.93 ms solo latency),
+    // driven by a bursty MAF2-style trace at 50% load.
+    let trace = arrivals(&Maf2Config::new(0.5, InferModel::Bert.paper_latency(), duration));
+    println!("trace: {} requests over {duration}", trace.len());
+    let service = InferModel::Bert.job(&spec, trace);
+
+    // The best-effort side: Whisper-v3 training — the paper's hardest
+    // trainer, with kernels that run longer than an entire BERT inference.
+    let trainer = TrainModel::WhisperV3.job(&spec);
+
+    // Ideal: each job alone on the GPU.
+    let solo_service = run_solo(&spec, &service, &cfg);
+    let solo_trainer = run_solo(&spec, &trainer, &cfg);
+
+    // Shared execution under Tally.
+    let mut tally = TallySystem::new(TallyConfig::paper_default());
+    let shared = run_colocation(&spec, &[service, trainer], &mut tally, &cfg);
+    let hp = shared.high_priority().expect("inference client");
+    let be = shared.best_effort().next().expect("training client");
+
+    let ideal_p99 = solo_service.p99().expect("solo latencies");
+    let tally_p99 = hp.p99().expect("shared latencies");
+    println!("\n--- BERT inference (high-priority) ---");
+    println!("requests served : {}", hp.requests);
+    println!("p99 ideal       : {ideal_p99}");
+    println!("p99 under Tally : {tally_p99}");
+    println!(
+        "p99 overhead    : {:+.1}%",
+        (tally_p99.ratio(ideal_p99) - 1.0) * 100.0
+    );
+
+    println!("\n--- Whisper training (best-effort) ---");
+    println!("solo throughput   : {:.3} it/s", solo_trainer.throughput);
+    println!("shared throughput : {:.3} it/s", be.throughput);
+    println!(
+        "retained          : {:.0}% while the service ran at 50% load",
+        100.0 * be.throughput / solo_trainer.throughput
+    );
+
+    println!("\n--- Tally internals ---");
+    println!("best-effort preemptions : {}", tally.preemptions());
+    println!("profiler                : {:?}", tally.profiler_stats());
+    println!("transformer             : {:?}", tally.transform_stats());
+}

@@ -1,0 +1,55 @@
+//! Head-to-head of every GPU-sharing system on one workload combination:
+//! ResNet50 inference (high-priority) co-located with GPT2-Large training
+//! (best-effort) — a miniature of the paper's Figure 5.
+//!
+//! Run with: `cargo run --release --example sharing_showdown`
+
+use tally::prelude::*;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let duration = SimSpan::from_secs(10);
+    let cfg = HarnessConfig {
+        duration,
+        warmup: SimSpan::from_secs(1),
+        seed: 3,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+
+    let infer = InferModel::ResNet50;
+    let train = TrainModel::Gpt2Large;
+    let trace = arrivals(&Maf2Config::new(0.5, infer.paper_latency(), duration));
+
+    let jobs = || [infer.job(&spec, trace.clone()), train.job(&spec)];
+
+    // Solo references for normalized (system) throughput.
+    let solo_hp = run_solo(&spec, &jobs()[0], &cfg);
+    let solo_be = run_solo(&spec, &jobs()[1], &cfg);
+    let solo = [solo_hp.throughput, solo_be.throughput];
+    let ideal_p99 = solo_hp.p99().expect("solo latencies");
+
+    println!(
+        "{} (hp, 50% load) + {} (best-effort), {duration} simulated\n",
+        infer.name(),
+        train.name()
+    );
+    println!("{:<20} {:>12} {:>12} {:>10}", "system", "p99", "vs ideal", "sys-thr");
+    println!("{:<20} {:>12} {:>12} {:>10.2}", "ideal", format!("{ideal_p99}"), "-", 1.0);
+
+    let mut systems: Vec<Box<dyn SharingSystem>> = tally::baselines::all_baselines();
+    systems.push(Box::new(TallySystem::new(TallyConfig::paper_default())));
+    for system in &mut systems {
+        let report = run_colocation(&spec, &jobs(), system.as_mut(), &cfg);
+        let p99 = report.high_priority().and_then(|c| c.p99()).expect("latencies");
+        let overhead = (p99.ratio(ideal_p99) - 1.0) * 100.0;
+        let st = report.system_throughput(&solo);
+        println!(
+            "{:<20} {:>12} {:>11.1}% {:>10.2}",
+            report.system,
+            format!("{p99}"),
+            overhead,
+            st
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests on the GPU engine: conservation and monotonicity under
+//! arbitrary interleavings of submissions and preemptions.
+
+use proptest::prelude::*;
+use tally::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Submit a kernel: (blocks, threads_exp, cost_us, shape).
+    Submit { blocks: u32, threads_exp: u8, cost_us: u64, ptb_workers: Option<u16> },
+    /// Advance simulated time by this many microseconds.
+    Advance(u64),
+    /// Preempt the nth-oldest still-active launch.
+    Preempt(u8),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u32..2000, 5u8..11, 1u64..500, prop::option::of(1u16..600)).prop_map(
+            |(blocks, threads_exp, cost_us, ptb_workers)| Action::Submit {
+                blocks,
+                threads_exp,
+                cost_us,
+                ptb_workers,
+            }
+        ),
+        (1u64..3000).prop_map(Action::Advance),
+        (0u8..8).prop_map(Action::Preempt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every submitted launch eventually resolves (completed or
+    /// preempted), all resources return to the pool, and time never runs
+    /// backwards.
+    #[test]
+    fn launches_conserve_and_resolve(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        let spec = GpuSpec::a100();
+        let total_blocks = spec.total_block_slots();
+        let total_threads = spec.total_thread_slots();
+        let mut engine = Engine::new(spec);
+        let mut live: Vec<tally_gpu::LaunchId> = Vec::new();
+        let mut submitted = 0u64;
+        let mut resolved = 0u64;
+        let mut last_now = engine.now();
+
+        let mut handle = |notes: Vec<tally_gpu::Notification>, live: &mut Vec<tally_gpu::LaunchId>, resolved: &mut u64| {
+            for n in notes {
+                if let Some(pos) = live.iter().position(|&l| l == n.launch()) {
+                    live.swap_remove(pos);
+                    *resolved += 1;
+                }
+                if let tally_gpu::Notification::Preempted { done_upto, total, .. } = n {
+                    assert!(done_upto <= total, "progress cannot exceed total");
+                }
+            }
+        };
+
+        for action in actions {
+            match action {
+                Action::Submit { blocks, threads_exp, cost_us, ptb_workers } => {
+                    let threads = 1u32 << threads_exp; // 32..=1024
+                    let kernel = KernelDesc::builder("prop")
+                        .grid(blocks)
+                        .block(threads)
+                        .block_cost(SimSpan::from_micros(cost_us))
+                        .build_arc();
+                    let shape = match ptb_workers {
+                        Some(w) => tally_gpu::LaunchShape::Ptb {
+                            workers: (w as u32).min(blocks),
+                            offset: 0,
+                            overhead_ppm: 250,
+                        },
+                        None => tally_gpu::LaunchShape::Full,
+                    };
+                    let id = engine.submit(tally_gpu::LaunchRequest {
+                        kernel,
+                        shape,
+                        client: ClientId(0),
+                        priority: Priority::BestEffort,
+                    });
+                    live.push(id);
+                    submitted += 1;
+                }
+                Action::Advance(us) => {
+                    let target = engine.now() + SimSpan::from_micros(us);
+                    loop {
+                        match engine.advance(target) {
+                            Step::Notified(notes) => handle(notes, &mut live, &mut resolved),
+                            Step::ReachedLimit | Step::Idle => break,
+                        }
+                        prop_assert!(engine.now() >= last_now, "time went backwards");
+                        last_now = engine.now();
+                    }
+                }
+                Action::Preempt(n) => {
+                    if let Some(&id) = live.get(n as usize) {
+                        engine.preempt(id);
+                    }
+                }
+            }
+        }
+        // Drain everything.
+        loop {
+            match engine.advance(SimTime::MAX) {
+                Step::Notified(notes) => handle(notes, &mut live, &mut resolved),
+                Step::Idle => break,
+                Step::ReachedLimit => unreachable!(),
+            }
+        }
+        prop_assert!(live.is_empty(), "launches left unresolved");
+        prop_assert_eq!(submitted, resolved);
+        prop_assert!(engine.is_idle());
+        prop_assert_eq!(engine.free_block_slots(), total_blocks, "block slots leaked");
+        prop_assert_eq!(engine.free_thread_slots(), total_threads, "thread slots leaked");
+    }
+
+    /// Solo latency is shape-independent for single-wave kernels and
+    /// scales linearly with waves for multi-wave kernels.
+    #[test]
+    fn solo_latency_matches_wave_arithmetic(
+        waves in 1u64..20,
+        cost_us in 1u64..400,
+    ) {
+        let spec = GpuSpec::a100();
+        let capacity = spec.wave_capacity(256, 0);
+        let kernel = KernelDesc::builder("waves")
+            .grid((waves * capacity) as u32)
+            .block(256)
+            .block_cost(SimSpan::from_micros(cost_us))
+            .build_arc();
+        let mut engine = Engine::new(spec.clone());
+        engine.submit(tally_gpu::LaunchRequest::full(kernel, ClientId(0), Priority::High));
+        let at = loop {
+            match engine.advance(SimTime::MAX) {
+                Step::Notified(notes) => break notes[0].at(),
+                Step::Idle => prop_assert!(false, "no completion"),
+                Step::ReachedLimit => unreachable!(),
+            }
+        };
+        let expected = spec.launch_overhead + SimSpan::from_micros(cost_us) * waves;
+        prop_assert_eq!(at.saturating_since(SimTime::ZERO), expected);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the paper's headline claims hold on the
+//! real benchmark-suite workloads.
+
+use tally::prelude::*;
+
+fn cfg(secs: u64) -> HarnessConfig {
+    HarnessConfig {
+        duration: SimSpan::from_secs(secs),
+        warmup: SimSpan::from_secs(1),
+        seed: 7,
+        jitter: 0.0,
+        record_timelines: false,
+    }
+}
+
+fn bert_at_load(spec: &GpuSpec, load: f64, c: &HarnessConfig) -> JobSpec {
+    let trace = arrivals(&Maf2Config::new(
+        load,
+        InferModel::Bert.paper_latency(),
+        c.duration,
+    ));
+    InferModel::Bert.job(spec, trace)
+}
+
+#[test]
+fn tally_beats_every_baseline_on_tail_latency_vs_whisper() {
+    // The paper's hardest pairing: BERT inference + Whisper training.
+    let spec = GpuSpec::a100();
+    let c = cfg(8);
+    let solo = run_solo(&spec, &bert_at_load(&spec, 0.5, &c), &c);
+    let ideal = solo.p99().expect("latencies");
+
+    let mut tally = TallySystem::new(TallyConfig::paper_default());
+    let jobs = [bert_at_load(&spec, 0.5, &c), TrainModel::WhisperV3.job(&spec)];
+    let tally_rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let tally_p99 = tally_rep.high_priority().unwrap().p99().unwrap();
+
+    let mut baselines: Vec<Box<dyn SharingSystem>> = vec![
+        Box::new(TimeSlicing::new()),
+        Box::new(Mps::new()),
+        Box::new(Mps::with_priority()),
+        Box::new(Tgs::new()),
+    ];
+    for b in &mut baselines {
+        let jobs = [bert_at_load(&spec, 0.5, &c), TrainModel::WhisperV3.job(&spec)];
+        let rep = run_colocation(&spec, &jobs, b.as_mut(), &c);
+        let p99 = rep.high_priority().unwrap().p99().unwrap();
+        assert!(
+            p99 > tally_p99,
+            "{} p99 {p99} should exceed tally {tally_p99}",
+            rep.system
+        );
+    }
+    // And Tally itself stays within a modest factor of ideal.
+    assert!(
+        tally_p99 < ideal.mul_f64(1.6),
+        "tally p99 {tally_p99} vs ideal {ideal}"
+    );
+}
+
+#[test]
+fn strict_priority_invariant_under_tally() {
+    // With no high-priority traffic at all, Tally gives the trainer the
+    // whole GPU; with saturating traffic it gives it (almost) nothing.
+    let spec = GpuSpec::a100();
+    let c = cfg(6);
+    let trainer = TrainModel::Gpt2Large.job(&spec);
+    let solo = run_solo(&spec, &trainer, &c);
+
+    // Saturating inference: arrivals at 2x capacity.
+    let trace = arrivals(
+        &Maf2Config::new(0.95, InferModel::Bert.paper_latency(), c.duration).with_seed(1),
+    );
+    let jobs = [InferModel::Bert.job(&spec, trace), trainer.clone()];
+    let mut tally = TallySystem::new(TallyConfig::paper_default());
+    let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let be_share = rep.best_effort().next().unwrap().throughput / solo.throughput;
+    assert!(
+        be_share < 0.35,
+        "under near-saturating hp traffic, the trainer must be throttled hard, got {be_share:.2}"
+    );
+
+    // Light inference: the trainer keeps most of its solo throughput.
+    let trace = arrivals(
+        &Maf2Config::new(0.05, InferModel::Bert.paper_latency(), c.duration).with_seed(2),
+    );
+    let jobs = [InferModel::Bert.job(&spec, trace), trainer];
+    let mut tally = TallySystem::new(TallyConfig::paper_default());
+    let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let be_share = rep.best_effort().next().unwrap().throughput / solo.throughput;
+    assert!(
+        be_share > 0.55,
+        "at 5% load the trainer should keep most of its throughput, got {be_share:.2}"
+    );
+}
+
+#[test]
+fn tally_p99_is_load_insensitive() {
+    // Figure 6a's core claim: Tally's p99 stays near-ideal across loads.
+    let spec = GpuSpec::a100();
+    let c = cfg(6);
+    let mut worst = 0.0f64;
+    for load in [0.1, 0.5, 0.9] {
+        let solo = run_solo(&spec, &bert_at_load(&spec, load, &c), &c);
+        let ideal = solo.p99().expect("latencies");
+        let jobs = [bert_at_load(&spec, load, &c), TrainModel::Bert.job(&spec)];
+        let mut tally = TallySystem::new(TallyConfig::paper_default());
+        let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+        let p99 = rep.high_priority().unwrap().p99().unwrap();
+        worst = worst.max(p99.ratio(ideal));
+    }
+    assert!(worst < 1.7, "worst-case load-sensitivity ratio {worst:.2}");
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let run = || {
+        let jobs = [bert_at_load(&spec, 0.4, &c), TrainModel::Pegasus.job(&spec)];
+        let mut tally = TallySystem::new(TallyConfig::paper_default());
+        run_colocation(&spec, &jobs, &mut tally, &c)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a.high_priority().unwrap().latency.samples(),
+        b.high_priority().unwrap().latency.samples()
+    );
+    assert_eq!(a.best_effort().next().unwrap().kernels, b.best_effort().next().unwrap().kernels);
+}
+
+#[test]
+fn multi_best_effort_clients_all_progress() {
+    let spec = GpuSpec::a100();
+    let c = cfg(5);
+    let mut jobs = vec![bert_at_load(&spec, 0.2, &c)];
+    for m in [TrainModel::PointNet, TrainModel::Bert, TrainModel::Gpt2Large] {
+        jobs.push(m.job(&spec));
+    }
+    let mut tally = TallySystem::new(TallyConfig::paper_default());
+    let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    for be in rep.best_effort() {
+        assert!(be.throughput > 0.0, "{} starved", be.name);
+    }
+    assert!(rep.high_priority().unwrap().p99().is_some());
+}

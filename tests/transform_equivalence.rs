@@ -1,0 +1,258 @@
+//! Property tests: Tally's kernel transformations preserve semantics for
+//! *randomly generated* kernels — the task-agnosticity claim of §4.1.
+//!
+//! Strategy: generate kernels where every thread computes a value from its
+//! coordinates via a random expression tree, optionally stages it through
+//! shared memory across a barrier (with an optional divergent early
+//! return), and writes it to a thread-unique global slot. Blocks are
+//! independent by construction — exactly the property the GPU programming
+//! model guarantees and the transformations rely on. Then check that
+//! slicing (under arbitrary partitions) and PTB (under arbitrary worker
+//! counts, including preempt-and-resume at arbitrary points) produce
+//! memory bit-identical to the original execution.
+
+use proptest::prelude::*;
+use tally::ptx::interp::{run_kernel, GridExec, Launch};
+use tally::ptx::ir::{BinOp, CmpOp, Kernel, Op, Operand, Space, Sreg};
+use tally::ptx::ir::Axis;
+use tally::ptx::passes;
+
+#[derive(Debug, Clone)]
+struct KernelPlan {
+    grid: (u32, u32),
+    block: u32,
+    ops: Vec<(u8, u64)>,
+    use_barrier: bool,
+    early_return_mod: Option<u64>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = KernelPlan> {
+    (
+        (1u32..5, 1u32..4),
+        2u32..9,
+        prop::collection::vec((0u8..6, 1u64..50), 1..8),
+        any::<bool>(),
+        prop::option::of(2u64..5),
+    )
+        .prop_map(|(grid, block, ops, use_barrier, early_return_mod)| KernelPlan {
+            grid,
+            block,
+            ops,
+            use_barrier,
+            early_return_mod,
+        })
+}
+
+/// Builds the kernel described by `plan`. Layout: `out` starts at word 0
+/// and has one slot per thread in the launch.
+fn build_kernel(plan: &KernelPlan) -> Kernel {
+    let mut k = Kernel::new("generated");
+    let out = k.add_param("out");
+    let r_lin = k.fresh_reg(); // global linear thread id
+    let r_val = k.fresh_reg();
+    let r_tmp = k.fresh_reg();
+
+    // linear block = ctaid.x + nctaid.x * ctaid.y
+    k.push(Op::Mad {
+        d: r_lin,
+        a: Operand::Sreg(Sreg::Ctaid(Axis::Y)),
+        b: Operand::Sreg(Sreg::Nctaid(Axis::X)),
+        c: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+    });
+    // linear thread = linear block * ntid.x + tid.x
+    k.push(Op::Mad {
+        d: r_lin,
+        a: r_lin.into(),
+        b: Operand::Sreg(Sreg::Ntid(Axis::X)),
+        c: Operand::Sreg(Sreg::Tid(Axis::X)),
+    });
+    // Seed the value with coordinates so every transform bug shows.
+    k.push(Op::Mad {
+        d: r_val,
+        a: r_lin.into(),
+        b: Operand::Imm(7),
+        c: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+    });
+    for &(op, imm) in &plan.ops {
+        let bin = match op {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            3 => BinOp::Xor,
+            4 => BinOp::Or,
+            _ => BinOp::And,
+        };
+        k.push(Op::Bin { op: bin, d: r_val, a: r_val.into(), b: Operand::Imm(imm) });
+    }
+    if let Some(m) = plan.early_return_mod {
+        // Threads whose tid % m == 1 bail out before the barrier (their
+        // shared slot was already initialized below). The guarded return
+        // diverges — unified sync must repair it for PTB.
+        let p = k.fresh_pred();
+        k.push(Op::Bin {
+            op: BinOp::Rem,
+            d: r_tmp,
+            a: Operand::Sreg(Sreg::Tid(Axis::X)),
+            b: Operand::Imm(m),
+        });
+        // Initialize shared slot before any return so later reads are
+        // well-defined regardless of divergence.
+        k.push(Op::St {
+            space: Space::Shared,
+            addr: Operand::Sreg(Sreg::Tid(Axis::X)),
+            off: Operand::Imm(0),
+            a: r_val.into(),
+        });
+        k.push(Op::SetP { op: CmpOp::Eq, d: p, a: r_tmp.into(), b: Operand::Imm(1) });
+        k.push_guarded(p, true, Op::Ret);
+    } else {
+        k.push(Op::St {
+            space: Space::Shared,
+            addr: Operand::Sreg(Sreg::Tid(Axis::X)),
+            off: Operand::Imm(0),
+            a: r_val.into(),
+        });
+    }
+    if plan.use_barrier {
+        k.push(Op::Bar);
+        // Read the neighbour's slot (rotated by one within the block).
+        let r_n = k.fresh_reg();
+        k.push(Op::Bin {
+            op: BinOp::Add,
+            d: r_n,
+            a: Operand::Sreg(Sreg::Tid(Axis::X)),
+            b: Operand::Imm(1),
+        });
+        k.push(Op::Bin {
+            op: BinOp::Rem,
+            d: r_n,
+            a: r_n.into(),
+            b: Operand::Sreg(Sreg::Ntid(Axis::X)),
+        });
+        k.push(Op::Ld { space: Space::Shared, d: r_tmp, addr: r_n.into(), off: Operand::Imm(0) });
+        k.push(Op::Bin { op: BinOp::Xor, d: r_val, a: r_val.into(), b: r_tmp.into() });
+    }
+    k.push(Op::St {
+        space: Space::Global,
+        addr: out,
+        off: Operand::Reg(r_lin),
+        a: r_val.into(),
+    });
+    k.push(Op::Ret);
+    k.shared_words = 64;
+    k.validate().expect("generated kernel validates");
+    k
+}
+
+fn launch_of(plan: &KernelPlan) -> Launch {
+    Launch {
+        grid: (plan.grid.0, plan.grid.1, 1),
+        block: (plan.block, 1, 1),
+        params: vec![0],
+    }
+}
+
+fn words_needed(plan: &KernelPlan) -> usize {
+    (plan.grid.0 * plan.grid.1 * plan.block) as usize + 4
+}
+
+fn reference(plan: &KernelPlan) -> Option<Vec<u64>> {
+    let k = build_kernel(plan);
+    let mut mem = vec![0u64; words_needed(plan)];
+    // Kernels with divergent early returns hang un-transformed when a
+    // barrier follows; take the unified-sync form as the semantic
+    // reference in that case (it is the paper's correctness baseline).
+    let exec = run_kernel(&k, &launch_of(plan), &mut mem);
+    match exec {
+        Ok(_) => Some(mem),
+        Err(_) => {
+            let synced = passes::unified_sync(&k);
+            let mut mem = vec![0u64; words_needed(plan)];
+            run_kernel(&synced, &launch_of(plan), &mut mem).ok()?;
+            Some(mem)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unified_sync_preserves_semantics(plan in plan_strategy()) {
+        let Some(reference) = reference(&plan) else { return Ok(()); };
+        let k = build_kernel(&plan);
+        let synced = passes::unified_sync(&k);
+        let mut mem = vec![0u64; words_needed(&plan)];
+        run_kernel(&synced, &launch_of(&plan), &mut mem).expect("synced runs");
+        prop_assert_eq!(mem, reference);
+    }
+
+    #[test]
+    fn slicing_preserves_semantics_under_any_partition(
+        plan in plan_strategy(),
+        slices in 1u64..7,
+    ) {
+        let Some(reference) = reference(&plan) else { return Ok(()); };
+        let k = build_kernel(&plan);
+        // Slicing alone cannot fix divergent barriers, so compose with
+        // unified sync exactly as Tally's transformer does.
+        let sliced = passes::slicing(&passes::unified_sync(&k));
+        let total = (plan.grid.0 * plan.grid.1) as u64;
+        let mut mem = vec![0u64; words_needed(&plan)];
+        for (off, count) in passes::Sliced::plan(total, slices) {
+            let launch = sliced.launch(
+                &[0],
+                off,
+                count,
+                (plan.grid.0, plan.grid.1, 1),
+                (plan.block, 1, 1),
+            );
+            run_kernel(&sliced.kernel, &launch, &mut mem).expect("slice runs");
+        }
+        prop_assert_eq!(mem, reference);
+    }
+
+    #[test]
+    fn ptb_preserves_semantics_with_preempt_resume(
+        plan in plan_strategy(),
+        workers in 1u32..5,
+        preempt_after in 1u64..2000,
+    ) {
+        let Some(reference) = reference(&plan) else { return Ok(()); };
+        let k = build_kernel(&plan);
+        let ptb = passes::ptb(&k);
+        let n = words_needed(&plan);
+        let ctr = n as u64;
+        let flag = n as u64 + 1;
+        let mut mem = vec![0u64; n + 2];
+        let launch = ptb.launch(
+            &[0],
+            workers,
+            (plan.grid.0, plan.grid.1, 1),
+            (plan.block, 1, 1),
+            ctr,
+            flag,
+        );
+
+        // Phase 1: run interleaved, flip the preemption flag after a
+        // budgeted number of steps.
+        let mut exec = GridExec::new(&ptb.kernel, launch.clone()).expect("valid");
+        let mut spent = 0u64;
+        let mut guard = 0u32;
+        while !exec.all_done() {
+            for b in 0..exec.num_blocks() {
+                exec.step_block(b, 64, &mut mem).expect("steps");
+            }
+            spent += 64;
+            if spent >= preempt_after {
+                mem[flag as usize] = 1;
+            }
+            guard += 1;
+            prop_assert!(guard < 100_000, "workers must drain");
+        }
+        // Phase 2: resume with the same counter until completion.
+        mem[flag as usize] = 0;
+        run_kernel(&ptb.kernel, &launch, &mut mem).expect("resume runs");
+        prop_assert_eq!(&mem[..n], &reference[..]);
+    }
+}
