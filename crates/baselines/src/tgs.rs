@@ -234,7 +234,7 @@ mod tests {
         let hp = JobSpec::inference(
             "hp",
             vec![WorkloadOp::Kernel(kernel(50, 432)); 40],
-            (0..1000).map(|i| SimTime::from_millis(i)).collect(),
+            (0..1000).map(SimTime::from_millis).collect(),
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(290, 8640))]);
         let mut tgs = Tgs::new();

@@ -102,6 +102,10 @@ impl SharingSystem for TimeSlicing {
                 if self.inflight.is_some_and(|(l, _)| l == id) {
                     self.inflight = None;
                     self.preempting = false;
+                    // Drop the finished kernel so this context no longer
+                    // reads as having work (its next kernel, if any,
+                    // arrives via `on_kernel_ready`).
+                    self.pending[client.0 as usize] = None;
                     ctx.complete_kernel(client);
                 }
             }
@@ -110,6 +114,7 @@ impl SharingSystem for TimeSlicing {
                     self.inflight = None;
                     self.preempting = false;
                     if done_upto >= total {
+                        self.pending[client.0 as usize] = None;
                         ctx.complete_kernel(client);
                     } else if let Some(p) = self.pending[client.0 as usize].as_mut() {
                         // Compute-preemption saved the kernel's progress.
@@ -132,12 +137,18 @@ impl SharingSystem for TimeSlicing {
         // Quantum expired with a kernel mid-flight and another context
         // waiting: compute-preempt it (state save = wave drain).
         if let Some((id, client)) = self.inflight {
-            if now >= self.quantum_end
-                && !self.preempting
-                && self.next_with_work(client.0 as usize).is_some_and(|c| c != client.0 as usize)
-            {
-                self.preempting = true;
-                ctx.engine.preempt(id);
+            if now >= self.quantum_end && !self.preempting {
+                match self.next_with_work(client.0 as usize) {
+                    Some(c) if c != client.0 as usize => {
+                        self.preempting = true;
+                        ctx.engine.preempt(id);
+                    }
+                    // No other context wants the GPU: the current one keeps
+                    // it and the quantum restarts. Without this refresh the
+                    // expired `quantum_end` timer re-fires at the same
+                    // instant forever and the run livelocks.
+                    _ => self.quantum_end = now + self.cfg.quantum,
+                }
             }
             return;
         }

@@ -1,8 +1,14 @@
-//! Criterion micro-benchmarks of the substrate components: engine event
-//! throughput, kernel transformation passes, interpreter speed, and
-//! scheduler decision latency.
+//! Micro-benchmarks of the substrate components: engine event throughput,
+//! kernel transformation passes, interpreter speed, and scheduler decision
+//! latency.
+//!
+//! Like every harness in this crate these are standalone (no Criterion —
+//! the build environment is offline): each case is warmed up, then timed
+//! over enough iterations for a stable median, reported as ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use tally_bench::banner;
 use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
 use tally_core::scheduler::{TallyConfig, TallySystem};
 use tally_gpu::{
@@ -11,95 +17,112 @@ use tally_gpu::{
 use tally_ptx::interp::{run_kernel, Launch};
 use tally_ptx::{passes, samples};
 
-fn engine_throughput(c: &mut Criterion) {
-    c.bench_function("engine: 1000 single-wave kernels", |b| {
-        let spec = GpuSpec::a100();
-        let k = KernelDesc::builder("bench")
-            .grid(864)
-            .block(256)
-            .block_cost(SimSpan::from_micros(50))
-            .build_arc();
-        b.iter(|| {
-            let mut engine = Engine::new(spec.clone());
-            for _ in 0..1000 {
-                engine.submit(LaunchRequest::full(k.clone(), ClientId(0), Priority::High));
-            }
-            let mut done = 0;
-            while let Step::Notified(n) = engine.advance(SimTime::MAX) {
-                done += n.len();
-            }
-            assert_eq!(done, 1000);
-        });
+/// Times `f` adaptively: warm up, pick an iteration count that runs for
+/// roughly `budget_ms`, then report the best of three batches.
+fn bench<R>(name: &str, budget_ms: u64, mut f: impl FnMut() -> R) {
+    // Warmup + calibration.
+    let t0 = Instant::now();
+    let mut calib_iters = 0u64;
+    while t0.elapsed().as_millis() < 20 || calib_iters < 3 {
+        std::hint::black_box(f());
+        calib_iters += 1;
+    }
+    let per_iter = t0.elapsed().as_nanos() as u64 / calib_iters.max(1);
+    let iters = (budget_ms * 1_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_nanos() as u64 / iters);
+    }
+    let human = if best >= 10_000_000 {
+        format!("{:.2} ms/iter", best as f64 / 1e6)
+    } else if best >= 10_000 {
+        format!("{:.2} us/iter", best as f64 / 1e3)
+    } else {
+        format!("{best} ns/iter")
+    };
+    println!("{name:<44} {human:>16}   ({iters} iters)");
+}
+
+fn engine_throughput() {
+    let spec = GpuSpec::a100();
+    let k = KernelDesc::builder("bench")
+        .grid(864)
+        .block(256)
+        .block_cost(SimSpan::from_micros(50))
+        .build_arc();
+    bench("engine: 1000 single-wave kernels", 200, || {
+        let mut engine = Engine::new(spec.clone());
+        for _ in 0..1000 {
+            engine.submit(LaunchRequest::full(k.clone(), ClientId(0), Priority::High));
+        }
+        let mut done = 0;
+        while let Step::Notified(n) = engine.advance(SimTime::MAX) {
+            done += n.len();
+        }
+        assert_eq!(done, 1000);
     });
 }
 
-fn transformation_passes(c: &mut Criterion) {
+fn transformation_passes() {
     let kernel = samples::block_reduce_sum();
-    c.bench_function("passes: unified_sync", |b| {
-        b.iter(|| passes::unified_sync(&kernel));
-    });
-    c.bench_function("passes: ptb (incl. unified_sync)", |b| {
-        b.iter(|| passes::ptb(&kernel));
-    });
-    c.bench_function("passes: slicing", |b| {
-        b.iter(|| passes::slicing(&kernel));
-    });
+    bench("passes: unified_sync", 100, || passes::unified_sync(&kernel));
+    bench("passes: ptb (incl. unified_sync)", 100, || passes::ptb(&kernel));
+    bench("passes: slicing", 100, || passes::slicing(&kernel));
 }
 
-fn interpreter(c: &mut Criterion) {
+fn interpreter() {
     let kernel = samples::block_reduce_sum();
-    c.bench_function("interp: reduce 8 blocks x 8 threads", |b| {
-        b.iter(|| {
-            let mut mem = vec![1u64; 66];
-            run_kernel(&kernel, &Launch::linear(8, 8, vec![0, 64, 64]), &mut mem)
-                .expect("runs");
-            assert_eq!(mem[64], 64);
-        });
+    bench("interp: reduce 8 blocks x 8 threads", 100, || {
+        // Inputs at 0..64 are 1; the accumulator slot at 64 must start 0
+        // (the reduction adds into it).
+        let mut mem = vec![0u64; 66];
+        mem[..64].fill(1);
+        run_kernel(&kernel, &Launch::linear(8, 8, vec![0, 64, 64]), &mut mem).expect("runs");
+        assert_eq!(mem[64], 64);
     });
 }
 
-fn scheduler_colocation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler");
-    group.sample_size(10);
-    group.bench_function("tally: 1s co-location", |b| {
-        let spec = GpuSpec::a100();
-        let hp_kernel = KernelDesc::builder("hp")
-            .grid(432)
-            .block(256)
-            .block_cost(SimSpan::from_micros(50))
-            .build_arc();
-        let be_kernel = KernelDesc::builder("be")
-            .grid(864 * 10)
-            .block(256)
-            .block_cost(SimSpan::from_micros(200))
-            .mem_intensity(0.7)
-            .build_arc();
-        let cfg = HarnessConfig {
-            duration: SimSpan::from_secs(1),
-            warmup: SimSpan::from_millis(100),
-            seed: 0,
-            jitter: 0.0,
-            record_timelines: false,
-        };
-        b.iter(|| {
-            let hp = JobSpec::inference(
-                "hp",
-                vec![WorkloadOp::Kernel(hp_kernel.clone()); 10],
-                (0..100).map(|i| SimTime::from_millis(10 * i)).collect(),
-            );
-            let be = JobSpec::training("be", vec![WorkloadOp::Kernel(be_kernel.clone())]);
-            let mut tally = TallySystem::new(TallyConfig::paper_default());
-            run_colocation(&spec, &[hp, be], &mut tally, &cfg)
-        });
+fn scheduler_colocation() {
+    let spec = GpuSpec::a100();
+    let hp_kernel = KernelDesc::builder("hp")
+        .grid(432)
+        .block(256)
+        .block_cost(SimSpan::from_micros(50))
+        .build_arc();
+    let be_kernel = KernelDesc::builder("be")
+        .grid(864 * 10)
+        .block(256)
+        .block_cost(SimSpan::from_micros(200))
+        .mem_intensity(0.7)
+        .build_arc();
+    let cfg = HarnessConfig {
+        duration: SimSpan::from_secs(1),
+        warmup: SimSpan::from_millis(100),
+        seed: 0,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    bench("scheduler: tally 1s co-location", 400, || {
+        let hp = JobSpec::inference(
+            "hp",
+            vec![WorkloadOp::Kernel(hp_kernel.clone()); 10],
+            (0..100).map(|i| SimTime::from_millis(10 * i)).collect(),
+        );
+        let be = JobSpec::training("be", vec![WorkloadOp::Kernel(be_kernel.clone())]);
+        let mut tally = TallySystem::new(TallyConfig::paper_default());
+        run_colocation(&spec, &[hp, be], &mut tally, &cfg)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    engine_throughput,
-    transformation_passes,
-    interpreter,
-    scheduler_colocation
-);
-criterion_main!(benches);
+fn main() {
+    banner("Micro-benchmarks (best-of-3 batches)");
+    engine_throughput();
+    transformation_passes();
+    interpreter();
+    scheduler_colocation();
+}

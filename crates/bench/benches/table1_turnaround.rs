@@ -103,16 +103,13 @@ fn measure_block_turnaround(spec: &GpuSpec, kernels: &[std::sync::Arc<tally_gpu:
         engine.advance(t_preempt);
         let issued_at = engine.now();
         engine.preempt(id);
-        loop {
-            match engine.advance(SimTime::MAX) {
-                Step::Notified(notes) => {
-                    total += notes[0].at().saturating_since(issued_at);
-                    n += 1;
-                    break;
-                }
-                Step::Idle => break,
-                Step::ReachedLimit => unreachable!(),
+        match engine.advance(SimTime::MAX) {
+            Step::Notified(notes) => {
+                total += notes[0].at().saturating_since(issued_at);
+                n += 1;
             }
+            Step::Idle => {}
+            Step::ReachedLimit => unreachable!(),
         }
     }
     total / n.max(1)

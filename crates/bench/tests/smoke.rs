@@ -1,0 +1,57 @@
+//! Smoke tests: every system the bench binaries construct by name can run
+//! a short co-location without panicking, so `cargo test` exercises the
+//! same code paths as the (long-running) bench targets.
+
+use tally_bench::{make_system, FIG5_SYSTEMS};
+use tally_core::harness::{run_colocation, HarnessConfig};
+use tally_gpu::{GpuSpec, SimSpan};
+use tally_workloads::maf2::{arrivals, Maf2Config};
+use tally_workloads::{InferModel, TrainModel};
+
+/// The two Figure 7b ablation names `make_system` also accepts.
+const ABLATIONS: [&str; 2] = ["no-scheduling", "sched-no-transform"];
+
+fn short_cfg() -> HarnessConfig {
+    HarnessConfig {
+        duration: SimSpan::from_millis(50),
+        warmup: SimSpan::ZERO,
+        seed: 3,
+        jitter: 0.0,
+        record_timelines: false,
+    }
+}
+
+#[test]
+fn every_fig5_system_survives_a_short_colocation() {
+    let spec = GpuSpec::a100();
+    let cfg = short_cfg();
+    for name in FIG5_SYSTEMS.iter().chain(ABLATIONS.iter()) {
+        let trace = arrivals(&Maf2Config::new(
+            0.5,
+            InferModel::Bert.paper_latency(),
+            cfg.duration,
+        ));
+        let jobs = [
+            InferModel::Bert.job(&spec, trace),
+            TrainModel::PointNet.job(&spec),
+        ];
+        let mut system = make_system(name);
+        assert_eq!(system.name(), *name, "constructed system reports its name");
+        let report = run_colocation(&spec, &jobs, system.as_mut(), &cfg);
+        assert_eq!(report.system, *name);
+        assert!(
+            report.high_priority().is_some(),
+            "{name}: high-priority client missing from report"
+        );
+        assert!(
+            report.best_effort().next().is_some(),
+            "{name}: best-effort client missing from report"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "unknown system")]
+fn unknown_system_name_panics() {
+    make_system("does-not-exist");
+}

@@ -1,6 +1,5 @@
 //! Latency and throughput metrics — the quantities the paper reports.
 
-use serde::{Deserialize, Serialize};
 use tally_gpu::SimSpan;
 
 /// Records a stream of latency samples and answers quantile queries.
@@ -19,7 +18,7 @@ use tally_gpu::SimSpan;
 /// assert_eq!(rec.p99(), Some(SimSpan::from_millis(99)));
 /// assert_eq!(rec.quantile(0.5), Some(SimSpan::from_millis(50)));
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LatencyRecorder {
     samples: Vec<SimSpan>,
 }
@@ -94,7 +93,7 @@ impl LatencyRecorder {
 }
 
 /// Per-client outcome of a co-location run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ClientReport {
     /// Client name (e.g. `"bert-infer"`).
     pub name: String,
@@ -127,7 +126,7 @@ impl ClientReport {
 }
 
 /// Outcome of one co-location run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Name of the sharing system that produced this run.
     pub system: String,

@@ -333,8 +333,10 @@ mod tests {
 
     #[test]
     fn infeasible_bound_falls_back_to_min_turnaround() {
-        let mut cfg = ProfilerConfig::default();
-        cfg.turnaround_bound = SimSpan::from_nanos(1); // nothing fits
+        let cfg = ProfilerConfig {
+            turnaround_bound: SimSpan::from_nanos(1), // nothing fits
+            ..ProfilerConfig::default()
+        };
         let k = kernel(100, 50);
         let cands = vec![LaunchCfg::Slice { blocks: 50 }, LaunchCfg::Ptb { workers: 10 }];
         let mut prof = TransparentProfiler::new();

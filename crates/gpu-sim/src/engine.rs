@@ -35,8 +35,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use crate::kernel::KernelDesc;
 use crate::launch::{LaunchId, LaunchRequest, LaunchShape, Notification};
@@ -427,8 +426,8 @@ impl Engine {
 
     fn fit(&self, n: u64, threads: u64, smem: u64) -> u64 {
         let by_blocks = self.free.blocks;
-        let by_threads = if threads == 0 { n } else { self.free.threads / threads };
-        let by_smem = if smem == 0 { n } else { self.free.smem / smem };
+        let by_threads = self.free.threads.checked_div(threads).unwrap_or(n);
+        let by_smem = self.free.smem.checked_div(smem).unwrap_or(n);
         n.min(by_blocks).min(by_threads).min(by_smem)
     }
 

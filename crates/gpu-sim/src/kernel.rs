@@ -4,7 +4,6 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::spec::GpuSpec;
 use crate::time::SimSpan;
@@ -18,7 +17,7 @@ use crate::time::SimSpan;
 /// assert_eq!(grid.count(), 32);
 /// assert_eq!(grid.linear_to_coords(9), (1, 1, 0));
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
 pub struct Dim3 {
     /// Extent in the x dimension.
     pub x: u32,
@@ -111,7 +110,7 @@ impl From<(u32, u32, u32)> for Dim3 {
 ///
 /// Recurring launches of the same kernel share a `KernelId`, which is what
 /// lets Tally's transparent profiler reuse measurements across iterations.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct KernelId(pub u64);
 
 impl fmt::Display for KernelId {
@@ -121,7 +120,7 @@ impl fmt::Display for KernelId {
 }
 
 /// Where a kernel's device code comes from.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub enum KernelOrigin {
     /// PTX is available through device-code interception; the kernel can be
     /// transformed (sliced / made preemptible).
@@ -143,7 +142,7 @@ pub enum KernelOrigin {
 /// contention model), so a kernel's solo duration is
 /// `waves(grid) * block_cost` plus launch overhead. Construct descriptions
 /// with [`KernelDesc::builder`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelDesc {
     /// Unique id of the kernel function.
     pub id: KernelId,

@@ -3,13 +3,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::kernel::KernelDesc;
 use crate::time::SimTime;
 
 /// Identifier of a client process sharing the GPU.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ClientId(pub u32);
 
 impl fmt::Display for ClientId {
@@ -23,7 +22,7 @@ impl fmt::Display for ClientId {
 /// Lower values are *more* important. The engine's block dispatcher serves
 /// pending launches in `(priority, submission order)` order, which models
 /// hardware stream priorities.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Priority {
     /// Latency-critical task governed by an SLA.
     High,
@@ -48,7 +47,7 @@ impl fmt::Display for Priority {
 }
 
 /// How the kernel is launched — the physical shape the scheduler chose.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum LaunchShape {
     /// The original, untransformed kernel: all `grid.count()` blocks.
     Full,
@@ -130,7 +129,7 @@ impl LaunchRequest {
 }
 
 /// Identifier of one launch submitted to the engine.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LaunchId(pub u64);
 
 impl fmt::Display for LaunchId {

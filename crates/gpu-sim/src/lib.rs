@@ -59,6 +59,7 @@
 mod engine;
 mod kernel;
 mod launch;
+pub mod rng;
 mod spec;
 mod time;
 

@@ -1,6 +1,5 @@
 //! GPU hardware specification and the contention model parameters.
 
-use serde::{Deserialize, Serialize};
 
 use crate::time::SimSpan;
 
@@ -23,7 +22,7 @@ use crate::time::SimSpan;
 /// assert_eq!(spec.num_sms, 108);
 /// assert_eq!(spec.total_block_slots(), 108 * 32);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Number of streaming multiprocessors.
     pub num_sms: u32,

@@ -17,17 +17,16 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// An instant in simulated time, in nanoseconds since simulation start.
 #[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 
 /// A span of simulated time (a duration), in nanoseconds.
 #[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimSpan(u64);
 

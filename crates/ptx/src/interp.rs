@@ -567,13 +567,7 @@ fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
-        BinOp::Div => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        BinOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
         BinOp::Rem => {
             if b == 0 {
                 a

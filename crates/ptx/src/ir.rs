@@ -15,23 +15,22 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A virtual general-purpose register (64-bit).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Reg(pub u16);
 
 /// A virtual predicate (1-bit) register.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pred(pub u16);
 
 /// A branch label, indexing into [`Kernel::label_names`].
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Label(pub u32);
 
 /// Built-in special registers exposing the thread's position in the launch
 /// hierarchy (cf. CUDA `threadIdx` / `blockIdx` / `blockDim` / `gridDim`).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Sreg {
     /// `%tid.{x,y,z}` — thread index within the block.
     Tid(Axis),
@@ -44,7 +43,7 @@ pub enum Sreg {
 }
 
 /// One of the three launch-geometry axes.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Axis {
     /// The x axis.
     X,
@@ -68,7 +67,7 @@ impl Axis {
 }
 
 /// A source operand.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Operand {
     /// A general-purpose register.
     Reg(Reg),
@@ -100,7 +99,7 @@ impl From<Sreg> for Operand {
 
 /// Two-operand integer ALU operations (wrapping, unsigned semantics except
 /// where noted).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -129,7 +128,7 @@ pub enum BinOp {
 }
 
 /// Comparison operators for `setp` (unsigned semantics).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -146,7 +145,7 @@ pub enum CmpOp {
 }
 
 /// Memory spaces.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Space {
     /// Device-global memory, shared by all blocks and persistent across
     /// launches.
@@ -156,7 +155,7 @@ pub enum Space {
 }
 
 /// An operation (the instruction without its guard).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Op {
     /// A branch-target marker; executes as a no-op.
     Label(Label),
@@ -274,7 +273,7 @@ pub enum Op {
 ///
 /// A guard `(p, true)` executes the operation only when `p` is set
 /// (`@p op` in PTX); `(p, false)` only when clear (`@!p op`).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Instr {
     /// Optional guard predicate and required polarity.
     pub guard: Option<(Pred, bool)>,
@@ -301,7 +300,7 @@ impl From<Op> for Instr {
 }
 
 /// A kernel function: parameters, register counts, and a body.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Kernel {
     /// Kernel name.
     pub name: String,

@@ -353,9 +353,8 @@ pub fn ptb(original: &Kernel) -> Ptb {
     let l_fetched = k.fresh_label("__tally_fetched");
     let l_loop_end = k.fresh_label("__tally_loop_end");
 
-    let mut out: Vec<Instr> = Vec::new();
     // linear tid = tid.x + ntid.x * (tid.y + ntid.y * tid.z)
-    out.push(
+    let mut out: Vec<Instr> = vec![
         Op::Mad {
             d: r_tid,
             a: Operand::Sreg(Sreg::Tid(Axis::Z)),
@@ -363,8 +362,6 @@ pub fn ptb(original: &Kernel) -> Ptb {
             c: Operand::Sreg(Sreg::Tid(Axis::Y)),
         }
         .into(),
-    );
-    out.push(
         Op::Mad {
             d: r_tid,
             a: r_tid.into(),
@@ -372,7 +369,7 @@ pub fn ptb(original: &Kernel) -> Ptb {
             c: Operand::Sreg(Sreg::Tid(Axis::X)),
         }
         .into(),
-    );
+    ];
     out.push(Op::SetP { op: CmpOp::Eq, d: p_leader, a: r_tid.into(), b: Operand::Imm(0) }.into());
 
     out.push(Op::Label(l_loop).into());
@@ -665,7 +662,7 @@ mod tests {
         run_kernel(&unified_sync(&k), &launch, &mut reference).expect("reference");
 
         let transformed = ptb(&k);
-        let mut mem = vec![0u64; 16];
+        let mut mem = [0u64; 16];
         // out in 0..12, counter at 12... keep out 0..12, ctr 13, flag 14.
         let mut mem2 = vec![0u64; 16];
         let pl = transformed.launch(&[0, 10], 2, (3, 1, 1), (4, 1, 1), 13, 14);

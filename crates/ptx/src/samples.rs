@@ -169,8 +169,8 @@ mod tests {
     fn block_reduce_sums() {
         let k = block_reduce_sum();
         let mut mem = vec![0u64; 33];
-        for i in 0..30 {
-            mem[i] = i as u64 + 1;
+        for (i, slot) in mem.iter_mut().enumerate().take(30) {
+            *slot = i as u64 + 1;
         }
         // input at 0..32 (n=30), out at 32; 4 blocks of 8 threads.
         run_kernel(&k, &Launch::linear(4, 8, vec![0, 32, 30]), &mut mem).expect("runs");
@@ -181,8 +181,8 @@ mod tests {
     fn histogram_counts() {
         let k = histogram16();
         let mut mem = vec![0u64; 80];
-        for i in 0..64 {
-            mem[i] = i as u64; // 4 of each bin value 0..15
+        for (i, slot) in mem.iter_mut().enumerate().take(64) {
+            *slot = i as u64; // 4 of each bin value 0..15
         }
         run_kernel(&k, &Launch::linear(2, 32, vec![0, 64, 64]), &mut mem).expect("runs");
         assert_eq!(&mem[64..80], &[4u64; 16]);

@@ -1,8 +1,7 @@
 //! Workload-construction utilities: kernel mixes with controlled duration
 //! distributions, calibrated so solo execution matches published numbers.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tally_gpu::rng::SmallRng;
 use tally_core::harness::WorkloadOp;
 use tally_gpu::{GpuSpec, KernelDesc, KernelOrigin, SimSpan};
 

@@ -8,13 +8,11 @@
 //! intensity swings and occasional demand spikes of tens of times the mean
 //! rate (the original study reports spikes up to 50×).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use tally_gpu::rng::SmallRng;
 use tally_gpu::{SimSpan, SimTime};
 
 /// Parameters of a synthetic MAF2-like trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Maf2Config {
     /// Target load: fraction of time the service is busy, in `(0, 1)`.
     pub load: f64,

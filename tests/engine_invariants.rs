@@ -1,12 +1,18 @@
-//! Property tests on the GPU engine: conservation and monotonicity under
-//! arbitrary interleavings of submissions and preemptions.
+//! Property-style tests on the GPU engine: conservation and monotonicity
+//! under randomized interleavings of submissions and preemptions.
+//!
+//! The build environment has no access to `proptest`, so these use the
+//! workspace's own deterministic PRNG ([`tally_gpu::rng::SmallRng`]) to
+//! drive the same invariants over many seeded cases. Failures print the
+//! offending seed; rerun with that seed to reproduce.
 
-use proptest::prelude::*;
 use tally::prelude::*;
+use tally_gpu::rng::SmallRng;
+use tally_gpu::{LaunchId, LaunchRequest, LaunchShape, Notification};
 
 #[derive(Debug, Clone)]
 enum Action {
-    /// Submit a kernel: (blocks, threads_exp, cost_us, shape).
+    /// Submit a kernel: (blocks, threads_exp, cost_us, ptb_workers).
     Submit { blocks: u32, threads_exp: u8, cost_us: u64, ptb_workers: Option<u16> },
     /// Advance simulated time by this many microseconds.
     Advance(u64),
@@ -14,46 +20,49 @@ enum Action {
     Preempt(u8),
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (1u32..2000, 5u8..11, 1u64..500, prop::option::of(1u16..600)).prop_map(
-            |(blocks, threads_exp, cost_us, ptb_workers)| Action::Submit {
-                blocks,
-                threads_exp,
-                cost_us,
-                ptb_workers,
-            }
-        ),
-        (1u64..3000).prop_map(Action::Advance),
-        (0u8..8).prop_map(Action::Preempt),
-    ]
+fn random_action(rng: &mut SmallRng) -> Action {
+    match rng.gen_range(0u32..3) {
+        0 => Action::Submit {
+            blocks: rng.gen_range(1u32..2000),
+            threads_exp: rng.gen_range(5u32..11) as u8,
+            cost_us: rng.gen_range(1u64..500),
+            ptb_workers: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(1u32..600) as u16)
+            } else {
+                None
+            },
+        },
+        1 => Action::Advance(rng.gen_range(1u64..3000)),
+        _ => Action::Preempt(rng.gen_range(0u32..8) as u8),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Every submitted launch eventually resolves (completed or preempted),
+/// all resources return to the pool, and time never runs backwards.
+#[test]
+fn launches_conserve_and_resolve() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n_actions = rng.gen_range(1usize..40);
+        let actions: Vec<Action> = (0..n_actions).map(|_| random_action(&mut rng)).collect();
 
-    /// Every submitted launch eventually resolves (completed or
-    /// preempted), all resources return to the pool, and time never runs
-    /// backwards.
-    #[test]
-    fn launches_conserve_and_resolve(actions in prop::collection::vec(action_strategy(), 1..40)) {
         let spec = GpuSpec::a100();
         let total_blocks = spec.total_block_slots();
         let total_threads = spec.total_thread_slots();
         let mut engine = Engine::new(spec);
-        let mut live: Vec<tally_gpu::LaunchId> = Vec::new();
+        let mut live: Vec<LaunchId> = Vec::new();
         let mut submitted = 0u64;
         let mut resolved = 0u64;
         let mut last_now = engine.now();
 
-        let mut handle = |notes: Vec<tally_gpu::Notification>, live: &mut Vec<tally_gpu::LaunchId>, resolved: &mut u64| {
+        let handle = |notes: Vec<Notification>, live: &mut Vec<LaunchId>, resolved: &mut u64| {
             for n in notes {
                 if let Some(pos) = live.iter().position(|&l| l == n.launch()) {
                     live.swap_remove(pos);
                     *resolved += 1;
                 }
-                if let tally_gpu::Notification::Preempted { done_upto, total, .. } = n {
-                    assert!(done_upto <= total, "progress cannot exceed total");
+                if let Notification::Preempted { done_upto, total, .. } = n {
+                    assert!(done_upto <= total, "case {case}: progress cannot exceed total");
                 }
             }
         };
@@ -68,14 +77,14 @@ proptest! {
                         .block_cost(SimSpan::from_micros(cost_us))
                         .build_arc();
                     let shape = match ptb_workers {
-                        Some(w) => tally_gpu::LaunchShape::Ptb {
+                        Some(w) => LaunchShape::Ptb {
                             workers: (w as u32).min(blocks),
                             offset: 0,
                             overhead_ppm: 250,
                         },
-                        None => tally_gpu::LaunchShape::Full,
+                        None => LaunchShape::Full,
                     };
-                    let id = engine.submit(tally_gpu::LaunchRequest {
+                    let id = engine.submit(LaunchRequest {
                         kernel,
                         shape,
                         client: ClientId(0),
@@ -86,12 +95,9 @@ proptest! {
                 }
                 Action::Advance(us) => {
                     let target = engine.now() + SimSpan::from_micros(us);
-                    loop {
-                        match engine.advance(target) {
-                            Step::Notified(notes) => handle(notes, &mut live, &mut resolved),
-                            Step::ReachedLimit | Step::Idle => break,
-                        }
-                        prop_assert!(engine.now() >= last_now, "time went backwards");
+                    while let Step::Notified(notes) = engine.advance(target) {
+                        handle(notes, &mut live, &mut resolved);
+                        assert!(engine.now() >= last_now, "case {case}: time went backwards");
                         last_now = engine.now();
                     }
                 }
@@ -110,20 +116,23 @@ proptest! {
                 Step::ReachedLimit => unreachable!(),
             }
         }
-        prop_assert!(live.is_empty(), "launches left unresolved");
-        prop_assert_eq!(submitted, resolved);
-        prop_assert!(engine.is_idle());
-        prop_assert_eq!(engine.free_block_slots(), total_blocks, "block slots leaked");
-        prop_assert_eq!(engine.free_thread_slots(), total_threads, "thread slots leaked");
+        assert!(live.is_empty(), "case {case}: launches left unresolved");
+        assert_eq!(submitted, resolved, "case {case}");
+        assert!(engine.is_idle(), "case {case}");
+        assert_eq!(engine.free_block_slots(), total_blocks, "case {case}: block slots leaked");
+        assert_eq!(engine.free_thread_slots(), total_threads, "case {case}: thread slots leaked");
     }
+}
 
-    /// Solo latency is shape-independent for single-wave kernels and
-    /// scales linearly with waves for multi-wave kernels.
-    #[test]
-    fn solo_latency_matches_wave_arithmetic(
-        waves in 1u64..20,
-        cost_us in 1u64..400,
-    ) {
+/// Solo latency is shape-independent for single-wave kernels and scales
+/// linearly with waves for multi-wave kernels.
+#[test]
+fn solo_latency_matches_wave_arithmetic() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5EED ^ case);
+        let waves = rng.gen_range(1u64..20);
+        let cost_us = rng.gen_range(1u64..400);
+
         let spec = GpuSpec::a100();
         let capacity = spec.wave_capacity(256, 0);
         let kernel = KernelDesc::builder("waves")
@@ -132,15 +141,13 @@ proptest! {
             .block_cost(SimSpan::from_micros(cost_us))
             .build_arc();
         let mut engine = Engine::new(spec.clone());
-        engine.submit(tally_gpu::LaunchRequest::full(kernel, ClientId(0), Priority::High));
-        let at = loop {
-            match engine.advance(SimTime::MAX) {
-                Step::Notified(notes) => break notes[0].at(),
-                Step::Idle => prop_assert!(false, "no completion"),
-                Step::ReachedLimit => unreachable!(),
-            }
+        engine.submit(LaunchRequest::full(kernel, ClientId(0), Priority::High));
+        let at = match engine.advance(SimTime::MAX) {
+            Step::Notified(notes) => notes[0].at(),
+            Step::Idle => panic!("case {case}: no completion"),
+            Step::ReachedLimit => unreachable!(),
         };
         let expected = spec.launch_overhead + SimSpan::from_micros(cost_us) * waves;
-        prop_assert_eq!(at.saturating_since(SimTime::ZERO), expected);
+        assert_eq!(at.saturating_since(SimTime::ZERO), expected, "case {case}");
     }
 }
