@@ -6,7 +6,7 @@
 //! completion. The gap between this system and full Tally isolates the
 //! contribution of the block-level kernel transformations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tally_core::system::{Ctx, SharingSystem};
@@ -15,10 +15,11 @@ use tally_gpu::{ClientId, KernelDesc, LaunchId, LaunchRequest, Notification, Pri
 /// Priority-aware, kernel-level scheduling without transformations.
 #[derive(Debug, Default)]
 pub struct KernelLevelPriority {
-    hp_inflight: HashMap<LaunchId, ClientId>,
+    // Ordered maps keep multi-client launch order deterministic.
+    hp_inflight: BTreeMap<LaunchId, ClientId>,
     hp_active: u32,
-    be_pending: HashMap<ClientId, Arc<KernelDesc>>,
-    be_inflight: HashMap<LaunchId, ClientId>,
+    be_pending: BTreeMap<ClientId, Arc<KernelDesc>>,
+    be_inflight: BTreeMap<LaunchId, ClientId>,
 }
 
 impl KernelLevelPriority {
@@ -35,7 +36,9 @@ impl SharingSystem for KernelLevelPriority {
 
     fn on_kernel_ready(&mut self, ctx: &mut Ctx<'_>, client: ClientId, kernel: Arc<KernelDesc>) {
         if ctx.priority(client).is_high() {
-            let id = ctx.engine.submit(LaunchRequest::full(kernel, client, Priority::High));
+            let id = ctx
+                .engine
+                .submit(LaunchRequest::full(kernel, client, Priority::High));
             self.hp_inflight.insert(id, client);
             self.hp_active += 1;
         } else {
@@ -67,12 +70,33 @@ impl SharingSystem for KernelLevelPriority {
             self.be_inflight.insert(id, client);
         }
     }
+
+    fn on_client_detach(&mut self, ctx: &mut Ctx<'_>, client: ClientId) {
+        self.be_pending.remove(&client);
+        self.hp_inflight.retain(|&id, &mut c| {
+            if c == client {
+                self.hp_active -= 1;
+                ctx.engine.preempt(id);
+                false
+            } else {
+                true
+            }
+        });
+        self.be_inflight.retain(|&id, &mut c| {
+            if c == client {
+                ctx.engine.preempt(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+    use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
     use tally_core::scheduler::{TallyConfig, TallySystem};
     use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
@@ -104,9 +128,19 @@ mod tests {
         };
         let spec = GpuSpec::a100();
         let mut klp = KernelLevelPriority::new();
-        let rep_klp = run_colocation(&spec, &[hp.clone(), be.clone()], &mut klp, &cfg);
+        let rep_klp = Colocation::on(spec.clone())
+            .client(hp.clone())
+            .client(be.clone())
+            .system(&mut klp)
+            .config(cfg.clone())
+            .run();
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let rep_tally = run_colocation(&spec, &[hp, be], &mut tally, &cfg);
+        let rep_tally = Colocation::on(spec.clone())
+            .client(hp)
+            .client(be)
+            .system(&mut tally)
+            .config(cfg)
+            .run();
         let p_klp = rep_klp.clients[0].p99().expect("latencies");
         let p_tally = rep_tally.clients[0].p99().expect("latencies");
         assert!(

@@ -2,7 +2,7 @@
 //!
 //! Re-implementations of the paper's four non-intrusive baselines plus the
 //! two Figure-7b ablations, all speaking the same
-//! [`SharingSystem`](tally_core::system::SharingSystem) interface as Tally
+//! [`tally_core::system::SharingSystem`] interface as Tally
 //! itself:
 //!
 //! * [`TimeSlicing`] — NVIDIA's temporal sharing: round-robin context

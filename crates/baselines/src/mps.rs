@@ -13,7 +13,7 @@
 //! completion and bandwidth is still shared, which is why the paper still
 //! measures ~195% average p99 inflation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tally_core::system::{Ctx, SharingSystem};
@@ -26,24 +26,37 @@ use tally_gpu::{ClientId, KernelDesc, LaunchId, LaunchRequest, Notification, Pri
 pub struct Mps {
     name: &'static str,
     priority_aware: bool,
-    inflight: HashMap<LaunchId, ClientId>,
+    // Ordered so detach-time preemption order is deterministic.
+    inflight: BTreeMap<LaunchId, ClientId>,
 }
 
 impl Mps {
     /// Plain MPS (all clients equal).
     pub fn new() -> Self {
-        Mps { name: "mps", priority_aware: false, inflight: HashMap::new() }
+        Mps {
+            name: "mps",
+            priority_aware: false,
+            inflight: BTreeMap::new(),
+        }
     }
 
     /// MPS with the client-priority feature enabled.
     pub fn with_priority() -> Self {
-        Mps { name: "mps-priority", priority_aware: true, inflight: HashMap::new() }
+        Mps {
+            name: "mps-priority",
+            priority_aware: true,
+            inflight: BTreeMap::new(),
+        }
     }
 
     /// The same eager dispatch policy, reported as the paper's
     /// "No-scheduling" ablation (Figure 7b).
     pub fn no_scheduling() -> Self {
-        Mps { name: "no-scheduling", priority_aware: false, inflight: HashMap::new() }
+        Mps {
+            name: "no-scheduling",
+            priority_aware: false,
+            inflight: BTreeMap::new(),
+        }
     }
 }
 
@@ -64,7 +77,9 @@ impl SharingSystem for Mps {
         } else {
             Priority::High // one class: pure submission-order dispatch
         };
-        let id = ctx.engine.submit(LaunchRequest::full(kernel, client, priority));
+        let id = ctx
+            .engine
+            .submit(LaunchRequest::full(kernel, client, priority));
         self.inflight.insert(id, client);
     }
 
@@ -77,12 +92,25 @@ impl SharingSystem for Mps {
     }
 
     fn poll(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_client_detach(&mut self, ctx: &mut Ctx<'_>, client: ClientId) {
+        // A departing MPS client's context is destroyed: preempt whatever
+        // it still has resident and forget the bookkeeping.
+        self.inflight.retain(|&id, &mut c| {
+            if c == client {
+                ctx.engine.preempt(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+    use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
     use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
     fn kernel(us: u64, grid: u32) -> Arc<KernelDesc> {
@@ -113,7 +141,11 @@ mod tests {
             jitter: 0.0,
             record_timelines: false,
         };
-        run_colocation(&GpuSpec::a100(), &scenario(), system, &cfg)
+        Colocation::on(GpuSpec::a100())
+            .clients(scenario())
+            .system(system)
+            .config(cfg)
+            .run()
     }
 
     #[test]

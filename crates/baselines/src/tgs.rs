@@ -182,12 +182,13 @@ impl SharingSystem for Tgs {
             if now >= self.be_gate {
                 if let Some((client, kernel)) = self.be_pending.pop_front() {
                     let est = kernel.solo_latency(ctx.engine.spec());
-                    let id = ctx
-                        .engine
-                        .submit(LaunchRequest::full(kernel, client, Priority::BestEffort));
+                    let id = ctx.engine.submit(LaunchRequest::full(
+                        kernel,
+                        client,
+                        Priority::BestEffort,
+                    ));
                     self.be_inflight = Some((id, client));
-                    let cooldown =
-                        est.mul_f64((1.0 - self.share).max(0.0) / self.share.max(0.01));
+                    let cooldown = est.mul_f64((1.0 - self.share).max(0.0) / self.share.max(0.01));
                     self.be_gate = now + est + cooldown;
                 }
             }
@@ -201,13 +202,36 @@ impl SharingSystem for Tgs {
         }
         Some(t)
     }
+
+    fn on_client_detach(&mut self, ctx: &mut Ctx<'_>, client: ClientId) {
+        self.hp_queue.retain(|&(c, _)| c != client);
+        self.be_pending.retain(|&(c, _)| c != client);
+        if self.hp_inflight.is_some_and(|(_, c)| c == client) {
+            let (id, _) = self.hp_inflight.take().expect("checked above");
+            ctx.engine.preempt(id);
+        }
+        if self.be_inflight.is_some_and(|(_, c)| c == client) {
+            let (id, _) = self.be_inflight.take().expect("checked above");
+            ctx.engine.preempt(id);
+        }
+        // The saturation detector must stop counting the departed client.
+        self.update_busy(ctx.now());
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+    use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
     use tally_gpu::{GpuSpec, SimSpan, SimTime};
+
+    fn run(jobs: [JobSpec; 2], system: &mut dyn SharingSystem, cfg: &HarnessConfig) {
+        Colocation::on(GpuSpec::a100())
+            .clients(jobs)
+            .system(system)
+            .config(cfg.clone())
+            .run();
+    }
 
     fn kernel(us: u64, grid: u32) -> Arc<KernelDesc> {
         KernelDesc::builder("k")
@@ -238,8 +262,12 @@ mod tests {
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(290, 8640))]);
         let mut tgs = Tgs::new();
-        run_colocation(&GpuSpec::a100(), &[hp, be], &mut tgs, &cfg(2));
-        assert!(tgs.share() < 0.3, "share should collapse when hp saturates, got {}", tgs.share());
+        run([hp, be], &mut tgs, &cfg(2));
+        assert!(
+            tgs.share() < 0.3,
+            "share should collapse when hp saturates, got {}",
+            tgs.share()
+        );
 
         // Moderate load => hp throughput unaffected => share recovers high.
         let hp = JobSpec::inference(
@@ -249,8 +277,12 @@ mod tests {
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(290, 8640))]);
         let mut tgs2 = Tgs::new();
-        run_colocation(&GpuSpec::a100(), &[hp, be], &mut tgs2, &cfg(2));
-        assert!(tgs2.share() > 0.7, "share should stay high at moderate load, got {}", tgs2.share());
+        run([hp, be], &mut tgs2, &cfg(2));
+        assert!(
+            tgs2.share() > 0.7,
+            "share should stay high at moderate load, got {}",
+            tgs2.share()
+        );
     }
 
     #[test]
@@ -263,10 +295,14 @@ mod tests {
                 vec![WorkloadOp::Kernel(kernel(50, 432)); 10],
                 (0..300).map(|i| SimTime::from_millis(6 * i)).collect(),
             );
-            let be =
-                JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(dur_us, 864 * waves))]);
+            let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(dur_us, 864 * waves))]);
             let mut tgs = Tgs::new();
-            let rep = run_colocation(&GpuSpec::a100(), &[hp, be], &mut tgs, &cfg(2));
+            let rep = Colocation::on(GpuSpec::a100())
+                .client(hp)
+                .client(be)
+                .system(&mut tgs)
+                .config(cfg(2))
+                .run();
             rep.clients[0].p99().expect("latencies")
         };
         let short = run_with_be_kernel(60, 1); // ~60us kernels
@@ -286,7 +322,16 @@ mod tests {
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(290, 8640))]);
         let mut tgs = Tgs::new();
-        let rep = run_colocation(&GpuSpec::a100(), &[hp, be], &mut tgs, &cfg(2));
-        assert!(rep.clients[1].iterations > 100, "got {}", rep.clients[1].iterations);
+        let rep = Colocation::on(GpuSpec::a100())
+            .client(hp)
+            .client(be)
+            .system(&mut tgs)
+            .config(cfg(2))
+            .run();
+        assert!(
+            rep.clients[1].iterations > 100,
+            "got {}",
+            rep.clients[1].iterations
+        );
     }
 }

@@ -25,7 +25,9 @@ pub struct TimeSlicingConfig {
 
 impl Default for TimeSlicingConfig {
     fn default() -> Self {
-        TimeSlicingConfig { quantum: SimSpan::from_millis(2) }
+        TimeSlicingConfig {
+            quantum: SimSpan::from_millis(2),
+        }
     }
 }
 
@@ -76,7 +78,9 @@ impl TimeSlicing {
     /// The next context (round-robin from `after`) that has pending work.
     fn next_with_work(&self, after: usize) -> Option<usize> {
         let n = self.pending.len();
-        (1..=n).map(|i| (after + i) % n).find(|&c| self.pending[c].is_some())
+        (1..=n)
+            .map(|i| (after + i) % n)
+            .find(|&c| self.pending[c].is_some())
     }
 }
 
@@ -109,7 +113,13 @@ impl SharingSystem for TimeSlicing {
                     ctx.complete_kernel(client);
                 }
             }
-            Notification::Preempted { id, client, done_upto, total, .. } => {
+            Notification::Preempted {
+                id,
+                client,
+                done_upto,
+                total,
+                ..
+            } => {
                 if self.inflight.is_some_and(|(l, _)| l == id) {
                     self.inflight = None;
                     self.preempting = false;
@@ -177,7 +187,10 @@ impl SharingSystem for TimeSlicing {
         let shape = if p.offset == 0 {
             LaunchShape::Full
         } else {
-            LaunchShape::Slice { offset: p.offset, count: total - p.offset }
+            LaunchShape::Slice {
+                offset: p.offset,
+                count: total - p.offset,
+            }
         };
         // Priority-agnostic: every context launches at the same class.
         let id = ctx.engine.submit(LaunchRequest {
@@ -198,12 +211,29 @@ impl SharingSystem for TimeSlicing {
         }
         None
     }
+
+    fn on_client_detach(&mut self, ctx: &mut Ctx<'_>, client: ClientId) {
+        // Drop the departed context from the round-robin: clear its pending
+        // slot so `next_with_work` skips it forever after.
+        let idx = client.0 as usize;
+        if let Some(slot) = self.pending.get_mut(idx) {
+            *slot = None;
+        }
+        // If its kernel owns the GPU, tear the context down immediately;
+        // the Preempted notification is ignored (inflight already cleared).
+        if self.inflight.is_some_and(|(_, c)| c == client) {
+            let (id, _) = self.inflight.take().expect("checked above");
+            self.preempting = false;
+            ctx.engine.preempt(id);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+    use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
+    use tally_core::metrics::RunReport;
     use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
     fn kernel(us: u64, grid: u32) -> Arc<KernelDesc> {
@@ -224,15 +254,29 @@ mod tests {
         }
     }
 
+    fn run(jobs: impl IntoIterator<Item = JobSpec>, system: &mut dyn SharingSystem) -> RunReport {
+        Colocation::on(GpuSpec::a100())
+            .clients(jobs)
+            .system(system)
+            .config(cfg())
+            .run()
+    }
+
     #[test]
     fn alternates_between_clients() {
         let a = JobSpec::training("a", vec![WorkloadOp::Kernel(kernel(500, 864))]);
         let b = JobSpec::training("b", vec![WorkloadOp::Kernel(kernel(500, 864))]);
-        let rep = run_colocation(&GpuSpec::a100(), &[a, b], &mut TimeSlicing::new(), &cfg());
+        let rep = run([a, b], &mut TimeSlicing::new());
         let ia = rep.clients[0].iterations as f64;
         let ib = rep.clients[1].iterations as f64;
-        assert!(ia > 100.0 && ib > 100.0, "both clients progress ({ia}, {ib})");
-        assert!((ia / ib - 1.0).abs() < 0.25, "roughly fair split ({ia} vs {ib})");
+        assert!(
+            ia > 100.0 && ib > 100.0,
+            "both clients progress ({ia}, {ib})"
+        );
+        assert!(
+            (ia / ib - 1.0).abs() < 0.25,
+            "roughly fair split ({ia} vs {ib})"
+        );
     }
 
     #[test]
@@ -241,7 +285,7 @@ mod tests {
         // GPU roughly every quantum, not every 12ms.
         let a = JobSpec::training("long", vec![WorkloadOp::Kernel(kernel(290, 864 * 40))]);
         let b = JobSpec::training("short", vec![WorkloadOp::Kernel(kernel(100, 432))]);
-        let rep = run_colocation(&GpuSpec::a100(), &[a, b], &mut TimeSlicing::new(), &cfg());
+        let rep = run([a, b], &mut TimeSlicing::new());
         // The short job runs one 100us kernel per quantum-ish turn: without
         // mid-kernel preemption it would get only ~80 turns (1s / 12.4ms);
         // with it, roughly 1s / (2 quanta + overheads) ≈ 200+.
@@ -251,7 +295,11 @@ mod tests {
             rep.clients[1].iterations
         );
         // And the long job still completes kernels (resume works).
-        assert!(rep.clients[0].iterations > 20, "got {}", rep.clients[0].iterations);
+        assert!(
+            rep.clients[0].iterations > 20,
+            "got {}",
+            rep.clients[0].iterations
+        );
     }
 
     #[test]
@@ -262,9 +310,12 @@ mod tests {
             (0..200).map(|i| SimTime::from_millis(5 * i)).collect(),
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(500, 864))]);
-        let rep = run_colocation(&GpuSpec::a100(), &[hp, be], &mut TimeSlicing::new(), &cfg());
+        let rep = run([hp, be], &mut TimeSlicing::new());
         let p99 = rep.clients[0].p99().expect("latencies");
         // Solo would be ~270us; with 2ms quanta it must exceed 1ms.
-        assert!(p99 > SimSpan::from_millis(1), "expected quantum-scale delays, got {p99}");
+        assert!(
+            p99 > SimSpan::from_millis(1),
+            "expected quantum-scale delays, got {p99}"
+        );
     }
 }

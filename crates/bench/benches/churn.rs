@@ -1,0 +1,138 @@
+//! **Client churn**: trainers attach to and detach from a live session
+//! while a latency-critical inference service runs throughout — the
+//! turnaround/queueing scenario behind the paper's Table 1, now as a
+//! first-class experiment over the session API's dynamic client lifecycle.
+//!
+//! Timeline (20 s): the BERT service is up the whole run; a Whisper
+//! trainer attaches at 4 s and departs at 12 s; a GPT2 trainer attaches at
+//! 8 s and stays. The interesting numbers are the service's windowed p99
+//! in each phase: it should degrade when a trainer barges in under the
+//! baselines but stay flat under Tally, and it must *recover* after the
+//! departure under every system (no stuck state from the detached client).
+//!
+//! Pass `--json PATH` to record the per-phase measurements.
+
+use tally_bench::{banner, ms, run_session, windowed_p99, JsonSink, FIG5_SYSTEMS};
+use tally_core::harness::{run_solo, HarnessConfig};
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
+use tally_workloads::maf2::{arrivals, Maf2Config};
+use tally_workloads::{InferModel, TrainModel};
+
+const DURATION: SimSpan = SimSpan::from_secs(20);
+
+/// Phase boundaries: [label, from, until).
+fn phases() -> [(&'static str, SimTime, SimTime); 4] {
+    [
+        ("alone", SimTime::ZERO, SimTime::from_secs(4)),
+        ("+whisper", SimTime::from_secs(4), SimTime::from_secs(8)),
+        (
+            "+whisper+gpt2",
+            SimTime::from_secs(8),
+            SimTime::from_secs(12),
+        ),
+        (
+            "+gpt2 (whisper left)",
+            SimTime::from_secs(12),
+            SimTime::from_secs(20),
+        ),
+    ]
+}
+
+fn main() {
+    let mut sink = JsonSink::from_args("churn");
+    let spec = GpuSpec::a100();
+    let cfg = HarnessConfig {
+        duration: DURATION,
+        warmup: SimSpan::ZERO,
+        seed: 9,
+        jitter: 0.0,
+        record_timelines: true,
+    };
+    let trace = arrivals(&Maf2Config::new(
+        0.5,
+        InferModel::Bert.paper_latency(),
+        DURATION,
+    ));
+    let service = InferModel::Bert.job(&spec, trace);
+    let whisper = TrainModel::WhisperV3
+        .job(&spec)
+        .active_window(SimTime::from_secs(4), SimTime::from_secs(12));
+    let gpt2 = TrainModel::Gpt2Large
+        .job(&spec)
+        .active_from(SimTime::from_secs(8));
+
+    banner("Client churn: BERT service + trainers attaching/detaching mid-run");
+    println!("timeline: whisper joins @4s, gpt2 joins @8s, whisper leaves @12s\n");
+    print!("{:<16}", "system");
+    for (label, ..) in phases() {
+        print!("{label:>22}");
+    }
+    println!();
+
+    // Ideal reference: the service alone, same trace.
+    let solo = run_solo(&spec, &service, &cfg);
+    print!("{:<16}", "ideal");
+    for (label, from, until) in phases() {
+        let p99 = windowed_p99(&solo, from, until);
+        print!("{:>22}", p99.map_or("-".into(), ms));
+        if let Some(p) = p99 {
+            sink.record(
+                "phase_p99_ms",
+                p.as_millis_f64(),
+                &[("system", "ideal"), ("phase", label)],
+            );
+        }
+    }
+    println!();
+
+    for system_name in FIG5_SYSTEMS {
+        let jobs = [service.clone(), whisper.clone(), gpt2.clone()];
+        let report = run_session(&spec, jobs, system_name, &cfg);
+        let hp = report.high_priority().expect("service");
+        print!("{system_name:<16}");
+        for (label, from, until) in phases() {
+            let p99 = windowed_p99(hp, from, until);
+            print!("{:>22}", p99.map_or("-".into(), ms));
+            if let Some(p) = p99 {
+                sink.record(
+                    "phase_p99_ms",
+                    p.as_millis_f64(),
+                    &[("system", system_name), ("phase", label)],
+                );
+            }
+        }
+        println!();
+
+        // No stuck clients: the service must keep serving after the
+        // departure, and the departed trainer must have stopped exactly
+        // at its window edge.
+        let served_late = hp
+            .timed_latencies
+            .iter()
+            .filter(|(a, _)| *a >= SimTime::from_secs(12))
+            .count();
+        assert!(
+            served_late > 0,
+            "{system_name}: service stalled after the detach"
+        );
+        let whisper_rep = &report.clients[1];
+        assert!(
+            whisper_rep
+                .op_times
+                .iter()
+                .all(|&t| t <= SimTime::from_secs(12)),
+            "{system_name}: departed trainer kept completing work"
+        );
+        sink.record(
+            "trainer_iterations",
+            whisper_rep.iterations as f64,
+            &[("system", system_name), ("trainer", "whisper")],
+        );
+    }
+
+    println!(
+        "\nExpected shape: every system's p99 recovers to its phase-1 level after\n\
+         whisper departs; Tally stays near the ideal row throughout."
+    );
+    sink.finish();
+}

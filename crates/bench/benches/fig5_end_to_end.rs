@@ -12,11 +12,12 @@
 
 use std::collections::HashMap;
 
-use tally_bench::{banner, harness_for, ms, run_combo, solo_refs, FIG5_SYSTEMS};
+use tally_bench::{banner, harness_for, ms, run_combo, solo_refs, JsonSink, FIG5_SYSTEMS};
 use tally_gpu::GpuSpec;
 use tally_workloads::{InferModel, TrainModel};
 
 fn main() {
+    let mut sink = JsonSink::from_args("fig5_end_to_end");
     let spec = GpuSpec::a100();
     let load = 0.5;
     let full = std::env::var_os("FIG5_FULL").is_some();
@@ -55,8 +56,20 @@ fn main() {
                 let out = run_combo(&spec, infer, train, load, system, &refs, &cfg);
                 println!(
                     "{:<22} {:<18} {:<16} {:>10} {:>8.0}% {:>8.2}",
-                    "", "", system, ms(out.p99), out.overhead * 100.0, out.system_throughput
+                    "",
+                    "",
+                    system,
+                    ms(out.p99),
+                    out.overhead * 100.0,
+                    out.system_throughput
                 );
+                let tags = [
+                    ("system", system),
+                    ("infer", infer.name()),
+                    ("train", train.name()),
+                ];
+                sink.record("p99_overhead", out.overhead, &tags);
+                sink.record("system_throughput", out.system_throughput, &tags);
                 let e = overhead_sums.entry(system).or_default();
                 e.0 += out.overhead;
                 e.1 += 1;
@@ -85,6 +98,7 @@ fn main() {
             sum / n as f64 * 100.0,
             paper[system]
         );
+        sink.record("p99_overhead_avg", sum / n as f64, &[("system", system)]);
     }
 
     banner("Figure 5 summary: system throughput, Tally relative to baselines");
@@ -97,7 +111,10 @@ fn main() {
         ("tgs", "80.3%"),
     ]
     .into();
-    println!("{:<16} {:>10} {:>14} {:>12}", "baseline", "sys-thr", "tally/baseline", "paper");
+    println!(
+        "{:<16} {:>10} {:>14} {:>12}",
+        "baseline", "sys-thr", "tally/baseline", "paper"
+    );
     for system in &FIG5_SYSTEMS[..4] {
         let (sum, n) = thr_sums[system];
         let avg = sum / n as f64;
@@ -110,4 +127,6 @@ fn main() {
         );
     }
     println!("tally            {tally_avg:>10.2}");
+    sink.record("system_throughput_avg", tally_avg, &[("system", "tally")]);
+    sink.finish();
 }

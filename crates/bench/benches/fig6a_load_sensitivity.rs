@@ -7,19 +7,27 @@
 //! load while TGS inflates up to 5.8× (BERT) / 2.3× (Llama); both systems'
 //! throughput rises with idle time and the gap narrows as idleness grows.
 
-use tally_bench::{banner, harness_for, inference_job, ms, run_combo, SoloRefs};
+use tally_bench::{banner, harness_for, inference_job, ms, run_combo, JsonSink, SoloRefs};
 use tally_core::harness::run_solo;
 use tally_gpu::GpuSpec;
 use tally_workloads::{InferModel, TrainModel};
 
 fn main() {
+    let mut sink = JsonSink::from_args("fig6a_load_sensitivity");
     let spec = GpuSpec::a100();
-    let trainers = [TrainModel::Bert, TrainModel::Gpt2Large, TrainModel::WhisperV3];
+    let trainers = [
+        TrainModel::Bert,
+        TrainModel::Gpt2Large,
+        TrainModel::WhisperV3,
+    ];
     let idle_points = [0.10, 0.30, 0.50, 0.70, 0.90];
 
     for infer in [InferModel::Bert, InferModel::Llama2_7b] {
         let cfg = harness_for(infer);
-        banner(&format!("Figure 6a: {} p99 and system throughput vs idle time", infer.name()));
+        banner(&format!(
+            "Figure 6a: {} p99 and system throughput vs idle time",
+            infer.name()
+        ));
         println!(
             "{:<18} {:>6} {:>11} {:>11} {:>11} {:>9} {:>9}",
             "trainer", "idle", "ideal p99", "tgs p99", "tally p99", "tgs thr", "tally thr"
@@ -44,6 +52,17 @@ fn main() {
                 };
                 let tgs = run_combo(&spec, infer, train, load, "tgs", &refs, &cfg);
                 let tally = run_combo(&spec, infer, train, load, "tally", &refs, &cfg);
+                let idle_tag = format!("{idle}");
+                for out in [&tgs, &tally] {
+                    let tags = [
+                        ("system", out.system.as_str()),
+                        ("infer", infer.name()),
+                        ("train", train.name()),
+                        ("idle", idle_tag.as_str()),
+                    ];
+                    sink.record("p99_ms", out.p99.as_millis_f64(), &tags);
+                    sink.record("system_throughput", out.system_throughput, &tags);
+                }
                 println!(
                     "{:<18} {:>5.0}% {:>11} {:>11} {:>11} {:>9.2} {:>9.2}",
                     train.name(),
@@ -62,4 +81,5 @@ fn main() {
          TGS's p99 inflates (worst with Whisper); both throughput columns rise with\n\
          idle time, with TGS ahead at low idle and the gap closing as idle grows."
     );
+    sink.finish();
 }

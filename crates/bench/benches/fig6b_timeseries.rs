@@ -8,8 +8,8 @@
 //! baselines inflate, and Tally opportunistically modulates the trainer —
 //! preserving over 68% of its solo throughput across the trace.
 
-use tally_bench::{banner, make_system, ms, FIG5_SYSTEMS};
-use tally_core::harness::{run_colocation, run_solo, HarnessConfig};
+use tally_bench::{banner, ms, run_session, windowed_p99, JsonSink, FIG5_SYSTEMS};
+use tally_core::harness::{run_solo, HarnessConfig};
 use tally_core::metrics::ClientReport;
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 use tally_workloads::maf2::condensed_trace;
@@ -19,6 +19,7 @@ const WINDOW: SimSpan = SimSpan::from_secs(4);
 const DURATION: SimSpan = SimSpan::from_secs(60);
 
 fn main() {
+    let mut sink = JsonSink::from_args("fig6b_timeseries");
     let spec = GpuSpec::a100();
     let cfg = HarnessConfig {
         duration: DURATION,
@@ -65,9 +66,14 @@ fn main() {
             InferModel::Bert.job(&spec, trace.clone()),
             TrainModel::Bert.job(&spec),
         ];
-        let mut system = make_system(system_name);
-        let report = run_colocation(&spec, &jobs, system.as_mut(), &cfg);
-        print_p99_row(system_name, report.high_priority().expect("hp"), n_windows);
+        let report = run_session(&spec, jobs, system_name, &cfg);
+        let hp = report.high_priority().expect("hp");
+        print_p99_row(system_name, hp, n_windows);
+        sink.record(
+            "whole_run_p99_ms",
+            hp.p99().map_or(f64::NAN, |p| p.as_millis_f64()),
+            &[("system", system_name)],
+        );
         if system_name == "tally" {
             tally_be = Some(report.best_effort().next().expect("be").clone());
         }
@@ -93,30 +99,27 @@ fn main() {
         print!("{thr:>6.2}");
     }
     println!();
+    let retained = retained_sum / n_windows as f64;
     println!(
         "\naverage retained training throughput: {:.0}%   [paper: >68% over the trace]",
-        retained_sum / n_windows as f64 * 100.0
+        retained * 100.0
     );
+    sink.record(
+        "retained_training_throughput",
+        retained,
+        &[("system", "tally")],
+    );
+    sink.finish();
 }
 
 fn print_p99_row(label: &str, client: &ClientReport, n_windows: usize) {
     print!("{label:<8}");
     for w in 0..n_windows {
         let lo = SimTime::ZERO + WINDOW * w as u64;
-        let hi = lo + WINDOW;
-        let mut lats: Vec<SimSpan> = client
-            .timed_latencies
-            .iter()
-            .filter(|(a, _)| *a >= lo && *a < hi)
-            .map(|&(_, l)| l)
-            .collect();
-        if lats.is_empty() {
-            print!("{:>6}", "-");
-            continue;
+        match windowed_p99(client, lo, lo + WINDOW) {
+            Some(p99) => print!("{:>6}", trim(ms(p99))),
+            None => print!("{:>6}", "-"),
         }
-        lats.sort_unstable();
-        let idx = ((0.99 * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
-        print!("{:>6}", trim(ms(lats[idx - 1])));
     }
     println!();
 }

@@ -6,14 +6,16 @@
 //! aggregate throughput (requests/minute) climbs until the GPU saturates
 //! around 8 concurrent best-effort workloads.
 
-use tally_bench::{banner, ms};
-use tally_core::harness::{run_colocation, HarnessConfig};
+use tally_bench::{banner, ms, JsonSink};
+use tally_core::api::Transport;
+use tally_core::harness::{Colocation, HarnessConfig};
 use tally_core::scheduler::{TallyConfig, TallySystem};
 use tally_gpu::{GpuSpec, Priority, SimSpan};
 use tally_workloads::maf2::{arrivals, Maf2Config};
 use tally_workloads::InferModel;
 
 fn main() {
+    let mut sink = JsonSink::from_args("fig7a_scalability");
     let spec = GpuSpec::a100();
     let cfg = HarnessConfig {
         duration: SimSpan::from_secs(10),
@@ -41,12 +43,24 @@ fn main() {
             jobs.push(model.job(&spec, trace).with_priority(Priority::BestEffort));
         }
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let report = run_colocation(&spec, &jobs, &mut tally, &cfg);
-        let p99 = report.high_priority().and_then(|c| c.p99()).expect("latencies");
+        let report = Colocation::on(spec.clone())
+            .clients(jobs)
+            .system(&mut tally)
+            .config(cfg.clone())
+            .transport(Transport::SharedMemory)
+            .run();
+        let p99 = report
+            .high_priority()
+            .and_then(|c| c.p99())
+            .expect("latencies");
         let total: f64 = report.clients.iter().map(|c| c.throughput * 60.0).sum();
         println!("{n:>4} {:>12} {total:>18.0}", ms(p99));
+        let n_tag = n.to_string();
+        sink.record("online_p99_ms", p99.as_millis_f64(), &[("n_be", &n_tag)]);
+        sink.record("total_req_per_min", total, &[("n_be", &n_tag)]);
         prev_thr = total;
     }
     let _ = prev_thr;
     println!("\nExpected shape: flat online p99; total req/min grows, then saturates.");
+    sink.finish();
 }

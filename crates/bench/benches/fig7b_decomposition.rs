@@ -9,11 +9,12 @@
 //! +8.0%, GPT2 +9.8%) but still suffers ~10× on long-kernel trainers;
 //! full Tally averages +4.0% (worst case +6.2%).
 
-use tally_bench::{banner, harness_for, ms, run_combo, solo_refs};
+use tally_bench::{banner, harness_for, ms, run_combo, solo_refs, JsonSink};
 use tally_gpu::GpuSpec;
 use tally_workloads::{InferModel, TrainModel};
 
 fn main() {
+    let mut sink = JsonSink::from_args("fig7b_decomposition");
     let spec = GpuSpec::a100();
     let infer = InferModel::Bert;
     let load = 0.5;
@@ -33,6 +34,11 @@ fn main() {
             let out = run_combo(&spec, infer, train, load, system, &refs, &cfg);
             sums[i] += out.overhead;
             cells.push(format!("{} ({:+.0}%)", ms(out.p99), out.overhead * 100.0));
+            sink.record(
+                "p99_overhead",
+                out.overhead,
+                &[("system", system), ("train", train.name())],
+            );
         }
         println!(
             "{:<18} {:>10} {:>14} {:>16} {:>14}",
@@ -46,7 +52,9 @@ fn main() {
     banner("Figure 7b summary: average p99 overhead");
     for (i, system) in systems.iter().enumerate() {
         println!("{:<20} {:>8.1}%", system, sums[i] / 6.0 * 100.0);
+        sink.record("p99_overhead_avg", sums[i] / 6.0, &[("system", system)]);
     }
     println!("[paper: full Tally averages +4.0%, worst case +6.2%;");
     println!(" scheduling w/o transformations leaves ~10x on Whisper/BERT trainers]");
+    sink.finish();
 }

@@ -6,13 +6,17 @@
 //! throughput at increasing tail-latency cost; 0.0316 ms is the knee the
 //! paper adopts as the default.
 
-use tally_bench::{banner, harness_for, inference_job, ms, outcome_from_report, solo_refs};
-use tally_core::harness::run_colocation;
+use tally_bench::{
+    banner, harness_for, inference_job, ms, outcome_from_report, solo_refs, JsonSink,
+};
+use tally_core::api::Transport;
+use tally_core::harness::Colocation;
 use tally_core::scheduler::{TallyConfig, TallySystem};
 use tally_gpu::{GpuSpec, SimSpan};
 use tally_workloads::{InferModel, TrainModel};
 
 fn main() {
+    let mut sink = JsonSink::from_args("fig7c_turnaround_threshold");
     let spec = GpuSpec::a100();
     let infer = InferModel::Bert;
     let load = 0.5;
@@ -35,24 +39,40 @@ fn main() {
             let refs = solo_refs(&spec, infer, train, load, &cfg);
             let jobs = [inference_job(&spec, infer, load, &cfg), train.job(&spec)];
             let mut tally = TallySystem::new(
-                TallyConfig::paper_default()
-                    .with_turnaround_bound(SimSpan::from_millis_f64(th)),
+                TallyConfig::paper_default().with_turnaround_bound(SimSpan::from_millis_f64(th)),
             );
-            let report = run_colocation(&spec, &jobs, &mut tally, &cfg);
+            let report = Colocation::on(spec.clone())
+                .clients(jobs)
+                .system(&mut tally)
+                .config(cfg.clone())
+                .transport(Transport::SharedMemory)
+                .run();
             let out = outcome_from_report(&report, &refs);
             mean_overhead += out.overhead;
             mean_be += out.be_norm;
-            print!("{:>13} /{:>7.2}", format!("{:+.0}%", out.overhead * 100.0), out.be_norm);
+            print!(
+                "{:>13} /{:>7.2}",
+                format!("{:+.0}%", out.overhead * 100.0),
+                out.be_norm
+            );
         }
         println!(
             "   | avg {:+.0}% / {:.2}",
             mean_overhead / 6.0 * 100.0,
             mean_be / 6.0
         );
+        let th_tag = format!("{th}");
+        sink.record(
+            "p99_overhead_avg",
+            mean_overhead / 6.0,
+            &[("threshold_ms", &th_tag)],
+        );
+        sink.record("be_norm_avg", mean_be / 6.0, &[("threshold_ms", &th_tag)]);
     }
     println!(
         "\nExpected shape: overhead grows with the threshold; BE throughput grows\n\
          slightly — 0.0316ms balances the two (the paper's default). Ideal p99 here: {}",
         ms(solo_refs(&spec, infer, TrainModel::Bert, load, &cfg).ideal_p99)
     );
+    sink.finish();
 }

@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 
-use tally_bench::banner;
-use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+use tally_bench::{banner, JsonSink};
+use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
 use tally_core::scheduler::{TallyConfig, TallySystem};
 use tally_gpu::{
     ClientId, Engine, GpuSpec, KernelDesc, LaunchRequest, Priority, SimSpan, SimTime, Step,
@@ -18,8 +18,9 @@ use tally_ptx::interp::{run_kernel, Launch};
 use tally_ptx::{passes, samples};
 
 /// Times `f` adaptively: warm up, pick an iteration count that runs for
-/// roughly `budget_ms`, then report the best of three batches.
-fn bench<R>(name: &str, budget_ms: u64, mut f: impl FnMut() -> R) {
+/// roughly `budget_ms`, then report (and return) the best-of-three
+/// nanoseconds per iteration.
+fn bench<R>(sink: &mut JsonSink, name: &str, budget_ms: u64, mut f: impl FnMut() -> R) -> u64 {
     // Warmup + calibration.
     let t0 = Instant::now();
     let mut calib_iters = 0u64;
@@ -46,16 +47,18 @@ fn bench<R>(name: &str, budget_ms: u64, mut f: impl FnMut() -> R) {
         format!("{best} ns/iter")
     };
     println!("{name:<44} {human:>16}   ({iters} iters)");
+    sink.record("ns_per_iter", best as f64, &[("case", name)]);
+    best
 }
 
-fn engine_throughput() {
+fn engine_throughput(sink: &mut JsonSink) {
     let spec = GpuSpec::a100();
     let k = KernelDesc::builder("bench")
         .grid(864)
         .block(256)
         .block_cost(SimSpan::from_micros(50))
         .build_arc();
-    bench("engine: 1000 single-wave kernels", 200, || {
+    bench(sink, "engine: 1000 single-wave kernels", 200, || {
         let mut engine = Engine::new(spec.clone());
         for _ in 0..1000 {
             engine.submit(LaunchRequest::full(k.clone(), ClientId(0), Priority::High));
@@ -68,16 +71,20 @@ fn engine_throughput() {
     });
 }
 
-fn transformation_passes() {
+fn transformation_passes(sink: &mut JsonSink) {
     let kernel = samples::block_reduce_sum();
-    bench("passes: unified_sync", 100, || passes::unified_sync(&kernel));
-    bench("passes: ptb (incl. unified_sync)", 100, || passes::ptb(&kernel));
-    bench("passes: slicing", 100, || passes::slicing(&kernel));
+    bench(sink, "passes: unified_sync", 100, || {
+        passes::unified_sync(&kernel)
+    });
+    bench(sink, "passes: ptb (incl. unified_sync)", 100, || {
+        passes::ptb(&kernel)
+    });
+    bench(sink, "passes: slicing", 100, || passes::slicing(&kernel));
 }
 
-fn interpreter() {
+fn interpreter(sink: &mut JsonSink) {
     let kernel = samples::block_reduce_sum();
-    bench("interp: reduce 8 blocks x 8 threads", 100, || {
+    bench(sink, "interp: reduce 8 blocks x 8 threads", 100, || {
         // Inputs at 0..64 are 1; the accumulator slot at 64 must start 0
         // (the reduction adds into it).
         let mut mem = vec![0u64; 66];
@@ -87,7 +94,7 @@ fn interpreter() {
     });
 }
 
-fn scheduler_colocation() {
+fn scheduler_colocation(sink: &mut JsonSink) {
     let spec = GpuSpec::a100();
     let hp_kernel = KernelDesc::builder("hp")
         .grid(432)
@@ -107,7 +114,7 @@ fn scheduler_colocation() {
         jitter: 0.0,
         record_timelines: false,
     };
-    bench("scheduler: tally 1s co-location", 400, || {
+    bench(sink, "scheduler: tally 1s co-location", 400, || {
         let hp = JobSpec::inference(
             "hp",
             vec![WorkloadOp::Kernel(hp_kernel.clone()); 10],
@@ -115,14 +122,21 @@ fn scheduler_colocation() {
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(be_kernel.clone())]);
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        run_colocation(&spec, &[hp, be], &mut tally, &cfg)
+        Colocation::on(spec.clone())
+            .client(hp)
+            .client(be)
+            .system(&mut tally)
+            .config(cfg.clone())
+            .run()
     });
 }
 
 fn main() {
+    let mut sink = JsonSink::from_args("micro");
     banner("Micro-benchmarks (best-of-3 batches)");
-    engine_throughput();
-    transformation_passes();
-    interpreter();
-    scheduler_colocation();
+    engine_throughput(&mut sink);
+    transformation_passes(&mut sink);
+    interpreter(&mut sink);
+    scheduler_colocation(&mut sink);
+    sink.finish();
 }

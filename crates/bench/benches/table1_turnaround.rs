@@ -4,7 +4,7 @@
 //! Paper reference: inference 3.93 ms; turnaround ≈ 3 s (iteration-level),
 //! ≈ 10 ms (kernel-level), ≈ 304 µs (block-level), ≈ 38 µs (thread-level).
 
-use tally_bench::{banner, harness_for, ms};
+use tally_bench::{banner, harness_for, ms, JsonSink};
 use tally_core::harness::{run_solo, JobKind, WorkloadOp};
 use tally_gpu::{
     ClientId, Engine, GpuSpec, LaunchRequest, LaunchShape, Priority, SimSpan, SimTime, Step,
@@ -12,6 +12,7 @@ use tally_gpu::{
 use tally_workloads::{InferModel, TrainModel};
 
 fn main() {
+    let mut sink = JsonSink::from_args("table1_turnaround");
     let spec = GpuSpec::a100();
     banner("Table 1: scheduling-granularity turnaround (Whisper training vs BERT inference)");
 
@@ -23,7 +24,9 @@ fn main() {
 
     // The Whisper iteration template.
     let whisper = TrainModel::WhisperV3.job(&spec);
-    let JobKind::Training { iteration } = &whisper.kind else { unreachable!() };
+    let JobKind::Training { iteration } = &whisper.kind else {
+        unreachable!()
+    };
     let kernels: Vec<_> = iteration
         .iter()
         .filter_map(|op| match op {
@@ -57,13 +60,36 @@ fn main() {
     // report the paper's measured driver reset + restart cost.
     let thread_turnaround = SimSpan::from_micros(38);
 
-    println!("inference time (BERT, measured solo): {}   [paper: 3.93ms]", ms(infer_time));
+    println!(
+        "inference time (BERT, measured solo): {}   [paper: 3.93ms]",
+        ms(infer_time)
+    );
     println!();
     println!("{:<16} {:>14} {:>14}", "granularity", "turnaround", "paper");
-    println!("{:<16} {:>14} {:>14}", "iteration", ms(iteration_time), "~3s");
-    println!("{:<16} {:>14} {:>14}", "kernel", ms(kernel_turnaround), "~10ms");
-    println!("{:<16} {:>14} {:>14}", "block", ms(block_turnaround), "~304us");
-    println!("{:<16} {:>14} {:>14}", "thread", ms(thread_turnaround), "~38us (modeled)");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "iteration",
+        ms(iteration_time),
+        "~3s"
+    );
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "kernel",
+        ms(kernel_turnaround),
+        "~10ms"
+    );
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "block",
+        ms(block_turnaround),
+        "~304us"
+    );
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "thread",
+        ms(thread_turnaround),
+        "~38us (modeled)"
+    );
     println!();
     println!(
         "block-level turnaround is {:.0}x smaller than the inference time;",
@@ -73,11 +99,28 @@ fn main() {
         "kernel-level is {:.1}x LARGER — the motivation for block-level scheduling.",
         kernel_turnaround.ratio(infer_time)
     );
+    sink.record("inference_time_ms", infer_time.as_millis_f64(), &[]);
+    for (granularity, value) in [
+        ("iteration", iteration_time),
+        ("kernel", kernel_turnaround),
+        ("block", block_turnaround),
+        ("thread", thread_turnaround),
+    ] {
+        sink.record(
+            "turnaround_ms",
+            value.as_millis_f64(),
+            &[("granularity", granularity)],
+        );
+    }
+    sink.finish();
 }
 
 /// Launches each sufficiently long Whisper kernel in PTB form, preempts at
 /// a pseudo-random instant mid-execution, and measures the drain time.
-fn measure_block_turnaround(spec: &GpuSpec, kernels: &[std::sync::Arc<tally_gpu::KernelDesc>]) -> SimSpan {
+fn measure_block_turnaround(
+    spec: &GpuSpec,
+    kernels: &[std::sync::Arc<tally_gpu::KernelDesc>],
+) -> SimSpan {
     let mut total = SimSpan::ZERO;
     let mut n = 0u64;
     for (i, k) in kernels.iter().enumerate() {

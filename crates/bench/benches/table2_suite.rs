@@ -2,16 +2,20 @@
 //! throughput and inference request latency — measured end to end through
 //! the simulator and compared to the published values.
 
-use tally_bench::{banner, ms};
+use tally_bench::{banner, ms, JsonSink};
 use tally_core::harness::{run_solo, HarnessConfig};
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 use tally_workloads::{InferModel, TrainModel};
 
 fn main() {
+    let mut sink = JsonSink::from_args("table2_suite");
     let spec = GpuSpec::a100();
 
     banner("Table 2 (training): solo iteration throughput");
-    println!("{:<20} {:>12} {:>12} {:>8}", "model", "measured", "paper", "err");
+    println!(
+        "{:<20} {:>12} {:>12} {:>8}",
+        "model", "measured", "paper", "err"
+    );
     for m in TrainModel::ALL {
         let secs = (20.0 / m.paper_throughput()).clamp(5.0, 40.0);
         let cfg = HarnessConfig {
@@ -30,17 +34,24 @@ fn main() {
             paper,
             (rep.throughput / paper - 1.0) * 100.0
         );
+        sink.record(
+            "solo_throughput_it_per_s",
+            rep.throughput,
+            &[("model", m.name())],
+        );
     }
 
     banner("Table 2 (inference): solo request latency");
-    println!("{:<24} {:>12} {:>12} {:>8}", "model", "measured", "paper", "err");
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}",
+        "model", "measured", "paper", "err"
+    );
     for m in InferModel::ALL {
         // Serve widely spaced requests so there is no queueing.
         let lat = m.paper_latency();
         let period = lat * 4;
         let n = 40u64;
-        let arrivals: Vec<SimTime> =
-            (0..n).map(|i| SimTime::ZERO + period * i).collect();
+        let arrivals: Vec<SimTime> = (0..n).map(|i| SimTime::ZERO + period * i).collect();
         let duration = period * (n + 2);
         let cfg = HarnessConfig {
             duration,
@@ -58,5 +69,11 @@ fn main() {
             ms(lat),
             (measured.ratio(lat) - 1.0) * 100.0
         );
+        sink.record(
+            "solo_latency_ms",
+            measured.as_millis_f64(),
+            &[("model", m.name())],
+        );
     }
+    sink.finish();
 }

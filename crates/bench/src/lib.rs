@@ -14,8 +14,13 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
+pub use json::JsonSink;
+
 use tally_baselines::{KernelLevelPriority, Mps, Tgs, TimeSlicing};
-use tally_core::harness::{run_colocation, run_solo, HarnessConfig, JobSpec};
+use tally_core::api::Transport;
+use tally_core::harness::{run_solo, Colocation, HarnessConfig, JobSpec};
 use tally_core::metrics::RunReport;
 use tally_core::scheduler::{TallyConfig, TallySystem};
 use tally_core::system::SharingSystem;
@@ -25,6 +30,31 @@ use tally_workloads::{InferModel, TrainModel};
 
 /// The systems of Figure 5, in paper order, plus Tally.
 pub const FIG5_SYSTEMS: [&str; 5] = ["time-slicing", "mps", "mps-priority", "tgs", "tally"];
+
+/// Whether the named system is Tally (or a Tally ablation) and therefore
+/// runs behind Tally's §4.3 interception layer. Baselines are native GPU
+/// mechanisms and pay no interception cost.
+pub fn is_tally_variant(name: &str) -> bool {
+    matches!(name, "tally" | "no-scheduling" | "sched-no-transform")
+}
+
+/// Runs `jobs` under the named system with the deployment-faithful
+/// interception mode (see [`is_tally_variant`]) and returns the report.
+pub fn run_session(
+    spec: &GpuSpec,
+    jobs: impl IntoIterator<Item = JobSpec>,
+    system_name: &str,
+    cfg: &HarnessConfig,
+) -> RunReport {
+    let mut session = Colocation::on(spec.clone())
+        .clients(jobs)
+        .system_boxed(make_system(system_name))
+        .config(cfg.clone());
+    if is_tally_variant(system_name) {
+        session = session.transport(Transport::SharedMemory);
+    }
+    session.run()
+}
 
 /// Builds a fresh sharing system by report name.
 ///
@@ -133,8 +163,7 @@ pub fn run_combo(
     cfg: &HarnessConfig,
 ) -> ComboOutcome {
     let jobs = [inference_job(spec, infer, load, cfg), train.job(spec)];
-    let mut system = make_system(system_name);
-    let report = run_colocation(spec, &jobs, system.as_mut(), cfg);
+    let report = run_session(spec, jobs, system_name, cfg);
     outcome_from_report(&report, refs)
 }
 
@@ -143,9 +172,21 @@ pub fn outcome_from_report(report: &RunReport, refs: &SoloRefs) -> ComboOutcome 
     let hp = report.high_priority().expect("high-priority client");
     let be = report.best_effort().next().expect("best-effort client");
     let p99 = hp.p99().unwrap_or(SimSpan::ZERO);
-    let overhead = if refs.ideal_p99.is_zero() { 0.0 } else { p99.ratio(refs.ideal_p99) - 1.0 };
-    let hp_norm = if refs.infer_thr > 0.0 { hp.throughput / refs.infer_thr } else { 0.0 };
-    let be_norm = if refs.train_thr > 0.0 { be.throughput / refs.train_thr } else { 0.0 };
+    let overhead = if refs.ideal_p99.is_zero() {
+        0.0
+    } else {
+        p99.ratio(refs.ideal_p99) - 1.0
+    };
+    let hp_norm = if refs.infer_thr > 0.0 {
+        hp.throughput / refs.infer_thr
+    } else {
+        0.0
+    };
+    let be_norm = if refs.train_thr > 0.0 {
+        be.throughput / refs.train_thr
+    } else {
+        0.0
+    };
     ComboOutcome {
         system: report.system.clone(),
         p99,
@@ -154,6 +195,28 @@ pub fn outcome_from_report(report: &RunReport, refs: &SoloRefs) -> ComboOutcome 
         be_norm,
         system_throughput: hp_norm + be_norm,
     }
+}
+
+/// The nearest-rank p99 of a client's request latencies whose arrivals
+/// fall in `[from, until)` — for time-series / phased figures. Requires
+/// the run to have recorded timelines. `None` when the window is empty.
+pub fn windowed_p99(
+    client: &tally_core::metrics::ClientReport,
+    from: tally_gpu::SimTime,
+    until: tally_gpu::SimTime,
+) -> Option<SimSpan> {
+    let mut lats: Vec<SimSpan> = client
+        .timed_latencies
+        .iter()
+        .filter(|(arrival, _)| *arrival >= from && *arrival < until)
+        .map(|&(_, l)| l)
+        .collect();
+    if lats.is_empty() {
+        return None;
+    }
+    lats.sort_unstable();
+    let idx = ((0.99 * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+    Some(lats[idx - 1])
 }
 
 /// Formats a span as milliseconds with sensible precision.

@@ -2,9 +2,9 @@
 //! a short co-location without panicking, so `cargo test` exercises the
 //! same code paths as the (long-running) bench targets.
 
-use tally_bench::{make_system, FIG5_SYSTEMS};
-use tally_core::harness::{run_colocation, HarnessConfig};
-use tally_gpu::{GpuSpec, SimSpan};
+use tally_bench::{make_system, run_session, FIG5_SYSTEMS};
+use tally_core::harness::HarnessConfig;
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
 use tally_workloads::maf2::{arrivals, Maf2Config};
 use tally_workloads::{InferModel, TrainModel};
 
@@ -35,9 +35,12 @@ fn every_fig5_system_survives_a_short_colocation() {
             InferModel::Bert.job(&spec, trace),
             TrainModel::PointNet.job(&spec),
         ];
-        let mut system = make_system(name);
-        assert_eq!(system.name(), *name, "constructed system reports its name");
-        let report = run_colocation(&spec, &jobs, system.as_mut(), &cfg);
+        assert_eq!(
+            make_system(name).name(),
+            *name,
+            "constructed system reports its name"
+        );
+        let report = run_session(&spec, jobs, name, &cfg);
         assert_eq!(report.system, *name);
         assert!(
             report.high_priority().is_some(),
@@ -46,6 +49,32 @@ fn every_fig5_system_survives_a_short_colocation() {
         assert!(
             report.best_effort().next().is_some(),
             "{name}: best-effort client missing from report"
+        );
+    }
+}
+
+#[test]
+fn churn_smoke_under_every_system() {
+    // A client that attaches and detaches inside a 50ms run must not
+    // panic, wedge, or stall any system the benches construct.
+    let spec = GpuSpec::a100();
+    let cfg = short_cfg();
+    for name in FIG5_SYSTEMS.iter().chain(ABLATIONS.iter()) {
+        let trace = arrivals(&Maf2Config::new(
+            0.5,
+            InferModel::Bert.paper_latency(),
+            cfg.duration,
+        ));
+        let jobs = [
+            InferModel::Bert.job(&spec, trace),
+            TrainModel::PointNet
+                .job(&spec)
+                .active_window(SimTime::from_millis(10), SimTime::from_millis(30)),
+        ];
+        let report = run_session(&spec, jobs, name, &cfg);
+        assert!(
+            report.high_priority().expect("hp").requests > 0,
+            "{name}: service made no progress through the churn"
         );
     }
 }

@@ -1,12 +1,31 @@
 //! The co-location harness: drives client workloads against a sharing
 //! system on the simulated GPU and collects the paper's metrics.
 //!
+//! The entry point is the [`Colocation`] session builder. A session models
+//! the real Tally deployment shape: a long-lived server (the
+//! [`SharingSystem`]) that clients attach to and detach from at runtime.
+//! Each [`JobSpec`] may carry an activity window
+//! ([`JobSpec::active_from`] / [`JobSpec::active_until`]); the session
+//! attaches the client when the window opens, detaches it when the window
+//! closes, and notifies the system through
+//! [`SharingSystem::on_client_attach`] /
+//! [`SharingSystem::on_client_detach`] so it can reclaim per-client state.
+//!
 //! A client is either a **training job** (an iteration template of kernels
 //! and CPU gaps, repeated forever) or an **inference service** (a request
 //! template served FIFO against a trace of arrival instants). Clients issue
 //! kernels strictly in order: the next kernel becomes ready only when the
 //! sharing system reports the previous one complete — the behaviour a
 //! synchronous stream gives real DL workloads.
+//!
+//! When the session is virtualized ([`Colocation::transport`]), every
+//! client runs behind its own §4.3 interception stub
+//! ([`ClientStub`]): each logical kernel launch
+//! pays the stub's per-call transport/cache costs before it reaches the
+//! system, and the per-client [`InterceptStats`](crate::api::InterceptStats)
+//! are surfaced in the
+//! [`ClientReport`]. This replaces the hand-set `comm_latency` constant
+//! earlier revisions wired into individual systems.
 //!
 //! The harness settles each simulated instant to a fixed point: apply
 //! completions → advance client programs (delivering newly-ready kernels)
@@ -16,14 +35,14 @@
 //! work.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::Arc;
 
-use tally_gpu::{
-    ClientId, Engine, GpuSpec, KernelDesc, Priority, SimSpan, SimTime, Step,
-};
+use tally_gpu::{ClientId, Engine, GpuSpec, KernelDesc, Priority, SimSpan, SimTime, Step};
 
+use crate::api::{ClientStub, Transport};
 use crate::metrics::{ClientReport, LatencyRecorder, RunReport};
-use crate::system::{ClientMeta, Ctx, SharingSystem};
+use crate::system::{ClientMeta, Ctx, Passthrough, SharingSystem};
 
 /// One step of a client's program.
 #[derive(Clone, Debug)]
@@ -52,7 +71,7 @@ pub enum JobKind {
     },
 }
 
-/// A client job: name, priority class, and its program.
+/// A client job: name, priority class, program, and activity window.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// Display name.
@@ -61,6 +80,12 @@ pub struct JobSpec {
     pub priority: Priority,
     /// The program.
     pub kind: JobKind,
+    /// Instant the client attaches to the session (default: session start).
+    pub active_from: SimTime,
+    /// Instant the client detaches again (default: end of the run). A
+    /// detached client stops issuing work; the sharing system reclaims its
+    /// state via [`SharingSystem::on_client_detach`].
+    pub active_until: Option<SimTime>,
 }
 
 impl JobSpec {
@@ -70,18 +95,51 @@ impl JobSpec {
         request: Vec<WorkloadOp>,
         arrivals: Vec<SimTime>,
     ) -> Self {
-        JobSpec { name: name.into(), priority: Priority::High, kind: JobKind::Inference { request, arrivals } }
+        JobSpec {
+            name: name.into(),
+            priority: Priority::High,
+            kind: JobKind::Inference { request, arrivals },
+            active_from: SimTime::ZERO,
+            active_until: None,
+        }
     }
 
     /// A best-effort training job.
     pub fn training(name: impl Into<String>, iteration: Vec<WorkloadOp>) -> Self {
-        JobSpec { name: name.into(), priority: Priority::BestEffort, kind: JobKind::Training { iteration } }
+        JobSpec {
+            name: name.into(),
+            priority: Priority::BestEffort,
+            kind: JobKind::Training { iteration },
+            active_from: SimTime::ZERO,
+            active_until: None,
+        }
     }
 
     /// Returns this job with the given priority class.
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Returns this job attaching at `from` instead of session start.
+    ///
+    /// Inference arrivals that predate the attach instant queue up and are
+    /// served (late) once the client joins — the turnaround/queueing
+    /// scenario of the paper's Table 1.
+    pub fn active_from(mut self, from: SimTime) -> Self {
+        self.active_from = from;
+        self
+    }
+
+    /// Returns this job detaching at `until` instead of running to the end.
+    pub fn active_until(mut self, until: SimTime) -> Self {
+        self.active_until = Some(until);
+        self
+    }
+
+    /// Returns this job active only on `[from, until)`.
+    pub fn active_window(self, from: SimTime, until: SimTime) -> Self {
+        self.active_from(from).active_until(until)
     }
 }
 
@@ -115,8 +173,24 @@ impl Default for HarnessConfig {
     }
 }
 
+/// How clients reach the sharing system (paper §4.3).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum InterceptMode {
+    /// Clients talk to the GPU natively: no interception stub, no
+    /// forwarding cost. The *Ideal* configuration.
+    #[default]
+    Native,
+    /// Every client runs behind an `LD_PRELOAD`-style interception stub
+    /// over the given transport: state-mutating calls pay the channel
+    /// round trip, context reads are answered from the client-side cache.
+    Virtualized(Transport),
+}
+
 struct Client {
     spec: JobSpec,
+    attached: bool,
+    departed: bool,
+    stub: Option<ClientStub>,
     op_idx: usize,
     waiting_kernel: bool,
     gap_until: Option<SimTime>,
@@ -138,6 +212,9 @@ impl Client {
     fn new(spec: JobSpec) -> Self {
         Client {
             spec,
+            attached: false,
+            departed: false,
+            stub: None,
             op_idx: 0,
             waiting_kernel: false,
             gap_until: None,
@@ -173,12 +250,7 @@ impl Client {
     /// Accepts due arrivals and releases an expired CPU gap.
     fn tick(&mut self, now: SimTime) {
         if let JobKind::Inference { arrivals, .. } = &self.spec.kind {
-            while self
-                .next_arrival
-                .checked_sub(0)
-                .and_then(|i| arrivals.get(i))
-                .is_some_and(|&t| t <= now)
-            {
+            while arrivals.get(self.next_arrival).is_some_and(|&t| t <= now) {
                 self.queue.push_back(arrivals[self.next_arrival]);
                 self.next_arrival += 1;
             }
@@ -211,7 +283,8 @@ impl Client {
                 if let Some(arrival) = self.active_request.take() {
                     self.requests += 1;
                     if self.record_timelines {
-                        self.timed_latencies.push((arrival, now.saturating_since(arrival)));
+                        self.timed_latencies
+                            .push((arrival, now.saturating_since(arrival)));
                     }
                     if arrival >= warmup {
                         self.requests_post_warmup += 1;
@@ -247,8 +320,16 @@ impl Client {
         }
     }
 
-    fn report(&self, measured: SimSpan) -> ClientReport {
-        let secs = measured.as_secs_f64().max(1e-9);
+    /// Post-warmup span during which this client was (or could have been)
+    /// attached — the window its throughput is normalized over.
+    fn measured_span(&self, warmup: SimTime, end: SimTime) -> SimSpan {
+        let from = self.spec.active_from.max(warmup);
+        let until = self.spec.active_until.map_or(end, |t| t.min(end));
+        until.saturating_since(from)
+    }
+
+    fn report(&self, warmup: SimTime, end: SimTime) -> ClientReport {
+        let secs = self.measured_span(warmup, end).as_secs_f64().max(1e-9);
         let throughput = match &self.spec.kind {
             JobKind::Training { iteration } => {
                 self.ops_post_warmup as f64 / iteration.len().max(1) as f64 / secs
@@ -263,20 +344,31 @@ impl Client {
             kernels: self.kernels,
             latency: self.latency.clone(),
             throughput,
+            intercept: self
+                .stub
+                .as_ref()
+                .map(ClientStub::stats)
+                .unwrap_or_default(),
             timed_latencies: self.timed_latencies.clone(),
             op_times: self.op_times.clone(),
         }
     }
 }
 
-/// Runs `jobs` under `system` on a GPU described by `spec`.
+enum SystemSlot<'s> {
+    Borrowed(&'s mut dyn SharingSystem),
+    Owned(Box<dyn SharingSystem>),
+}
+
+/// A co-location session: the GPU, a sharing system, and a set of clients
+/// that attach and detach over the run.
 ///
-/// Client ids are assigned in job order: `jobs[i]` is `ClientId(i)`.
+/// Build with [`Colocation::on`], add clients, pick a system, then
+/// [`Colocation::run`]:
 ///
 /// ```
 /// use std::sync::Arc;
-/// use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
-/// use tally_core::system::Passthrough;
+/// use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
 /// use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
 ///
 /// let k = KernelDesc::builder("req")
@@ -285,38 +377,170 @@ impl Client {
 ///     .build_arc();
 /// let arrivals = (0..100).map(|i| SimTime::from_millis(10 * i)).collect();
 /// let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(k)], arrivals);
-/// let cfg = HarnessConfig {
-///     duration: SimSpan::from_secs(2),
-///     warmup: SimSpan::ZERO,
-///     ..Default::default()
-/// };
-/// let report = run_colocation(&GpuSpec::a100(), &[job], &mut Passthrough::new(), &cfg);
+/// let report = Colocation::on(GpuSpec::a100())
+///     .client(job)
+///     .config(HarnessConfig {
+///         duration: SimSpan::from_secs(2),
+///         warmup: SimSpan::ZERO,
+///         ..Default::default()
+///     })
+///     .run();
 /// assert_eq!(report.clients[0].requests, 100);
 /// ```
-pub fn run_colocation(
+///
+/// The system defaults to [`Passthrough`] (the *Ideal* configuration);
+/// use [`Colocation::system`] to run a borrowed system you can inspect
+/// after the run, or [`Colocation::system_boxed`] for a one-shot boxed one.
+/// Use [`Colocation::transport`] to put every client behind the §4.3
+/// interception stub.
+pub struct Colocation<'s> {
+    spec: GpuSpec,
+    jobs: Vec<JobSpec>,
+    system: Option<SystemSlot<'s>>,
+    cfg: HarnessConfig,
+    intercept: InterceptMode,
+}
+
+impl fmt::Debug for Colocation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Colocation")
+            .field("spec", &self.spec)
+            .field("jobs", &self.jobs)
+            .field("cfg", &self.cfg)
+            .field("intercept", &self.intercept)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'s> Colocation<'s> {
+    /// Starts a session on a GPU described by `spec`.
+    pub fn on(spec: GpuSpec) -> Self {
+        Colocation {
+            spec,
+            jobs: Vec::new(),
+            system: None,
+            cfg: HarnessConfig::default(),
+            intercept: InterceptMode::Native,
+        }
+    }
+
+    /// Adds one client. Client ids are assigned in insertion order: the
+    /// `i`-th added job is `ClientId(i)`.
+    pub fn client(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Adds several clients, in order.
+    pub fn clients(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// Runs under `system`, borrowed — inspect it after the run (profiler
+    /// counters, AIMD share, …).
+    pub fn system(mut self, system: &'s mut dyn SharingSystem) -> Self {
+        self.system = Some(SystemSlot::Borrowed(system));
+        self
+    }
+
+    /// Runs under a boxed system owned (and dropped) by the session.
+    pub fn system_boxed(mut self, system: Box<dyn SharingSystem>) -> Self {
+        self.system = Some(SystemSlot::Owned(system));
+        self
+    }
+
+    /// Sets the harness parameters (duration, warmup, seed, …).
+    pub fn config(mut self, cfg: HarnessConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Puts every client behind the §4.3 interception stub over
+    /// `transport`: kernel launches pay the stub's per-call costs before
+    /// reaching the system, and per-client
+    /// [`InterceptStats`](crate::api::InterceptStats) appear in the
+    /// report.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.intercept = InterceptMode::Virtualized(transport);
+        self
+    }
+
+    /// Sets the interception mode explicitly ([`InterceptMode::Native`]
+    /// is the default).
+    pub fn intercept(mut self, mode: InterceptMode) -> Self {
+        self.intercept = mode;
+        self
+    }
+
+    /// Executes the session and returns the per-client reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no client was added, or if the configured warmup is not
+    /// shorter than the duration.
+    pub fn run(self) -> RunReport {
+        let Colocation {
+            spec,
+            jobs,
+            system,
+            cfg,
+            intercept,
+        } = self;
+        let mut fallback;
+        let mut owned;
+        let system: &mut dyn SharingSystem = match system {
+            Some(SystemSlot::Borrowed(s)) => s,
+            Some(SystemSlot::Owned(s)) => {
+                owned = s;
+                owned.as_mut()
+            }
+            None => {
+                fallback = Passthrough::new();
+                &mut fallback
+            }
+        };
+        run_session(&spec, jobs, system, &cfg, intercept)
+    }
+}
+
+/// The session run loop (see the module docs for the settling discipline).
+fn run_session(
     spec: &GpuSpec,
-    jobs: &[JobSpec],
+    jobs: Vec<JobSpec>,
     system: &mut dyn SharingSystem,
     cfg: &HarnessConfig,
+    intercept: InterceptMode,
 ) -> RunReport {
-    assert!(!jobs.is_empty(), "at least one job required");
-    assert!(cfg.warmup < cfg.duration, "warmup must be shorter than the run");
+    assert!(!jobs.is_empty(), "at least one client required");
+    assert!(
+        cfg.warmup < cfg.duration,
+        "warmup must be shorter than the run"
+    );
     let mut engine = Engine::with_seed(spec.clone(), cfg.seed);
     if cfg.jitter > 0.0 {
         engine.set_jitter(cfg.jitter);
     }
     let metas: Vec<ClientMeta> = jobs
         .iter()
-        .map(|j| ClientMeta { name: j.name.clone(), priority: j.priority })
+        .map(|j| ClientMeta {
+            name: j.name.clone(),
+            priority: j.priority,
+        })
         .collect();
-    let mut clients: Vec<Client> = jobs.iter().cloned().map(Client::new).collect();
+    let mut clients: Vec<Client> = jobs.into_iter().map(Client::new).collect();
     for c in &mut clients {
         c.record_timelines = cfg.record_timelines;
+        if let InterceptMode::Virtualized(transport) = intercept {
+            c.stub = Some(ClientStub::new(transport));
+        }
     }
     let end = SimTime::ZERO + cfg.duration;
     let warmup = SimTime::ZERO + cfg.warmup;
 
     let mut pending_completions: Vec<ClientId> = Vec::new();
+    // Kernels held in the interception layer until their stub cost elapses.
+    let mut in_transit: Vec<(SimTime, ClientId, Arc<KernelDesc>)> = Vec::new();
     loop {
         // Settle the current instant to a fixed point.
         loop {
@@ -324,17 +548,74 @@ pub fn run_colocation(
             let mut progressed = false;
             for c in pending_completions.drain(..) {
                 let client = &mut clients[c.0 as usize];
+                if client.departed {
+                    continue; // completion signalled for a detached client
+                }
                 client.waiting_kernel = false;
                 client.kernels += 1;
                 client.finish_op(now, warmup);
                 progressed = true;
             }
             let mut ctx = Ctx::new(&mut engine, &metas);
+
+            // Client lifecycle edges: attach windows that opened, detach
+            // windows that closed.
             for (i, client) in clients.iter_mut().enumerate() {
+                if !client.attached && !client.departed && client.spec.active_from <= now {
+                    client.attached = true;
+                    system.on_client_attach(&mut ctx, ClientId(i as u32));
+                    if let Some(stub) = client.stub.as_mut() {
+                        // The API startup burst (fatbin registration,
+                        // device discovery) delays the first launch.
+                        let cost = stub.attach_burst();
+                        if !cost.is_zero() {
+                            client.gap_until = Some(now + cost);
+                        }
+                    }
+                    progressed = true;
+                }
+                if client.attached
+                    && !client.departed
+                    && client.spec.active_until.is_some_and(|t| t <= now)
+                {
+                    client.departed = true;
+                    client.waiting_kernel = false;
+                    client.gap_until = None;
+                    system.on_client_detach(&mut ctx, ClientId(i as u32));
+                    progressed = true;
+                }
+            }
+            in_transit.retain(|&(_, c, _)| !clients[c.0 as usize].departed);
+
+            // Launches whose interception cost has elapsed reach the system.
+            let mut due = Vec::new();
+            in_transit.retain(|&(t, c, ref k)| {
+                if t <= now {
+                    due.push((c, Arc::clone(k)));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (c, k) in due {
+                system.on_kernel_ready(&mut ctx, c, k);
+                progressed = true;
+            }
+
+            for (i, client) in clients.iter_mut().enumerate() {
+                if !client.attached || client.departed {
+                    continue;
+                }
                 client.tick(now);
                 if let Some(kernel) = client.advance(now, warmup) {
-                    system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel);
                     progressed = true;
+                    match client.stub.as_mut() {
+                        Some(stub) => {
+                            let cost = stub.launch_burst();
+                            in_transit.push((now + cost, ClientId(i as u32), kernel));
+                        }
+                        None => system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel),
+                    }
                 }
             }
             system.poll(&mut ctx);
@@ -354,12 +635,25 @@ pub fn run_colocation(
             wake = wake.min(t);
         }
         for client in &clients {
+            if client.departed {
+                continue;
+            }
+            if !client.attached {
+                wake = wake.min(client.spec.active_from);
+                continue;
+            }
+            if let Some(t) = client.spec.active_until {
+                wake = wake.min(t);
+            }
             if let Some(t) = client.next_arrival_time() {
                 wake = wake.min(t);
             }
             if let Some(t) = client.gap_until {
                 wake = wake.min(t);
             }
+        }
+        for &(t, _, _) in &in_transit {
+            wake = wake.min(t);
         }
         if let Some(t) = system.next_timer() {
             wake = wake.min(t.max(engine.now()));
@@ -377,25 +671,47 @@ pub fn run_colocation(
         }
     }
 
-    let measured = cfg.duration - cfg.warmup;
     RunReport {
         system: system.name().to_string(),
         duration: cfg.duration,
-        clients: clients.iter().map(|c| c.report(measured)).collect(),
+        clients: clients.iter().map(|c| c.report(warmup, end)).collect(),
     }
 }
 
-/// Runs a single job alone under [`Passthrough`](crate::system::Passthrough)
+/// Runs `jobs` under `system` on a GPU described by `spec`.
+///
+/// Client ids are assigned in job order: `jobs[i]` is `ClientId(i)`.
+#[deprecated(note = "use the `Colocation` session builder instead")]
+pub fn run_colocation(
+    spec: &GpuSpec,
+    jobs: &[JobSpec],
+    system: &mut dyn SharingSystem,
+    cfg: &HarnessConfig,
+) -> RunReport {
+    Colocation::on(spec.clone())
+        .clients(jobs.iter().cloned())
+        .system(system)
+        .config(cfg.clone())
+        .run()
+}
+
+/// Runs a single job alone under [`Passthrough`]
 /// — the paper's *Ideal* configuration — and returns its report.
 pub fn run_solo(spec: &GpuSpec, job: &JobSpec, cfg: &HarnessConfig) -> ClientReport {
-    let mut system = crate::system::Passthrough::new();
-    let report = run_colocation(spec, std::slice::from_ref(job), &mut system, cfg);
-    report.clients.into_iter().next().expect("one client")
+    Colocation::on(spec.clone())
+        .client(job.clone())
+        .config(cfg.clone())
+        .run()
+        .clients
+        .into_iter()
+        .next()
+        .expect("one client")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::InterceptStats;
     use crate::system::Passthrough;
 
     fn kernel(us: u64) -> Arc<KernelDesc> {
@@ -416,14 +732,24 @@ mod tests {
         }
     }
 
+    fn run_one(job: JobSpec, cfg: &HarnessConfig) -> RunReport {
+        Colocation::on(GpuSpec::tiny())
+            .client(job)
+            .config(cfg.clone())
+            .run()
+    }
+
     #[test]
     fn training_iterations_accumulate() {
         // Iteration = 1ms kernel + 1ms gap => ~500 iterations in 1s.
         let job = JobSpec::training(
             "train",
-            vec![WorkloadOp::Kernel(kernel(1000)), WorkloadOp::CpuGap(SimSpan::from_millis(1))],
+            vec![
+                WorkloadOp::Kernel(kernel(1000)),
+                WorkloadOp::CpuGap(SimSpan::from_millis(1)),
+            ],
         );
-        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &cfg(1));
+        let report = run_one(job, &cfg(1));
         let c = &report.clients[0];
         assert!(
             (480..=500).contains(&c.iterations),
@@ -438,7 +764,7 @@ mod tests {
         // One 1ms kernel per request, arrivals every 10ms: no queueing.
         let arrivals: Vec<SimTime> = (0..50).map(|i| SimTime::from_millis(10 * i)).collect();
         let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals);
-        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &cfg(1));
+        let report = run_one(job, &cfg(1));
         let c = &report.clients[0];
         assert_eq!(c.requests, 50);
         let p99 = c.p99().expect("has latencies");
@@ -451,7 +777,7 @@ mod tests {
         // Two requests arrive together; the second waits for the first.
         let arrivals = vec![SimTime::ZERO, SimTime::ZERO];
         let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals);
-        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &cfg(1));
+        let report = run_one(job, &cfg(1));
         let lat = report.clients[0].latency.samples();
         assert_eq!(lat.len(), 2);
         assert_eq!(lat[0], SimSpan::from_micros(1004));
@@ -464,10 +790,14 @@ mod tests {
         let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals);
         let mut c = cfg(1);
         c.warmup = SimSpan::from_millis(500);
-        let report = run_colocation(&GpuSpec::tiny(), &[job], &mut Passthrough::new(), &c);
+        let report = run_one(job, &c);
         let client = &report.clients[0];
         assert_eq!(client.requests, 100, "all requests served");
-        assert_eq!(client.latency.len(), 50, "only post-warmup latencies recorded");
+        assert_eq!(
+            client.latency.len(),
+            50,
+            "only post-warmup latencies recorded"
+        );
         // Throughput normalized to the measured window.
         assert!((client.throughput - 100.0).abs() < 5.0);
     }
@@ -480,8 +810,11 @@ mod tests {
             (0..100).map(|i| SimTime::from_millis(10 * i)).collect(),
         );
         let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(500))]);
-        let report =
-            run_colocation(&GpuSpec::tiny(), &[hp, be], &mut Passthrough::new(), &cfg(1));
+        let report = Colocation::on(GpuSpec::tiny())
+            .client(hp)
+            .client(be)
+            .config(cfg(1))
+            .run();
         assert_eq!(report.clients[0].requests, 100);
         assert!(report.clients[1].iterations > 0);
     }
@@ -495,11 +828,18 @@ mod tests {
                 (0..100).map(|i| SimTime::from_millis(7 * i)).collect(),
             );
             let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(700))]);
-            run_colocation(&GpuSpec::tiny(), &[hp, be], &mut Passthrough::new(), &cfg(1))
+            Colocation::on(GpuSpec::tiny())
+                .client(hp)
+                .client(be)
+                .config(cfg(1))
+                .run()
         };
         let a = mk();
         let b = mk();
-        assert_eq!(a.clients[0].latency.samples(), b.clients[0].latency.samples());
+        assert_eq!(
+            a.clients[0].latency.samples(),
+            b.clients[0].latency.samples()
+        );
         assert_eq!(a.clients[1].iterations, b.clients[1].iterations);
     }
 
@@ -508,6 +848,146 @@ mod tests {
         let job = JobSpec::training("solo", vec![WorkloadOp::Kernel(kernel(1000))]);
         let rep = run_solo(&GpuSpec::tiny(), &job, &cfg(1));
         assert_eq!(rep.name, "solo");
-        assert!(rep.iterations > 900, "a 1ms kernel loops ~995x in 1s, got {}", rep.iterations);
+        assert!(
+            rep.iterations > 900,
+            "a 1ms kernel loops ~995x in 1s, got {}",
+            rep.iterations
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_builder() {
+        let job = || {
+            JobSpec::inference(
+                "svc",
+                vec![WorkloadOp::Kernel(kernel(1000))],
+                (0..20).map(|i| SimTime::from_millis(10 * i)).collect(),
+            )
+        };
+        let via_builder = run_one(job(), &cfg(1));
+        let via_shim = run_colocation(&GpuSpec::tiny(), &[job()], &mut Passthrough::new(), &cfg(1));
+        assert_eq!(
+            via_builder.clients[0].latency.samples(),
+            via_shim.clients[0].latency.samples()
+        );
+    }
+
+    #[test]
+    fn late_attach_defers_work_and_normalizes_throughput() {
+        // Full-span trainer vs one attaching at 500ms: the late one does
+        // roughly half the iterations but reports a comparable throughput
+        // because its measured window is its active window.
+        let full = JobSpec::training("full", vec![WorkloadOp::Kernel(kernel(1000))]);
+        let late = JobSpec::training("late", vec![WorkloadOp::Kernel(kernel(1000))])
+            .active_from(SimTime::from_millis(500));
+        let full_rep = run_one(full, &cfg(1));
+        let late_rep = run_one(late, &cfg(1));
+        let (f, l) = (&full_rep.clients[0], &late_rep.clients[0]);
+        assert!(
+            l.iterations as f64 > 0.4 * f.iterations as f64
+                && (l.iterations as f64) < 0.6 * f.iterations as f64,
+            "late client should do ~half the work ({} vs {})",
+            l.iterations,
+            f.iterations
+        );
+        assert!(
+            (l.throughput / f.throughput - 1.0).abs() < 0.05,
+            "throughput normalizes over the active window ({} vs {})",
+            l.throughput,
+            f.throughput
+        );
+    }
+
+    #[test]
+    fn detach_stops_a_client_mid_run() {
+        let short = JobSpec::training("short", vec![WorkloadOp::Kernel(kernel(1000))])
+            .active_until(SimTime::from_millis(250));
+        let report = run_one(short, &cfg(1));
+        let c = &report.clients[0];
+        assert!(
+            (200..=260).contains(&c.iterations),
+            "~250 iterations in a 250ms window, got {}",
+            c.iterations
+        );
+    }
+
+    #[test]
+    fn arrivals_before_attach_queue_up() {
+        // 10 requests all arrive at t=0, but the service attaches at 100ms:
+        // every latency includes the 100ms attach wait.
+        let arrivals = vec![SimTime::ZERO; 10];
+        let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals)
+            .active_from(SimTime::from_millis(100));
+        let report = run_one(job, &cfg(1));
+        let c = &report.clients[0];
+        assert_eq!(c.requests, 10);
+        assert!(
+            c.latency
+                .samples()
+                .iter()
+                .all(|&l| l >= SimSpan::from_millis(100)),
+            "queued arrivals wait out the attach: {:?}",
+            c.latency.samples()
+        );
+    }
+
+    #[test]
+    fn virtualized_session_records_intercept_stats() {
+        let job = JobSpec::training("train", vec![WorkloadOp::Kernel(kernel(100))]);
+        let native = run_one(job.clone(), &cfg(1));
+        let virt = Colocation::on(GpuSpec::tiny())
+            .client(job)
+            .config(cfg(1))
+            .transport(Transport::SharedMemory)
+            .run();
+        let (n, v) = (&native.clients[0], &virt.clients[0]);
+        assert_eq!(
+            n.intercept,
+            InterceptStats::default(),
+            "native runs have no stub"
+        );
+        assert!(v.intercept.forwarded > 0 && v.intercept.served_locally > 0);
+        // Steady state: the overwhelming majority of calls stay local.
+        assert!(
+            v.intercept.local_fraction() >= 0.9,
+            "local fraction {:.3}",
+            v.intercept.local_fraction()
+        );
+        // The stub costs a few microseconds per launch, so the virtualized
+        // run completes slightly fewer iterations — but only slightly.
+        let ratio = v.iterations as f64 / n.iterations as f64;
+        assert!(
+            (0.95..1.0).contains(&ratio),
+            "virtualization overhead should be ~1% ({} vs {} iters)",
+            v.iterations,
+            n.iterations
+        );
+    }
+
+    #[test]
+    fn departed_clients_leave_the_session_quiescent() {
+        // Both clients detach early; the run must still terminate and the
+        // remaining client must keep the GPU.
+        let a = JobSpec::training("a", vec![WorkloadOp::Kernel(kernel(500))])
+            .active_until(SimTime::from_millis(200));
+        let hp = JobSpec::inference(
+            "hp",
+            vec![WorkloadOp::Kernel(kernel(100))],
+            (0..90).map(|i| SimTime::from_millis(10 * i)).collect(),
+        );
+        let report = Colocation::on(GpuSpec::tiny())
+            .client(hp)
+            .client(a)
+            .config(cfg(1))
+            .run();
+        assert_eq!(
+            report.clients[0].requests, 90,
+            "service unaffected by the departure"
+        );
+        assert!(
+            report.clients[1].iterations > 0,
+            "trainer ran while attached"
+        );
     }
 }

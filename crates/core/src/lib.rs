@@ -21,7 +21,8 @@
 //! ## Quickstart
 //!
 //! ```
-//! use tally_core::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+//! use tally_core::api::Transport;
+//! use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
 //! use tally_core::scheduler::{TallyConfig, TallySystem};
 //! use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
 //!
@@ -35,21 +36,27 @@
 //!     vec![WorkloadOp::Kernel(infer)],
 //!     (0..200).map(|i| SimTime::from_millis(5 * i)).collect(),
 //! );
-//! // …co-located with a best-effort trainer with long kernels.
+//! // …co-located with a best-effort trainer that joins 500 ms in.
 //! let train = KernelDesc::builder("whisper::attn")
 //!     .grid(8640).block(256)
 //!     .block_cost(SimSpan::from_micros(150))
 //!     .mem_intensity(0.7)
 //!     .build_arc();
-//! let be = JobSpec::training("whisper-train", vec![WorkloadOp::Kernel(train)]);
+//! let be = JobSpec::training("whisper-train", vec![WorkloadOp::Kernel(train)])
+//!     .active_from(SimTime::from_millis(500));
 //!
 //! let mut tally = TallySystem::new(TallyConfig::paper_default());
-//! let cfg = HarnessConfig {
-//!     duration: SimSpan::from_secs(2),
-//!     warmup: SimSpan::from_millis(200),
-//!     ..Default::default()
-//! };
-//! let report = run_colocation(&GpuSpec::a100(), &[hp, be], &mut tally, &cfg);
+//! let report = Colocation::on(GpuSpec::a100())
+//!     .client(hp)
+//!     .client(be)
+//!     .system(&mut tally)
+//!     .config(HarnessConfig {
+//!         duration: SimSpan::from_secs(2),
+//!         warmup: SimSpan::from_millis(200),
+//!         ..Default::default()
+//!     })
+//!     .transport(Transport::SharedMemory) // §4.3 interception layer
+//!     .run();
 //! println!("p99 = {:?}", report.high_priority().unwrap().p99());
 //! ```
 
@@ -64,7 +71,12 @@ pub mod scheduler;
 pub mod system;
 pub mod transform;
 
-pub use harness::{run_colocation, run_solo, HarnessConfig, JobKind, JobSpec, WorkloadOp};
+pub use api::{ApiCall, ClientStub, InterceptStats, Transport};
+#[allow(deprecated)]
+pub use harness::run_colocation;
+pub use harness::{
+    run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, WorkloadOp,
+};
 pub use metrics::{ClientReport, LatencyRecorder, RunReport};
 pub use scheduler::{TallyConfig, TallySystem};
 pub use system::{ClientMeta, Ctx, Passthrough, SharingSystem};

@@ -2,6 +2,8 @@
 
 use tally_gpu::SimSpan;
 
+use crate::api::InterceptStats;
+
 /// Records a stream of latency samples and answers quantile queries.
 ///
 /// The paper's headline metric is the 99th-percentile latency of the
@@ -83,7 +85,9 @@ impl LatencyRecorder {
             return None;
         }
         let total: u128 = self.samples.iter().map(|s| s.as_nanos() as u128).sum();
-        Some(SimSpan::from_nanos((total / self.samples.len() as u128) as u64))
+        Some(SimSpan::from_nanos(
+            (total / self.samples.len() as u128) as u64,
+        ))
     }
 
     /// The maximum sample.
@@ -108,8 +112,12 @@ pub struct ClientReport {
     /// Request latencies (inference jobs, post-warmup).
     pub latency: LatencyRecorder,
     /// Work units (requests or iterations) per second of simulated time,
-    /// measured post-warmup.
+    /// measured post-warmup and normalized over the client's active window.
     pub throughput: f64,
+    /// Interception-layer counters for this client — all zero when the
+    /// session ran natively (without a
+    /// [`ClientStub`](crate::api::ClientStub)).
+    pub intercept: InterceptStats,
     /// `(arrival, latency)` per request, whole run — only populated when
     /// the harness records timelines.
     pub timed_latencies: Vec<(tally_gpu::SimTime, SimSpan)>,
@@ -156,7 +164,10 @@ impl RunReport {
     ///
     /// Panics if `solo` has fewer entries than there are clients.
     pub fn system_throughput(&self, solo: &[f64]) -> f64 {
-        assert!(solo.len() >= self.clients.len(), "missing solo throughput entries");
+        assert!(
+            solo.len() >= self.clients.len(),
+            "missing solo throughput entries"
+        );
         self.clients
             .iter()
             .zip(solo)
@@ -214,6 +225,7 @@ mod tests {
                     kernels: 0,
                     latency: LatencyRecorder::new(),
                     throughput: 50.0,
+                    intercept: InterceptStats::default(),
                     timed_latencies: Vec::new(),
                     op_times: Vec::new(),
                 },
@@ -225,6 +237,7 @@ mod tests {
                     kernels: 0,
                     latency: LatencyRecorder::new(),
                     throughput: 5.0,
+                    intercept: InterceptStats::default(),
                     timed_latencies: Vec::new(),
                     op_times: Vec::new(),
                 },

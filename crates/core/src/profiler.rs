@@ -74,7 +74,9 @@ pub fn candidate_configs(
     for &m in &cfg.worker_multiples {
         let workers = (m as u64 * spec.num_sms as u64).min(capacity).min(total);
         if workers > 0 {
-            let c = LaunchCfg::Ptb { workers: workers as u32 };
+            let c = LaunchCfg::Ptb {
+                workers: workers as u32,
+            };
             if !out.contains(&c) {
                 out.push(c);
             }
@@ -285,7 +287,9 @@ mod tests {
         // 256-thread blocks: capacity 864 caps the 8×108=864 multiple.
         assert!(cands.contains(&LaunchCfg::Ptb { workers: 108 }));
         assert!(cands.contains(&LaunchCfg::Ptb { workers: 864 }));
-        assert!(!cands.iter().any(|c| matches!(c, LaunchCfg::Ptb { workers } if *workers > 864)));
+        assert!(!cands
+            .iter()
+            .any(|c| matches!(c, LaunchCfg::Ptb { workers } if *workers > 864)));
         assert!(cands.contains(&LaunchCfg::Slice { blocks: 4320 / 32 }));
     }
 
@@ -298,7 +302,10 @@ mod tests {
         // All PTB multiples clamp to 4 workers; all slice fractions to 1.
         assert_eq!(
             cands,
-            vec![LaunchCfg::Ptb { workers: 4 }, LaunchCfg::Slice { blocks: 1 }]
+            vec![
+                LaunchCfg::Ptb { workers: 4 },
+                LaunchCfg::Slice { blocks: 1 }
+            ]
         );
     }
 
@@ -338,21 +345,33 @@ mod tests {
             ..ProfilerConfig::default()
         };
         let k = kernel(100, 50);
-        let cands = vec![LaunchCfg::Slice { blocks: 50 }, LaunchCfg::Ptb { workers: 10 }];
+        let cands = vec![
+            LaunchCfg::Slice { blocks: 50 },
+            LaunchCfg::Ptb { workers: 10 },
+        ];
         let mut prof = TransparentProfiler::new();
         // Slice of 50 blocks: 54us turnaround. PTB: 10 rounds of 62.5us
         // => 625us latency, turnaround = 62.5us.
         prof.record(&k, cands[0], 50, SimSpan::from_micros(54));
         prof.record(&k, cands[1], 100, SimSpan::from_micros(625));
         let chosen = prof.finalize(&cfg, &cands, &k).expect("measured");
-        assert_eq!(chosen, LaunchCfg::Slice { blocks: 50 }, "min turnaround wins");
+        assert_eq!(
+            chosen,
+            LaunchCfg::Slice { blocks: 50 },
+            "min turnaround wins"
+        );
     }
 
     #[test]
     fn eq1_turnaround_for_ptb() {
         let k = kernel(1000, 100);
         let mut prof = TransparentProfiler::new();
-        prof.record(&k, LaunchCfg::Ptb { workers: 100 }, 1000, SimSpan::from_millis(1));
+        prof.record(
+            &k,
+            LaunchCfg::Ptb { workers: 100 },
+            1000,
+            SimSpan::from_millis(1),
+        );
         // 1ms × 100/1000 = 100us.
         assert_eq!(
             prof.turnaround(&k, LaunchCfg::Ptb { workers: 100 }),
@@ -364,7 +383,10 @@ mod tests {
     fn separate_profiles_per_grid_dims() {
         let cfg = ProfilerConfig::default();
         let k1 = kernel(100, 10);
-        let k2 = KernelDesc { grid: tally_gpu::Dim3::linear(200), ..k1.clone() };
+        let k2 = KernelDesc {
+            grid: tally_gpu::Dim3::linear(200),
+            ..k1.clone()
+        };
         let cands = vec![LaunchCfg::Slice { blocks: 10 }];
         let mut prof = TransparentProfiler::new();
         prof.record(&k1, cands[0], 10, SimSpan::from_micros(14));

@@ -16,7 +16,7 @@
 //!   completed ones recorded, and once all candidates are measured the
 //!   winner is locked in for the rest of the job.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tally_gpu::{
@@ -24,30 +24,23 @@ use tally_gpu::{
     SimTime,
 };
 
-use crate::profiler::{candidate_configs, LaunchCfg, ProfilerConfig, ProfilerStats, TransparentProfiler};
+use crate::profiler::{
+    candidate_configs, LaunchCfg, ProfilerConfig, ProfilerStats, TransparentProfiler,
+};
 use crate::system::{Ctx, SharingSystem};
 use crate::transform::{KernelTransformer, TransformConfig, TransformPlan, TransformStats};
 
 /// Tally's configuration.
+///
+/// Client→server API forwarding cost is no longer configured here: it is
+/// modeled by the session's per-client interception stubs
+/// ([`Colocation::transport`](crate::harness::Colocation::transport)).
 #[derive(Clone, Debug, Default)]
 pub struct TallyConfig {
     /// Profiler / turnaround-threshold settings.
     pub profiler: ProfilerConfig,
     /// Kernel transformer settings.
     pub transform: TransformConfig,
-    /// Client→server API forwarding latency added to every launch
-    /// (shared-memory channels in the paper; ~2 µs).
-    pub comm_latency: CommLatency,
-}
-
-/// The virtualization layer's per-call forwarding latency.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct CommLatency(pub SimSpan);
-
-impl Default for CommLatency {
-    fn default() -> Self {
-        CommLatency(SimSpan::from_micros(2))
-    }
 }
 
 impl TallyConfig {
@@ -81,7 +74,7 @@ struct BeTask {
 }
 
 /// The Tally sharing system. Construct with [`TallySystem::new`] and hand
-/// to [`run_colocation`](crate::harness::run_colocation).
+/// to a [`Colocation`](crate::harness::Colocation) session.
 ///
 /// ```
 /// use tally_core::scheduler::{TallyConfig, TallySystem};
@@ -95,10 +88,11 @@ pub struct TallySystem {
     transformer: KernelTransformer,
     profiler: TransparentProfiler,
     /// High-priority clients with a kernel currently in the system, and the
-    /// launch id once submitted.
-    hp_inflight: HashMap<LaunchId, ClientId>,
+    /// launch id once submitted. Ordered maps keep launch order — and so
+    /// the whole simulation — deterministic across runs.
+    hp_inflight: BTreeMap<LaunchId, ClientId>,
     hp_active: u32,
-    be: HashMap<ClientId, BeTask>,
+    be: BTreeMap<ClientId, BeTask>,
     preemptions_issued: u64,
 }
 
@@ -110,9 +104,9 @@ impl TallySystem {
             cfg,
             transformer,
             profiler: TransparentProfiler::new(),
-            hp_inflight: HashMap::new(),
+            hp_inflight: BTreeMap::new(),
             hp_active: 0,
-            be: HashMap::new(),
+            be: BTreeMap::new(),
             preemptions_issued: 0,
         }
     }
@@ -164,24 +158,34 @@ impl TallySystem {
                 // Cooperative kernels: whole-kernel launches only (§6).
                 (LaunchShape::Full, None, remaining)
             }
-            TransformPlan::BlockLevel { ptb_overhead_ppm, .. } => {
-                let candidates =
-                    candidate_configs(&self.cfg.profiler, ctx.engine.spec(), &kernel);
+            TransformPlan::BlockLevel {
+                ptb_overhead_ppm, ..
+            } => {
+                let candidates = candidate_configs(&self.cfg.profiler, ctx.engine.spec(), &kernel);
                 let chosen = self.profiler.chosen(&kernel).or_else(|| {
-                    self.profiler.finalize(&self.cfg.profiler, &candidates, &kernel)
+                    self.profiler
+                        .finalize(&self.cfg.profiler, &candidates, &kernel)
                 });
                 // Use the locked-in configuration when available; otherwise
                 // this launch doubles as a profiling run of the next
                 // unmeasured candidate.
                 let cfg = chosen
                     .or_else(|| {
-                        self.profiler.next_unmeasured(&self.cfg.profiler, &candidates, &kernel)
+                        self.profiler
+                            .next_unmeasured(&self.cfg.profiler, &candidates, &kernel)
                     })
                     .unwrap_or(candidates[0]);
                 match cfg {
                     LaunchCfg::Slice { blocks } => {
                         let count = blocks.min(remaining);
-                        (LaunchShape::Slice { offset: task.progress, count }, Some(cfg), count)
+                        (
+                            LaunchShape::Slice {
+                                offset: task.progress,
+                                count,
+                            },
+                            Some(cfg),
+                            count,
+                        )
                     }
                     LaunchCfg::Ptb { workers } => (
                         LaunchShape::Ptb {
@@ -197,11 +201,18 @@ impl TallySystem {
         };
 
         let submitted = ctx.engine.now();
-        let id = ctx.engine.submit_after(
-            LaunchRequest { kernel, shape, client, priority: Priority::BestEffort },
-            self.cfg.comm_latency.0,
-        );
-        task.running = Some(RunningLaunch { id, cfg, tasks, submitted });
+        let id = ctx.engine.submit(LaunchRequest {
+            kernel,
+            shape,
+            client,
+            priority: Priority::BestEffort,
+        });
+        task.running = Some(RunningLaunch {
+            id,
+            cfg,
+            tasks,
+            submitted,
+        });
     }
 }
 
@@ -215,16 +226,23 @@ impl SharingSystem for TallySystem {
             // Figure 4, lines 14–20: preempt best-effort work and dispatch
             // the high-priority kernel at once, untransformed.
             self.preempt_best_effort(ctx);
-            let id = ctx.engine.submit_after(
-                LaunchRequest::full(kernel, client, Priority::High),
-                self.cfg.comm_latency.0,
-            );
+            let id = ctx
+                .engine
+                .submit(LaunchRequest::full(kernel, client, Priority::High));
             self.hp_inflight.insert(id, client);
             self.hp_active += 1;
         } else {
             let plan = self.transformer.plan(&kernel);
             let total = plan.kernel().grid.count();
-            self.be.insert(client, BeTask { plan, total, progress: 0, running: None });
+            self.be.insert(
+                client,
+                BeTask {
+                    plan,
+                    total,
+                    progress: 0,
+                    running: None,
+                },
+            );
             // Actual scheduling happens in `poll`, where high-priority
             // activity is known.
         }
@@ -269,7 +287,13 @@ impl SharingSystem for TallySystem {
                     ctx.complete_kernel(client);
                 }
             }
-            Notification::Preempted { id, client, done_upto, at, .. } => {
+            Notification::Preempted {
+                id,
+                client,
+                done_upto,
+                at,
+                ..
+            } => {
                 if let Some(task) = self.be.get_mut(&client) {
                     if task.running.as_ref().is_some_and(|r| r.id == id) {
                         let run = task.running.take().expect("checked above");
@@ -311,14 +335,47 @@ impl SharingSystem for TallySystem {
             self.launch_be(ctx, client);
         }
     }
+
+    fn on_client_detach(&mut self, ctx: &mut Ctx<'_>, client: ClientId) {
+        // Reclaim the client's best-effort task (and free the GPU of its
+        // running launch)…
+        if let Some(task) = self.be.remove(&client) {
+            if let Some(run) = task.running {
+                ctx.engine.preempt(run.id);
+            }
+        }
+        // …and any in-flight high-priority kernels it still had.
+        self.hp_inflight.retain(|&id, &mut c| {
+            if c == client {
+                self.hp_active -= 1;
+                ctx.engine.preempt(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{run_colocation, HarnessConfig, JobSpec, WorkloadOp};
+    use crate::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
     use crate::system::Passthrough;
     use tally_gpu::{GpuSpec, SimSpan, SimTime};
+
+    fn run(
+        spec: &GpuSpec,
+        jobs: &[JobSpec],
+        system: &mut dyn crate::system::SharingSystem,
+        cfg: &HarnessConfig,
+    ) -> crate::metrics::RunReport {
+        Colocation::on(spec.clone())
+            .clients(jobs.iter().cloned())
+            .system(system)
+            .config(cfg.clone())
+            .run()
+    }
 
     /// An inference service whose requests run `kernels` sequential kernels
     /// of `kernel_us` each — the realistic shape (BERT ≈ 80 kernels over
@@ -333,7 +390,9 @@ mod tests {
         JobSpec::inference(
             "hp",
             vec![WorkloadOp::Kernel(k); kernels],
-            (0..n).map(|i| SimTime::from_millis(period_ms * i)).collect(),
+            (0..n)
+                .map(|i| SimTime::from_millis(period_ms * i))
+                .collect(),
         )
     }
 
@@ -370,7 +429,7 @@ mod tests {
         let solo_p99 = solo.p99().expect("solo latencies");
 
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let shared = run_colocation(&spec, &jobs, &mut tally, &cfg(5));
+        let shared = run(&spec, &jobs, &mut tally, &cfg(5));
         let hp = shared.high_priority().expect("hp client");
         let p99 = hp.p99().expect("latencies recorded");
         let overhead = p99.as_secs_f64() / solo_p99.as_secs_f64() - 1.0;
@@ -393,7 +452,7 @@ mod tests {
         let jobs = [inference_job(50, 20, 50, 100), long_kernel_trainer()];
         let solo_be = crate::harness::run_solo(&spec, &jobs[1], &cfg(5));
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let shared = run_colocation(&spec, &jobs, &mut tally, &cfg(5));
+        let shared = run(&spec, &jobs, &mut tally, &cfg(5));
         let be = shared.best_effort().next().expect("be");
         let share = be.throughput / solo_be.throughput;
         assert!(
@@ -409,9 +468,9 @@ mod tests {
         let spec = GpuSpec::a100();
         let jobs = [inference_job(50, 20, 5, 1000), long_kernel_trainer()];
         let mut naive = Passthrough::new();
-        let naive_rep = run_colocation(&spec, &jobs, &mut naive, &cfg(5));
+        let naive_rep = run(&spec, &jobs, &mut naive, &cfg(5));
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let tally_rep = run_colocation(&spec, &jobs, &mut tally, &cfg(5));
+        let tally_rep = run(&spec, &jobs, &mut tally, &cfg(5));
         let naive_p99 = naive_rep.high_priority().unwrap().p99().unwrap();
         let tally_p99 = tally_rep.high_priority().unwrap().p99().unwrap();
         assert!(
@@ -432,15 +491,14 @@ mod tests {
         let be = JobSpec::training("coop-train", vec![WorkloadOp::Kernel(coop)]);
         let hp = inference_job(50, 10, 10, 300);
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let rep = run_colocation(&spec, &[hp, be], &mut tally, &cfg(4));
+        let rep = run(&spec, &[hp, be], &mut tally, &cfg(4));
         assert!(rep.best_effort().next().unwrap().iterations > 0);
         assert_eq!(tally.transform_stats().kernel_level_only, 1);
     }
 
     #[test]
     fn turnaround_bound_is_configurable() {
-        let cfg = TallyConfig::paper_default()
-            .with_turnaround_bound(SimSpan::from_millis(10));
+        let cfg = TallyConfig::paper_default().with_turnaround_bound(SimSpan::from_millis(10));
         assert_eq!(cfg.profiler.turnaround_bound, SimSpan::from_millis(10));
     }
 }

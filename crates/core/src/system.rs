@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use tally_gpu::{ClientId, Engine, KernelDesc, Notification, Priority, SimSpan, SimTime};
+use tally_gpu::{ClientId, Engine, KernelDesc, Notification, Priority, SimTime};
 
 /// Static facts about one client, available to systems through [`Ctx`].
 #[derive(Clone, Debug)]
@@ -40,7 +40,11 @@ pub struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     /// Creates a context (harness-internal; public for custom harnesses).
     pub fn new(engine: &'a mut Engine, clients: &'a [ClientMeta]) -> Self {
-        Ctx { engine, clients, completions: Vec::new() }
+        Ctx {
+            engine,
+            clients,
+            completions: Vec::new(),
+        }
     }
 
     /// Current simulated time.
@@ -100,6 +104,20 @@ pub trait SharingSystem {
     fn next_timer(&self) -> Option<SimTime> {
         None
     }
+
+    /// A client attached to the session (its activity window opened).
+    ///
+    /// Called before the client issues any kernel. Default: no-op.
+    fn on_client_attach(&mut self, _ctx: &mut Ctx<'_>, _client: ClientId) {}
+
+    /// A client detached from the session (its activity window closed).
+    ///
+    /// The system must reclaim all per-client state: forget queued kernels,
+    /// preempt the client's in-flight launches, and drop it from any
+    /// scheduling rotation. No further [`SharingSystem::on_kernel_ready`]
+    /// will arrive for this client, and completion signals for it are
+    /// discarded by the harness. Default: no-op.
+    fn on_client_detach(&mut self, _ctx: &mut Ctx<'_>, _client: ClientId) {}
 }
 
 /// The trivial system: forwards every kernel to the GPU immediately at its
@@ -107,24 +125,18 @@ pub trait SharingSystem {
 ///
 /// Used for solo ("Ideal") runs and as the *No-Scheduling* ablation of the
 /// paper's performance decomposition (Figure 7b) when several clients run
-/// concurrently.
+/// concurrently. API forwarding cost is not modeled here: it belongs to
+/// the session's interception layer
+/// ([`Colocation::transport`](crate::harness::Colocation::transport)).
 #[derive(Debug, Default)]
 pub struct Passthrough {
-    /// Extra pre-launch latency applied to every kernel (models API
-    /// forwarding cost; zero for native execution).
-    pub comm_latency: SimSpan,
     in_flight: Vec<(tally_gpu::LaunchId, ClientId)>,
 }
 
 impl Passthrough {
-    /// Native passthrough (no added latency).
+    /// Native passthrough.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Passthrough with a per-launch forwarding latency.
-    pub fn with_comm_latency(comm_latency: SimSpan) -> Self {
-        Passthrough { comm_latency, in_flight: Vec::new() }
     }
 }
 
@@ -135,10 +147,9 @@ impl SharingSystem for Passthrough {
 
     fn on_kernel_ready(&mut self, ctx: &mut Ctx<'_>, client: ClientId, kernel: Arc<KernelDesc>) {
         let priority = ctx.priority(client);
-        let id = ctx.engine.submit_after(
-            tally_gpu::LaunchRequest::full(kernel, client, priority),
-            self.comm_latency,
-        );
+        let id = ctx
+            .engine
+            .submit(tally_gpu::LaunchRequest::full(kernel, client, priority));
         self.in_flight.push((id, client));
     }
 
@@ -152,6 +163,17 @@ impl SharingSystem for Passthrough {
     }
 
     fn poll(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    fn on_client_detach(&mut self, ctx: &mut Ctx<'_>, client: ClientId) {
+        self.in_flight.retain(|&(id, c)| {
+            if c == client {
+                ctx.engine.preempt(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -163,8 +185,14 @@ mod tests {
     fn ctx_collects_completions() {
         let mut engine = Engine::new(GpuSpec::tiny());
         let clients = vec![
-            ClientMeta { name: "a".into(), priority: Priority::High },
-            ClientMeta { name: "b".into(), priority: Priority::BestEffort },
+            ClientMeta {
+                name: "a".into(),
+                priority: Priority::High,
+            },
+            ClientMeta {
+                name: "b".into(),
+                priority: Priority::BestEffort,
+            },
         ];
         let mut ctx = Ctx::new(&mut engine, &clients);
         assert_eq!(ctx.priority(ClientId(1)), Priority::BestEffort);

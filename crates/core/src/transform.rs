@@ -31,7 +31,10 @@ pub struct TransformConfig {
 
 impl Default for TransformConfig {
     fn default() -> Self {
-        TransformConfig { ptb_overhead_ppm: 250, opaque_replacement_ppm: 50 }
+        TransformConfig {
+            ptb_overhead_ppm: 250,
+            opaque_replacement_ppm: 50,
+        }
     }
 }
 
@@ -57,7 +60,8 @@ impl TransformPlan {
     /// The kernel that will actually be launched.
     pub fn kernel(&self) -> &Arc<KernelDesc> {
         match self {
-            TransformPlan::BlockLevel { kernel, .. } | TransformPlan::KernelLevelOnly { kernel } => kernel,
+            TransformPlan::BlockLevel { kernel, .. }
+            | TransformPlan::KernelLevelOnly { kernel } => kernel,
         }
     }
 
@@ -91,7 +95,11 @@ pub struct KernelTransformer {
 impl KernelTransformer {
     /// A transformer with the given parameters.
     pub fn new(cfg: TransformConfig) -> Self {
-        KernelTransformer { cfg, plans: HashMap::new(), stats: TransformStats::default() }
+        KernelTransformer {
+            cfg,
+            plans: HashMap::new(),
+            stats: TransformStats::default(),
+        }
     }
 
     /// Activity counters.
@@ -135,7 +143,9 @@ impl KernelTransformer {
             }
             KernelOrigin::Cooperative => {
                 self.stats.kernel_level_only += 1;
-                TransformPlan::KernelLevelOnly { kernel: Arc::clone(kernel) }
+                TransformPlan::KernelLevelOnly {
+                    kernel: Arc::clone(kernel),
+                }
             }
         };
         self.plans.insert(kernel.id, plan.clone());

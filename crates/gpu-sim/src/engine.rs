@@ -156,7 +156,7 @@ impl Active {
     }
 }
 
-/// The discrete-event GPU engine. See the [module docs](self) for the
+/// The discrete-event GPU engine. See the module docs for the
 /// execution model.
 ///
 /// ```
@@ -271,7 +271,11 @@ impl Engine {
 
     /// How many more blocks of `kernel` could become resident right now.
     pub fn fit_blocks(&self, kernel: &KernelDesc) -> u64 {
-        self.fit(u64::MAX, kernel.threads_per_block() as u64, kernel.smem_bytes as u64)
+        self.fit(
+            u64::MAX,
+            kernel.threads_per_block() as u64,
+            kernel.smem_bytes as u64,
+        )
     }
 
     /// Whether any launch is resident or pending.
@@ -282,7 +286,9 @@ impl Engine {
     /// Whether the given launch is still known to the engine (pending,
     /// resident, or draining).
     pub fn is_active(&self, id: LaunchId) -> bool {
-        self.launches.get(id.0 as usize).is_some_and(Option::is_some)
+        self.launches
+            .get(id.0 as usize)
+            .is_some_and(Option::is_some)
     }
 
     /// Number of tasks the launch has completed so far (in its own task
@@ -414,7 +420,11 @@ impl Engine {
 
     fn push(&mut self, time: SimTime, ev: Ev) {
         self.event_seq += 1;
-        self.heap.push(Reverse(HeapEntry { time, seq: self.event_seq, ev }));
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            seq: self.event_seq,
+            ev,
+        }));
     }
 
     fn deactivate(&mut self, id: LaunchId) {
@@ -549,7 +559,11 @@ impl Engine {
             active.resident_blocks = 0;
             let note = if active.done == active.total && !active.preempt {
                 self.stats.completed += 1;
-                Notification::Completed { id, client: active.req.client, at: self.now }
+                Notification::Completed {
+                    id,
+                    client: active.req.client,
+                    at: self.now,
+                }
             } else {
                 self.stats.preempted += 1;
                 Notification::Preempted {
@@ -577,7 +591,9 @@ impl Engine {
     fn start_round(&mut self, id: LaunchId) {
         let (threads, smem, want_more, remaining);
         {
-            let active = self.launches[id.0 as usize].as_ref().expect("active PTB launch");
+            let active = self.launches[id.0 as usize]
+                .as_ref()
+                .expect("active PTB launch");
             threads = active.threads_per_block();
             smem = active.smem_per_block();
             want_more = active.ptb_target.saturating_sub(active.resident_blocks);
@@ -590,7 +606,9 @@ impl Engine {
         }
         let slow = self.slowdown(id);
         let jitter = self.jitter_factor();
-        let active = self.launches[id.0 as usize].as_mut().expect("active PTB launch");
+        let active = self.launches[id.0 as usize]
+            .as_mut()
+            .expect("active PTB launch");
         active.resident_blocks += top_up;
         let take = active.resident_blocks.min(remaining);
         // Workers beyond the remaining work exit the persistent loop now.
@@ -627,7 +645,10 @@ impl Engine {
         let mut first: Option<usize> = None;
         let mut multi = false;
         for &i in &self.active {
-            if self.launches[i].as_ref().is_some_and(Active::wants_dispatch) {
+            if self.launches[i]
+                .as_ref()
+                .is_some_and(Active::wants_dispatch)
+            {
                 if first.is_some() {
                     multi = true;
                     break;
@@ -649,7 +670,11 @@ impl Engine {
             .active
             .iter()
             .copied()
-            .filter(|&i| self.launches[i].as_ref().is_some_and(Active::wants_dispatch))
+            .filter(|&i| {
+                self.launches[i]
+                    .as_ref()
+                    .is_some_and(Active::wants_dispatch)
+            })
             .collect();
         ids.sort_by_key(|&i| {
             let a = self.launches[i].as_ref().expect("filtered above");
@@ -661,7 +686,9 @@ impl Engine {
                 if self.free.blocks == 0 {
                     return;
                 }
-                let Some(active) = self.launches[i].as_ref() else { continue };
+                let Some(active) = self.launches[i].as_ref() else {
+                    continue;
+                };
                 if !active.wants_dispatch() {
                     continue;
                 }
@@ -683,13 +710,16 @@ impl Engine {
     fn place_wave_chunk(&mut self, id: LaunchId) -> bool {
         let (threads, smem, pending, chunk_cap);
         {
-            let active = self.launches[id.0 as usize].as_ref().expect("active launch");
+            let active = self.launches[id.0 as usize]
+                .as_ref()
+                .expect("active launch");
             threads = active.threads_per_block();
             smem = active.smem_per_block();
             pending = active.total - active.fetched;
-            let wave = self
-                .spec
-                .wave_capacity(active.req.kernel.threads_per_block(), active.req.kernel.smem_bytes);
+            let wave = self.spec.wave_capacity(
+                active.req.kernel.threads_per_block(),
+                active.req.kernel.smem_bytes,
+            );
             chunk_cap = (wave / Self::WAVE_CHUNKS).max(1);
         }
         if pending == 0 {
@@ -702,7 +732,9 @@ impl Engine {
         self.reserve(m, threads, smem);
         let slow = self.slowdown(id);
         let jitter = self.jitter_factor();
-        let active = self.launches[id.0 as usize].as_mut().expect("active launch");
+        let active = self.launches[id.0 as usize]
+            .as_mut()
+            .expect("active launch");
         active.fetched += m;
         active.in_flight += 1;
         active.resident_blocks += m;
@@ -716,7 +748,9 @@ impl Engine {
     fn place_ptb(&mut self, id: LaunchId) -> bool {
         let (threads, smem, target);
         {
-            let active = self.launches[id.0 as usize].as_ref().expect("active launch");
+            let active = self.launches[id.0 as usize]
+                .as_ref()
+                .expect("active launch");
             debug_assert!(active.resident_blocks == 0 && !active.round_active);
             threads = active.threads_per_block();
             smem = active.smem_per_block();
@@ -800,7 +834,10 @@ mod tests {
         let k = kernel(64, 512, 100);
         let req = LaunchRequest {
             kernel: k,
-            shape: LaunchShape::Slice { offset: 16, count: 16 },
+            shape: LaunchShape::Slice {
+                offset: 16,
+                count: 16,
+            },
             client: ClientId(0),
             priority: Priority::BestEffort,
         };
@@ -815,7 +852,11 @@ mod tests {
         let k = kernel(40, 512, 100);
         let req = LaunchRequest {
             kernel: k,
-            shape: LaunchShape::Ptb { workers: 8, offset: 0, overhead_ppm: 0 },
+            shape: LaunchShape::Ptb {
+                workers: 8,
+                offset: 0,
+                overhead_ppm: 0,
+            },
             client: ClientId(0),
             priority: Priority::BestEffort,
         };
@@ -832,7 +873,11 @@ mod tests {
         let k = kernel(8, 512, 100);
         let req = LaunchRequest {
             kernel: k,
-            shape: LaunchShape::Ptb { workers: 8, offset: 0, overhead_ppm: 250 },
+            shape: LaunchShape::Ptb {
+                workers: 8,
+                offset: 0,
+                overhead_ppm: 250,
+            },
             client: ClientId(0),
             priority: Priority::BestEffort,
         };
@@ -847,7 +892,11 @@ mod tests {
         let k = kernel(64, 512, 100);
         let req = LaunchRequest {
             kernel: k,
-            shape: LaunchShape::Ptb { workers: 16, offset: 0, overhead_ppm: 0 },
+            shape: LaunchShape::Ptb {
+                workers: 16,
+                offset: 0,
+                overhead_ppm: 0,
+            },
             client: ClientId(2),
             priority: Priority::BestEffort,
         };
@@ -876,7 +925,11 @@ mod tests {
         let k = kernel(64, 512, 100);
         let mk = |offset| LaunchRequest {
             kernel: k.clone(),
-            shape: LaunchShape::Ptb { workers: 16, offset, overhead_ppm: 0 },
+            shape: LaunchShape::Ptb {
+                workers: 16,
+                offset,
+                overhead_ppm: 0,
+            },
             client: ClientId(0),
             priority: Priority::BestEffort,
         };
@@ -891,10 +944,7 @@ mod tests {
         e.submit(mk(done_upto));
         let notes = drain(&mut e);
         // 48 remaining tasks / 16 workers = 3 rounds.
-        assert_eq!(
-            notes[0].at(),
-            SimTime::from_micros(104 + 4 + 300),
-        );
+        assert_eq!(notes[0].at(), SimTime::from_micros(104 + 4 + 300),);
     }
 
     #[test]
@@ -907,7 +957,11 @@ mod tests {
         let notes = drain(&mut e);
         assert!(matches!(
             notes[0],
-            Notification::Preempted { done_upto: 0, total: 16, .. }
+            Notification::Preempted {
+                done_upto: 0,
+                total: 16,
+                ..
+            }
         ));
         assert!(e.is_idle());
     }
@@ -932,7 +986,10 @@ mod tests {
         // First BE wave ends at 104us; HP wave runs 104..154 (with contention
         // disabled in tiny spec); BE's second wave only starts at 154.
         assert_eq!(hp_done.at(), SimTime::from_micros(154));
-        let be_done = notes.iter().find(|n| n.launch() != hp_id).expect("BE completes");
+        let be_done = notes
+            .iter()
+            .find(|n| n.launch() != hp_id)
+            .expect("BE completes");
         assert_eq!(be_done.at(), SimTime::from_micros(254));
     }
 
@@ -974,7 +1031,10 @@ mod tests {
         e.submit(LaunchRequest::full(k, ClientId(0), Priority::High));
         assert_eq!(e.advance(SimTime::from_micros(50)), Step::ReachedLimit);
         assert_eq!(e.now(), SimTime::from_micros(50));
-        assert!(matches!(e.advance(SimTime::from_micros(200)), Step::Notified(_)));
+        assert!(matches!(
+            e.advance(SimTime::from_micros(200)),
+            Step::Notified(_)
+        ));
     }
 
     #[test]

@@ -4,7 +4,6 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-
 use crate::spec::GpuSpec;
 use crate::time::SimSpan;
 
@@ -227,7 +226,11 @@ impl PartialEq for KernelDesc {
 
 impl fmt::Display for KernelDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{} grid {} block {}]", self.name, self.id, self.grid, self.block)
+        write!(
+            f,
+            "{} [{} grid {} block {}]",
+            self.name, self.id, self.grid, self.block
+        )
     }
 }
 

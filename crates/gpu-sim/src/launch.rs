@@ -3,7 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-
 use crate::kernel::KernelDesc;
 use crate::time::SimTime;
 
@@ -105,7 +104,12 @@ pub struct LaunchRequest {
 impl LaunchRequest {
     /// A full (untransformed) launch of `kernel` for `client`.
     pub fn full(kernel: Arc<KernelDesc>, client: ClientId, priority: Priority) -> Self {
-        LaunchRequest { kernel, shape: LaunchShape::Full, client, priority }
+        LaunchRequest {
+            kernel,
+            shape: LaunchShape::Full,
+            client,
+            priority,
+        }
     }
 
     /// Number of original-grid blocks (tasks) this request will execute.
@@ -209,13 +213,20 @@ mod tests {
         assert_eq!(full.resident_blocks(), 100);
 
         let slice = LaunchRequest {
-            shape: LaunchShape::Slice { offset: 40, count: 10 },
+            shape: LaunchShape::Slice {
+                offset: 40,
+                count: 10,
+            },
             ..full.clone()
         };
         assert_eq!(slice.task_count(), 10);
 
         let ptb = LaunchRequest {
-            shape: LaunchShape::Ptb { workers: 8, offset: 25, overhead_ppm: 250 },
+            shape: LaunchShape::Ptb {
+                workers: 8,
+                offset: 25,
+                overhead_ppm: 250,
+            },
             ..full
         };
         assert_eq!(ptb.task_count(), 75);

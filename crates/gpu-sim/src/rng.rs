@@ -29,7 +29,9 @@ impl SmallRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        SmallRng { s: [next(), next(), next(), next()] }
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// The raw 64-bit output of xoshiro256++.

@@ -1,6 +1,5 @@
 //! GPU hardware specification and the contention model parameters.
 
-
 use crate::time::SimSpan;
 
 /// Static description of the simulated GPU.
@@ -95,7 +94,10 @@ impl GpuSpec {
     ///
     /// Panics if `threads_per_block` is zero.
     pub fn wave_capacity(&self, threads_per_block: u32, smem_per_block: u32) -> u64 {
-        assert!(threads_per_block > 0, "a block must have at least one thread");
+        assert!(
+            threads_per_block > 0,
+            "a block must have at least one thread"
+        );
         let by_blocks = self.total_block_slots();
         let by_threads = self.total_thread_slots() / threads_per_block as u64;
         let by_smem = if smem_per_block == 0 {

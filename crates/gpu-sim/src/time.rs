@@ -17,17 +17,12 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-
 /// An instant in simulated time, in nanoseconds since simulation start.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (a duration), in nanoseconds.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimSpan(u64);
 
 impl SimTime {
@@ -124,7 +119,10 @@ impl SimSpan {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "span seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "span seconds must be finite and non-negative"
+        );
         SimSpan((s * 1e9).round() as u64)
     }
 
@@ -238,7 +236,10 @@ impl Sub<SimTime> for SimTime {
     /// Panics in debug builds if `rhs` is later than `self`; use
     /// [`SimTime::saturating_since`] when ordering is uncertain.
     fn sub(self, rhs: SimTime) -> SimSpan {
-        debug_assert!(self.0 >= rhs.0, "subtracting a later instant from an earlier one");
+        debug_assert!(
+            self.0 >= rhs.0,
+            "subtracting a later instant from an earlier one"
+        );
         SimSpan(self.0.saturating_sub(rhs.0))
     }
 }
@@ -266,7 +267,10 @@ impl AddAssign for SimSpan {
 impl Sub for SimSpan {
     type Output = SimSpan;
     fn sub(self, rhs: SimSpan) -> SimSpan {
-        debug_assert!(self.0 >= rhs.0, "subtracting a longer span from a shorter one");
+        debug_assert!(
+            self.0 >= rhs.0,
+            "subtracting a longer span from a shorter one"
+        );
         SimSpan(self.0.saturating_sub(rhs.0))
     }
 }

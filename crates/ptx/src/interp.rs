@@ -38,7 +38,11 @@ pub struct Launch {
 impl Launch {
     /// A 1-D launch.
     pub fn linear(grid: u32, block: u32, params: Vec<u64>) -> Self {
-        Launch { grid: (grid, 1, 1), block: (block, 1, 1), params }
+        Launch {
+            grid: (grid, 1, 1),
+            block: (block, 1, 1),
+            params,
+        }
     }
 
     /// Total number of blocks.
@@ -99,10 +103,16 @@ impl fmt::Display for InterpError {
                 write!(f, "out-of-bounds {space:?} access at word {addr}")
             }
             InterpError::BarrierDivergence { block } => {
-                write!(f, "barrier divergence in block {block}: exited threads while others sync")
+                write!(
+                    f,
+                    "barrier divergence in block {block}: exited threads while others sync"
+                )
             }
             InterpError::BrxOutOfRange { idx, table_len } => {
-                write!(f, "brx index {idx} outside target table of length {table_len}")
+                write!(
+                    f,
+                    "brx index {idx} outside target table of length {table_len}"
+                )
             }
             InterpError::StepLimit => f.write_str("instruction budget exhausted"),
         }
@@ -130,7 +140,9 @@ pub struct InterpStats {
 enum ThreadStatus {
     Ready,
     /// Waiting at a barrier; `or` carries the `bar.or.pred` payload.
-    AtBar { or: Option<(crate::ir::Pred, bool)> },
+    AtBar {
+        or: Option<(crate::ir::Pred, bool)>,
+    },
     Done,
 }
 
@@ -203,7 +215,13 @@ impl<'k> GridExec<'k> {
                 }
             }
         }
-        Ok(GridExec { kernel, labels, launch, blocks, stats: InterpStats::default() })
+        Ok(GridExec {
+            kernel,
+            labels,
+            launch,
+            blocks,
+            stats: InterpStats::default(),
+        })
     }
 
     /// Number of blocks in the launch.
@@ -245,7 +263,14 @@ impl<'k> GridExec<'k> {
         if b.done {
             return Ok(BlockState::Done);
         }
-        let state = b.advance(self.kernel, &self.labels, &self.launch, global, budget, &mut self.stats)?;
+        let state = b.advance(
+            self.kernel,
+            &self.labels,
+            &self.launch,
+            global,
+            budget,
+            &mut self.stats,
+        )?;
         Ok(state)
     }
 
@@ -336,7 +361,8 @@ impl BlockExec {
 
     fn linear_index(&self, launch: &Launch) -> u64 {
         self.coords.0 as u64
-            + launch.grid.0 as u64 * (self.coords.1 as u64 + launch.grid.1 as u64 * self.coords.2 as u64)
+            + launch.grid.0 as u64
+                * (self.coords.1 as u64 + launch.grid.1 as u64 * self.coords.2 as u64)
     }
 
     fn advance(
@@ -453,21 +479,37 @@ impl BlockExec {
                     self.threads[t].preds[d.0 as usize] = v;
                     self.threads[t].pc += 1;
                 }
-                Op::Ld { space, d, addr, off } => {
+                Op::Ld {
+                    space,
+                    d,
+                    addr,
+                    off,
+                } => {
                     let base = self.eval(t, *addr, launch);
                     let a = base.wrapping_add(self.eval(t, *off, launch));
                     let v = self.load(*space, a, global)?;
                     self.threads[t].regs[d.0 as usize] = v;
                     self.threads[t].pc += 1;
                 }
-                Op::St { space, addr, off, a } => {
+                Op::St {
+                    space,
+                    addr,
+                    off,
+                    a,
+                } => {
                     let base = self.eval(t, *addr, launch);
                     let v = self.eval(t, *a, launch);
                     let ad = base.wrapping_add(self.eval(t, *off, launch));
                     self.store(*space, ad, v, global)?;
                     self.threads[t].pc += 1;
                 }
-                Op::AtomAdd { space, d, addr, off, a } => {
+                Op::AtomAdd {
+                    space,
+                    d,
+                    addr,
+                    off,
+                    a,
+                } => {
                     let base = self.eval(t, *addr, launch);
                     let v = self.eval(t, *a, launch);
                     let ad = base.wrapping_add(self.eval(t, *off, launch));
@@ -484,7 +526,9 @@ impl BlockExec {
                 Op::BarOrPred { d, a } => {
                     self.threads[t].pc += 1;
                     self.threads[t].pending_or_dst = Some(d.0);
-                    self.threads[t].status = ThreadStatus::AtBar { or: Some((*a, true)) };
+                    self.threads[t].status = ThreadStatus::AtBar {
+                        or: Some((*a, true)),
+                    };
                     return Ok(());
                 }
                 Op::Bra { t: tgt } => {
@@ -619,8 +663,18 @@ mod tests {
             b: Operand::Imm(100),
             c: Operand::Sreg(Sreg::Tid(Axis::X)),
         });
-        k.push(Op::Bin { op: BinOp::Add, d: r0, a: r0.into(), b: out });
-        k.push(Op::St { space: Space::Global, addr: r0.into(), off: Operand::Imm(0), a: r1.into() });
+        k.push(Op::Bin {
+            op: BinOp::Add,
+            d: r0,
+            a: r0.into(),
+            b: out,
+        });
+        k.push(Op::St {
+            space: Space::Global,
+            addr: r0.into(),
+            off: Operand::Imm(0),
+            a: r1.into(),
+        });
         k.push(Op::Ret);
         k
     }
@@ -639,7 +693,13 @@ mod tests {
         let k = simple_store_kernel();
         let mut mem = vec![0u64; 8];
         let err = run_kernel(&k, &Launch::linear(1, 1, vec![]), &mut mem).unwrap_err();
-        assert_eq!(err, InterpError::ParamCountMismatch { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            InterpError::ParamCountMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
     }
 
     #[test]
@@ -647,7 +707,13 @@ mod tests {
         let k = simple_store_kernel();
         let mut mem = vec![0u64; 2];
         let err = run_kernel(&k, &Launch::linear(2, 4, vec![0]), &mut mem).unwrap_err();
-        assert!(matches!(err, InterpError::OobAccess { space: Space::Global, .. }));
+        assert!(matches!(
+            err,
+            InterpError::OobAccess {
+                space: Space::Global,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -660,8 +726,16 @@ mod tests {
         let r_rev = k.fresh_reg();
         let r_val = k.fresh_reg();
         let r_addr = k.fresh_reg();
-        k.push(Op::Mov { d: r_tid, a: Operand::Sreg(Sreg::Tid(Axis::X)) });
-        k.push(Op::St { space: Space::Shared, addr: r_tid.into(), off: Operand::Imm(0), a: r_tid.into() });
+        k.push(Op::Mov {
+            d: r_tid,
+            a: Operand::Sreg(Sreg::Tid(Axis::X)),
+        });
+        k.push(Op::St {
+            space: Space::Shared,
+            addr: r_tid.into(),
+            off: Operand::Imm(0),
+            a: r_tid.into(),
+        });
         k.push(Op::Bar);
         k.push(Op::Bin {
             op: BinOp::Sub,
@@ -669,10 +743,30 @@ mod tests {
             a: Operand::Sreg(Sreg::Ntid(Axis::X)),
             b: r_tid.into(),
         });
-        k.push(Op::Bin { op: BinOp::Sub, d: r_rev, a: r_rev.into(), b: Operand::Imm(1) });
-        k.push(Op::Ld { space: Space::Shared, d: r_val, addr: r_rev.into(), off: Operand::Imm(0) });
-        k.push(Op::Bin { op: BinOp::Add, d: r_addr, a: r_tid.into(), b: out });
-        k.push(Op::St { space: Space::Global, addr: r_addr.into(), off: Operand::Imm(0), a: r_val.into() });
+        k.push(Op::Bin {
+            op: BinOp::Sub,
+            d: r_rev,
+            a: r_rev.into(),
+            b: Operand::Imm(1),
+        });
+        k.push(Op::Ld {
+            space: Space::Shared,
+            d: r_val,
+            addr: r_rev.into(),
+            off: Operand::Imm(0),
+        });
+        k.push(Op::Bin {
+            op: BinOp::Add,
+            d: r_addr,
+            a: r_tid.into(),
+            b: out,
+        });
+        k.push(Op::St {
+            space: Space::Global,
+            addr: r_addr.into(),
+            off: Operand::Imm(0),
+            a: r_val.into(),
+        });
         k.push(Op::Ret);
         k.shared_words = 4;
         let mut mem = vec![0u64; 4];
@@ -715,15 +809,30 @@ mod tests {
             b: Operand::Imm(2),
         });
         k.push(Op::BarOrPred { d: q, a: p });
-        k.push(Op::Mov { d: r, a: Operand::Imm(0) });
-        k.push_guarded(q, true, Op::Mov { d: r, a: Operand::Imm(1) });
+        k.push(Op::Mov {
+            d: r,
+            a: Operand::Imm(0),
+        });
+        k.push_guarded(
+            q,
+            true,
+            Op::Mov {
+                d: r,
+                a: Operand::Imm(1),
+            },
+        );
         k.push(Op::Bin {
             op: BinOp::Add,
             d: r_addr,
             a: Operand::Sreg(Sreg::Tid(Axis::X)),
             b: out,
         });
-        k.push(Op::St { space: Space::Global, addr: r_addr.into(), off: Operand::Imm(0), a: r.into() });
+        k.push(Op::St {
+            space: Space::Global,
+            addr: r_addr.into(),
+            off: Operand::Imm(0),
+            a: r.into(),
+        });
         k.push(Op::Ret);
         let mut mem = vec![0u64; 4];
         run_kernel(&k, &Launch::linear(1, 4, vec![0]), &mut mem).expect("runs");
@@ -735,7 +844,13 @@ mod tests {
         let mut k = Kernel::new("count");
         let ctr = k.add_param("ctr");
         let r = k.fresh_reg();
-        k.push(Op::AtomAdd { space: Space::Global, d: r, addr: ctr, off: Operand::Imm(0), a: Operand::Imm(1) });
+        k.push(Op::AtomAdd {
+            space: Space::Global,
+            d: r,
+            addr: ctr,
+            off: Operand::Imm(0),
+            a: Operand::Imm(1),
+        });
         k.push(Op::Ret);
         let mut mem = vec![0u64; 1];
         run_kernel(&k, &Launch::linear(5, 3, vec![0]), &mut mem).expect("runs");
@@ -760,10 +875,34 @@ mod tests {
         let out = k.add_param("out");
         let p = k.fresh_pred();
         let r = k.fresh_reg();
-        k.push(Op::SetP { op: CmpOp::Eq, d: p, a: Operand::Imm(1), b: Operand::Imm(1) });
-        k.push_guarded(p, false, Op::Mov { d: r, a: Operand::Imm(99) }); // skipped
-        k.push_guarded(p, true, Op::Mov { d: r, a: Operand::Imm(42) }); // taken
-        k.push(Op::St { space: Space::Global, addr: out, off: Operand::Imm(0), a: r.into() });
+        k.push(Op::SetP {
+            op: CmpOp::Eq,
+            d: p,
+            a: Operand::Imm(1),
+            b: Operand::Imm(1),
+        });
+        k.push_guarded(
+            p,
+            false,
+            Op::Mov {
+                d: r,
+                a: Operand::Imm(99),
+            },
+        ); // skipped
+        k.push_guarded(
+            p,
+            true,
+            Op::Mov {
+                d: r,
+                a: Operand::Imm(42),
+            },
+        ); // taken
+        k.push(Op::St {
+            space: Space::Global,
+            addr: out,
+            off: Operand::Imm(0),
+            a: r.into(),
+        });
         k.push(Op::Ret);
         let mut mem = vec![0u64; 1];
         run_kernel(&k, &Launch::linear(1, 1, vec![0]), &mut mem).expect("runs");
@@ -790,11 +929,25 @@ mod tests {
             b: Operand::Sreg(Sreg::Nctaid(Axis::X)),
             c: Operand::Sreg(Sreg::Ctaid(Axis::X)),
         });
-        k.push(Op::Bin { op: BinOp::Add, d: tmp, a: r.into(), b: out });
-        k.push(Op::St { space: Space::Global, addr: tmp.into(), off: Operand::Imm(0), a: r.into() });
+        k.push(Op::Bin {
+            op: BinOp::Add,
+            d: tmp,
+            a: r.into(),
+            b: out,
+        });
+        k.push(Op::St {
+            space: Space::Global,
+            addr: tmp.into(),
+            off: Operand::Imm(0),
+            a: r.into(),
+        });
         k.push(Op::Ret);
         let mut mem = vec![0u64; 12];
-        let launch = Launch { grid: (2, 3, 2), block: (1, 1, 1), params: vec![0] };
+        let launch = Launch {
+            grid: (2, 3, 2),
+            block: (1, 1, 1),
+            params: vec![0],
+        };
         run_kernel(&k, &launch, &mut mem).expect("runs");
         assert_eq!(mem, (0..12).collect::<Vec<u64>>());
     }

@@ -15,7 +15,6 @@
 
 use std::fmt;
 
-
 /// A virtual general-purpose register (64-bit).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Reg(pub u16);
@@ -289,7 +288,10 @@ impl Instr {
 
     /// An instruction guarded on `p` having value `polarity`.
     pub fn guarded(p: Pred, polarity: bool, op: Op) -> Self {
-        Instr { guard: Some((p, polarity)), op }
+        Instr {
+            guard: Some((p, polarity)),
+            op,
+        }
     }
 }
 
@@ -515,7 +517,9 @@ impl Kernel {
                     check_opnd(off)?;
                     check_opnd(a)?;
                 }
-                Op::AtomAdd { d, addr, off, a, .. } => {
+                Op::AtomAdd {
+                    d, addr, off, a, ..
+                } => {
                     check_reg(*d)?;
                     check_opnd(addr)?;
                     check_opnd(off)?;
@@ -541,7 +545,11 @@ impl Kernel {
     pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
         for instr in &mut self.body {
             match &mut instr.op {
-                Op::Label(_) | Op::Bar | Op::Ret | Op::Bra { .. } | Op::NotP { .. }
+                Op::Label(_)
+                | Op::Bar
+                | Op::Ret
+                | Op::Bra { .. }
+                | Op::NotP { .. }
                 | Op::BarOrPred { .. } => {}
                 Op::Mov { a, .. } => f(a),
                 Op::Bin { a, b, .. } => {
@@ -605,7 +613,10 @@ mod tests {
     #[test]
     fn validate_catches_bad_register() {
         let mut k = Kernel::new("k");
-        k.push(Op::Mov { d: Reg(3), a: Operand::Imm(0) });
+        k.push(Op::Mov {
+            d: Reg(3),
+            a: Operand::Imm(0),
+        });
         assert_eq!(k.validate(), Err(ValidateError::RegOutOfRange(Reg(3))));
     }
 
@@ -643,12 +654,21 @@ mod tests {
     fn operand_rewriting_visits_reads() {
         let mut k = Kernel::new("k");
         let r = k.fresh_reg();
-        k.push(Op::Mov { d: r, a: Operand::Sreg(Sreg::Ctaid(Axis::X)) });
+        k.push(Op::Mov {
+            d: r,
+            a: Operand::Sreg(Sreg::Ctaid(Axis::X)),
+        });
         k.for_each_operand_mut(|o| {
             if matches!(o, Operand::Sreg(Sreg::Ctaid(Axis::X))) {
                 *o = Operand::Imm(7);
             }
         });
-        assert_eq!(k.body[0].op, Op::Mov { d: r, a: Operand::Imm(7) });
+        assert_eq!(
+            k.body[0].op,
+            Op::Mov {
+                d: r,
+                a: Operand::Imm(7)
+            }
+        );
     }
 }

@@ -76,7 +76,10 @@ impl<'s> Parser<'s> {
     }
 
     fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line, message: msg.into() })
+        Err(ParseError {
+            line,
+            message: msg.into(),
+        })
     }
 
     fn parse(mut self) -> Result<Kernel, ParseError> {
@@ -117,9 +120,10 @@ impl<'s> Parser<'s> {
         }
         self.kernel.num_regs = (self.max_reg + 1) as u16;
         self.kernel.num_preds = (self.max_pred + 1) as u16;
-        self.kernel
-            .validate()
-            .map_err(|e| ParseError { line: 0, message: e.to_string() })?;
+        self.kernel.validate().map_err(|e| ParseError {
+            line: 0,
+            message: e.to_string(),
+        })?;
         Ok(self.kernel)
     }
 
@@ -178,8 +182,11 @@ impl<'s> Parser<'s> {
                 line,
                 message: "guard must be followed by an instruction".into(),
             })?;
-            let (polarity, pname) =
-                if let Some(n) = g.strip_prefix('!') { (false, n) } else { (true, g) };
+            let (polarity, pname) = if let Some(n) = g.strip_prefix('!') {
+                (false, n)
+            } else {
+                (true, g)
+            };
             let p = self.pred(pname, line)?;
             (Some((p, polarity)), r.trim())
         } else {
@@ -201,12 +208,20 @@ impl<'s> Parser<'s> {
         let m = m.strip_prefix("bin.").unwrap_or(m);
         if let Some(op) = bin_op(m) {
             let (d, a, b) = self.three(args, line)?;
-            return Ok(Op::Bin { op, d: self.dst_reg(&d, line)?, a: self.operand(&a, line)?, b: self.operand(&b, line)? });
+            return Ok(Op::Bin {
+                op,
+                d: self.dst_reg(&d, line)?,
+                a: self.operand(&a, line)?,
+                b: self.operand(&b, line)?,
+            });
         }
         match m {
             "mov" => {
                 let (d, a) = self.two(args, line)?;
-                Ok(Op::Mov { d: self.dst_reg(&d, line)?, a: self.operand(&a, line)? })
+                Ok(Op::Mov {
+                    d: self.dst_reg(&d, line)?,
+                    a: self.operand(&a, line)?,
+                })
             }
             "mad" => {
                 let (d, a, b, c) = self.four(args, line)?;
@@ -219,12 +234,18 @@ impl<'s> Parser<'s> {
             }
             "notp" => {
                 let (d, a) = self.two(args, line)?;
-                Ok(Op::NotP { d: self.pred(&d, line)?, a: self.pred(&a, line)? })
+                Ok(Op::NotP {
+                    d: self.pred(&d, line)?,
+                    a: self.pred(&a, line)?,
+                })
             }
             "bar.sync" | "bar" => Ok(Op::Bar),
             "bar.or.pred" => {
                 let (d, a) = self.two(args, line)?;
-                Ok(Op::BarOrPred { d: self.pred(&d, line)?, a: self.pred(&a, line)? })
+                Ok(Op::BarOrPred {
+                    d: self.pred(&d, line)?,
+                    a: self.pred(&a, line)?,
+                })
             }
             "bra" => {
                 if !is_ident(args) {
@@ -255,8 +276,10 @@ impl<'s> Parser<'s> {
             }
             "ret" | "exit" => Ok(Op::Ret),
             _ if m.starts_with("setp.") => {
-                let op = cmp_op(&m[5..])
-                    .ok_or_else(|| ParseError { line, message: format!("bad setp op `{m}`") })?;
+                let op = cmp_op(&m[5..]).ok_or_else(|| ParseError {
+                    line,
+                    message: format!("bad setp op `{m}`"),
+                })?;
                 let (d, a, b) = self.three(args, line)?;
                 Ok(Op::SetP {
                     op,
@@ -269,13 +292,23 @@ impl<'s> Parser<'s> {
                 let space = self.space(&m[3..], line)?;
                 let (d, addr) = self.two(args, line)?;
                 let (base, off) = self.address(&addr, line)?;
-                Ok(Op::Ld { space, d: self.dst_reg(&d, line)?, addr: base, off })
+                Ok(Op::Ld {
+                    space,
+                    d: self.dst_reg(&d, line)?,
+                    addr: base,
+                    off,
+                })
             }
             _ if m.starts_with("st.") => {
                 let space = self.space(&m[3..], line)?;
                 let (addr, a) = self.two(args, line)?;
                 let (base, off) = self.address(&addr, line)?;
-                Ok(Op::St { space, addr: base, off, a: self.operand(&a, line)? })
+                Ok(Op::St {
+                    space,
+                    addr: base,
+                    off,
+                    a: self.operand(&a, line)?,
+                })
             }
             _ if m.starts_with("atom.add.") => {
                 let space = self.space(&m[9..], line)?;
@@ -330,7 +363,10 @@ impl<'s> Parser<'s> {
             parts.push(cur.trim().to_string());
         }
         if parts.len() != n {
-            return self.err(line, format!("expected {n} operands, found {} in `{args}`", parts.len()));
+            return self.err(
+                line,
+                format!("expected {n} operands, found {} in `{args}`", parts.len()),
+            );
         }
         Ok(parts)
     }
@@ -345,7 +381,11 @@ impl<'s> Parser<'s> {
         Ok((v[0].clone(), v[1].clone(), v[2].clone()))
     }
 
-    fn four(&self, args: &str, line: usize) -> Result<(String, String, String, String), ParseError> {
+    fn four(
+        &self,
+        args: &str,
+        line: usize,
+    ) -> Result<(String, String, String, String), ParseError> {
         let v = self.split_args(args, 4, line)?;
         Ok((v[0].clone(), v[1].clone(), v[2].clone(), v[3].clone()))
     }
@@ -379,7 +419,10 @@ impl<'s> Parser<'s> {
     fn address(&mut self, s: &str, line: usize) -> Result<(Operand, Operand), ParseError> {
         let s = s.trim();
         let Some(inner) = s.strip_prefix('[').and_then(|t| t.strip_suffix(']')) else {
-            return self.err(line, format!("address must be `[base]` or `[base +/- off]`, found `{s}`"));
+            return self.err(
+                line,
+                format!("address must be `[base]` or `[base +/- off]`, found `{s}`"),
+            );
         };
         let inner = inner.trim();
         // Split on a top-level + or - ; the offset may be any operand
@@ -411,10 +454,10 @@ impl<'s> Parser<'s> {
             return Ok(Operand::Param(i));
         }
         if let Some(rest) = s.strip_prefix('%') {
-            return self
-                .sreg(rest)
-                .map(Operand::Sreg)
-                .ok_or(ParseError { line, message: format!("unknown special register `%{rest}`") });
+            return self.sreg(rest).map(Operand::Sreg).ok_or(ParseError {
+                line,
+                message: format!("unknown special register `%{rest}`"),
+            });
         }
         if let Some(n) = s.strip_prefix('r') {
             if let Ok(i) = n.parse::<u16>() {
@@ -460,7 +503,9 @@ fn strip_comment(line: &str) -> &str {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 

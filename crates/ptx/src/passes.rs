@@ -26,7 +26,6 @@
 use crate::interp::Launch;
 use crate::ir::{Axis, BinOp, CmpOp, Instr, Kernel, Op, Operand, Pred, Reg, Space, Sreg};
 
-
 /// Result of the slicing transformation.
 #[derive(Clone, Debug)]
 pub struct Sliced {
@@ -58,7 +57,10 @@ fn set_pred_const(p: Pred, value: bool) -> Op {
 /// kernel is an implicit return).
 fn normalize_tail(k: &mut Kernel) {
     match k.body.last() {
-        Some(Instr { guard: None, op: Op::Ret | Op::Bra { .. } | Op::Brx { .. } }) => {}
+        Some(Instr {
+            guard: None,
+            op: Op::Ret | Op::Bra { .. } | Op::Brx { .. },
+        }) => {}
         _ => k.push(Op::Ret),
     }
 }
@@ -95,10 +97,42 @@ fn emit_coords_from_linear(
     gx: Operand,
     gy: Operand,
 ) {
-    prologue.push(Op::Bin { op: BinOp::Rem, d: vctaid[0], a: task.into(), b: gx }.into());
-    prologue.push(Op::Bin { op: BinOp::Div, d: tmp, a: task.into(), b: gx }.into());
-    prologue.push(Op::Bin { op: BinOp::Rem, d: vctaid[1], a: tmp.into(), b: gy }.into());
-    prologue.push(Op::Bin { op: BinOp::Div, d: vctaid[2], a: tmp.into(), b: gy }.into());
+    prologue.push(
+        Op::Bin {
+            op: BinOp::Rem,
+            d: vctaid[0],
+            a: task.into(),
+            b: gx,
+        }
+        .into(),
+    );
+    prologue.push(
+        Op::Bin {
+            op: BinOp::Div,
+            d: tmp,
+            a: task.into(),
+            b: gx,
+        }
+        .into(),
+    );
+    prologue.push(
+        Op::Bin {
+            op: BinOp::Rem,
+            d: vctaid[1],
+            a: tmp.into(),
+            b: gy,
+        }
+        .into(),
+    );
+    prologue.push(
+        Op::Bin {
+            op: BinOp::Div,
+            d: vctaid[2],
+            a: tmp.into(),
+            b: gy,
+        }
+        .into(),
+    );
 }
 
 /// The **slicing transformation** (paper Figure 3a, left).
@@ -157,10 +191,11 @@ pub fn slicing(original: &Kernel) -> Sliced {
     rewrite_block_identity(&mut k, vctaid, [p_gx, p_gy, _p_gz]);
     prologue.append(&mut k.body);
     k.body = prologue;
-    k
-        .validate()
-        .expect("slicing produces a valid kernel");
-    Sliced { kernel: k, n_orig_params }
+    k.validate().expect("slicing produces a valid kernel");
+    Sliced {
+        kernel: k,
+        n_orig_params,
+    }
 }
 
 impl Sliced {
@@ -182,12 +217,25 @@ impl Sliced {
         orig_grid: (u32, u32, u32),
         block: (u32, u32, u32),
     ) -> Launch {
-        assert_eq!(orig_params.len(), self.n_orig_params, "argument count mismatch");
+        assert_eq!(
+            orig_params.len(),
+            self.n_orig_params,
+            "argument count mismatch"
+        );
         let total = orig_grid.0 as u64 * orig_grid.1 as u64 * orig_grid.2 as u64;
         assert!(count > 0 && offset + count <= total, "slice out of range");
         let mut params = orig_params.to_vec();
-        params.extend([offset, orig_grid.0 as u64, orig_grid.1 as u64, orig_grid.2 as u64]);
-        Launch { grid: (count as u32, 1, 1), block, params }
+        params.extend([
+            offset,
+            orig_grid.0 as u64,
+            orig_grid.1 as u64,
+            orig_grid.2 as u64,
+        ]);
+        Launch {
+            grid: (count as u32, 1, 1),
+            block,
+            params,
+        }
     }
 
     /// Evenly partitions a grid of `total` blocks into `slices` contiguous
@@ -232,7 +280,10 @@ pub fn unified_sync(original: &Kernel) -> Kernel {
     let mut src = original.body.clone();
     // Normalize an implicit trailing return.
     match src.last() {
-        Some(Instr { guard: None, op: Op::Ret | Op::Bra { .. } | Op::Brx { .. } }) => {}
+        Some(Instr {
+            guard: None,
+            op: Op::Ret | Op::Bra { .. } | Op::Brx { .. },
+        }) => {}
         _ => src.push(Instr::new(Op::Ret)),
     }
 
@@ -256,7 +307,13 @@ pub fn unified_sync(original: &Kernel) -> Kernel {
                 let idx = resume_labels.len() as u64;
                 resume_labels.push(resume);
                 out.push(set_pred_const(is_sync, true).into());
-                out.push(Op::Mov { d: pos, a: Operand::Imm(idx) }.into());
+                out.push(
+                    Op::Mov {
+                        d: pos,
+                        a: Operand::Imm(idx),
+                    }
+                    .into(),
+                );
                 out.push(Op::Bra { t: bb_sync }.into());
                 out.push(Op::Label(resume).into());
             }
@@ -268,7 +325,13 @@ pub fn unified_sync(original: &Kernel) -> Kernel {
                     None => {
                         out.push(set_pred_const(is_sync, false).into());
                         ret_pos_fixups.push(out.len());
-                        out.push(Op::Mov { d: pos, a: Operand::Imm(0) }.into());
+                        out.push(
+                            Op::Mov {
+                                d: pos,
+                                a: Operand::Imm(0),
+                            }
+                            .into(),
+                        );
                         out.push(Op::Bra { t: bb_sync }.into());
                     }
                     Some((p, polarity)) => {
@@ -277,7 +340,13 @@ pub fn unified_sync(original: &Kernel) -> Kernel {
                         out.push(Instr::guarded(p, !polarity, Op::Bra { t: skip }));
                         out.push(set_pred_const(is_sync, false).into());
                         ret_pos_fixups.push(out.len());
-                        out.push(Op::Mov { d: pos, a: Operand::Imm(0) }.into());
+                        out.push(
+                            Op::Mov {
+                                d: pos,
+                                a: Operand::Imm(0),
+                            }
+                            .into(),
+                        );
                         out.push(Op::Bra { t: bb_sync }.into());
                         out.push(Op::Label(skip).into());
                     }
@@ -295,17 +364,33 @@ pub fn unified_sync(original: &Kernel) -> Kernel {
     // all resume labels.
     let ret_idx = resume_labels.len() as u64;
     for i in ret_pos_fixups {
-        if let Op::Mov { a: Operand::Imm(v), .. } = &mut out[i].op {
+        if let Op::Mov {
+            a: Operand::Imm(v), ..
+        } = &mut out[i].op
+        {
             *v = ret_idx;
         }
     }
 
     // The unified synchronization block.
     out.push(Op::Label(bb_sync).into());
-    out.push(Op::BarOrPred { d: has_sync, a: is_sync }.into());
+    out.push(
+        Op::BarOrPred {
+            d: has_sync,
+            a: is_sync,
+        }
+        .into(),
+    );
     let mut table = resume_labels;
     table.push(bb_sync);
-    out.push(Instr::guarded(has_sync, true, Op::Brx { table, idx: pos.into() }));
+    out.push(Instr::guarded(
+        has_sync,
+        true,
+        Op::Brx {
+            table,
+            idx: pos.into(),
+        },
+    ));
     out.push(Op::Ret.into());
 
     k.body = out;
@@ -327,7 +412,10 @@ pub fn unified_sync(original: &Kernel) -> Kernel {
 /// counter resumes exactly where the preempted launch stopped.
 pub fn ptb(original: &Kernel) -> Ptb {
     let synced = unified_sync(original);
-    let mut k = Kernel { body: Vec::new(), ..synced.clone() };
+    let mut k = Kernel {
+        body: Vec::new(),
+        ..synced.clone()
+    };
     let n_orig_params = original.params.len();
     k.name = format!("{}__ptb", original.name);
 
@@ -370,14 +458,44 @@ pub fn ptb(original: &Kernel) -> Ptb {
         }
         .into(),
     ];
-    out.push(Op::SetP { op: CmpOp::Eq, d: p_leader, a: r_tid.into(), b: Operand::Imm(0) }.into());
+    out.push(
+        Op::SetP {
+            op: CmpOp::Eq,
+            d: p_leader,
+            a: r_tid.into(),
+            b: Operand::Imm(0),
+        }
+        .into(),
+    );
 
     out.push(Op::Label(l_loop).into());
     // Leader: read flag; preempted => sentinel task, else fetch from counter.
     out.push(Instr::guarded(p_leader, false, Op::Bra { t: l_fetched }));
-    out.push(Op::Ld { space: Space::Global, d: r_tmp, addr: p_flag, off: Operand::Imm(0) }.into());
-    out.push(Op::SetP { op: CmpOp::Ne, d: p_pre, a: r_tmp.into(), b: Operand::Imm(0) }.into());
-    out.push(Op::Mov { d: r_task, a: p_total }.into());
+    out.push(
+        Op::Ld {
+            space: Space::Global,
+            d: r_tmp,
+            addr: p_flag,
+            off: Operand::Imm(0),
+        }
+        .into(),
+    );
+    out.push(
+        Op::SetP {
+            op: CmpOp::Ne,
+            d: p_pre,
+            a: r_tmp.into(),
+            b: Operand::Imm(0),
+        }
+        .into(),
+    );
+    out.push(
+        Op::Mov {
+            d: r_task,
+            a: p_total,
+        }
+        .into(),
+    );
     out.push(Instr::guarded(
         p_pre,
         false,
@@ -389,12 +507,36 @@ pub fn ptb(original: &Kernel) -> Ptb {
             a: Operand::Imm(1),
         },
     ));
-    out.push(Op::St { space: Space::Shared, addr: Operand::Imm(bcast), off: Operand::Imm(0), a: r_task.into() }.into());
+    out.push(
+        Op::St {
+            space: Space::Shared,
+            addr: Operand::Imm(bcast),
+            off: Operand::Imm(0),
+            a: r_task.into(),
+        }
+        .into(),
+    );
     out.push(Op::Label(l_fetched).into());
     out.push(Op::Bar.into());
-    out.push(Op::Ld { space: Space::Shared, d: r_task, addr: Operand::Imm(bcast), off: Operand::Imm(0) }.into());
+    out.push(
+        Op::Ld {
+            space: Space::Shared,
+            d: r_task,
+            addr: Operand::Imm(bcast),
+            off: Operand::Imm(0),
+        }
+        .into(),
+    );
     out.push(Op::Bar.into());
-    out.push(Op::SetP { op: CmpOp::Ge, d: p_exit, a: r_task.into(), b: p_total }.into());
+    out.push(
+        Op::SetP {
+            op: CmpOp::Ge,
+            d: p_exit,
+            a: r_task.into(),
+            b: p_total,
+        }
+        .into(),
+    );
     out.push(Instr::guarded(p_exit, true, Op::Ret));
     emit_coords_from_linear(&mut out, r_task, r_tmp, vctaid, p_gx, p_gy);
 
@@ -419,7 +561,10 @@ pub fn ptb(original: &Kernel) -> Ptb {
 
     k.body = out;
     k.validate().expect("ptb produces a valid kernel");
-    Ptb { kernel: k, n_orig_params }
+    Ptb {
+        kernel: k,
+        n_orig_params,
+    }
 }
 
 impl Ptb {
@@ -445,7 +590,11 @@ impl Ptb {
         ctr_addr: u64,
         flag_addr: u64,
     ) -> Launch {
-        assert_eq!(orig_params.len(), self.n_orig_params, "argument count mismatch");
+        assert_eq!(
+            orig_params.len(),
+            self.n_orig_params,
+            "argument count mismatch"
+        );
         assert!(workers > 0, "PTB launch needs at least one worker");
         let total = orig_grid.0 as u64 * orig_grid.1 as u64 * orig_grid.2 as u64;
         let mut params = orig_params.to_vec();
@@ -457,7 +606,11 @@ impl Ptb {
             orig_grid.2 as u64,
             total,
         ]);
-        Launch { grid: (workers, 1, 1), block, params }
+        Launch {
+            grid: (workers, 1, 1),
+            block,
+            params,
+        }
     }
 }
 
@@ -496,7 +649,11 @@ mod tests {
     fn reference_memory() -> Vec<u64> {
         let k = tile_reverse();
         let mut mem = vec![0u64; 6 * 8];
-        let launch = Launch { grid: (3, 2, 1), block: (8, 1, 1), params: vec![0] };
+        let launch = Launch {
+            grid: (3, 2, 1),
+            block: (8, 1, 1),
+            params: vec![0],
+        };
         run_kernel(&k, &launch, &mut mem).expect("reference runs");
         mem
     }
@@ -538,11 +695,19 @@ mod tests {
         let synced = unified_sync(&k);
         let reference = reference_memory();
         let mut mem = vec![0u64; 6 * 8];
-        let launch = Launch { grid: (3, 2, 1), block: (8, 1, 1), params: vec![0] };
+        let launch = Launch {
+            grid: (3, 2, 1),
+            block: (8, 1, 1),
+            params: vec![0],
+        };
         run_kernel(&synced, &launch, &mut mem).expect("synced kernel runs");
         assert_eq!(mem, reference);
         // Exactly one ret remains.
-        let rets = synced.body.iter().filter(|i| matches!(i.op, Op::Ret)).count();
+        let rets = synced
+            .body
+            .iter()
+            .filter(|i| matches!(i.op, Op::Ret))
+            .count();
         assert_eq!(rets, 1);
     }
 
@@ -617,7 +782,10 @@ mod tests {
             assert!(steps < 10_000, "workers must drain after preemption");
         }
         let done = mem[48];
-        assert!(done < 6, "preemption should stop before all tasks (did {done})");
+        assert!(
+            done < 6,
+            "preemption should stop before all tasks (did {done})"
+        );
 
         // Resume: clear the flag, relaunch with the same counter.
         mem[49] = 0;
@@ -657,7 +825,11 @@ mod tests {
         // Reference: n = 10 limits the last block's threads.
         // NOTE: with n=10, block 2 has threads 8..11 active-mixed; shared
         // reads of inactive lanes read zeros — same in both executions.
-        let launch = Launch { grid: (3, 1, 1), block: (4, 1, 1), params: vec![0, 10] };
+        let launch = Launch {
+            grid: (3, 1, 1),
+            block: (4, 1, 1),
+            params: vec![0, 10],
+        };
         let mut reference = vec![0u64; 16];
         run_kernel(&unified_sync(&k), &launch, &mut reference).expect("reference");
 

@@ -40,23 +40,62 @@ fn write_instr(f: &mut fmt::Formatter<'_>, k: &Kernel, instr: &Instr) -> fmt::Re
     match &instr.op {
         Op::Label(_) => unreachable!("handled above"),
         Op::Mov { d, a } => write!(f, "mov r{}, {}", d.0, Dis(a, k))?,
-        Op::Bin { op, d, a, b } => {
-            write!(f, "{} r{}, {}, {}", bin_name(*op), d.0, Dis(a, k), Dis(b, k))?
-        }
-        Op::Mad { d, a, b, c } => {
-            write!(f, "mad r{}, {}, {}, {}", d.0, Dis(a, k), Dis(b, k), Dis(c, k))?
-        }
-        Op::SetP { op, d, a, b } => {
-            write!(f, "setp.{} p{}, {}, {}", cmp_name(*op), d.0, Dis(a, k), Dis(b, k))?
-        }
+        Op::Bin { op, d, a, b } => write!(
+            f,
+            "{} r{}, {}, {}",
+            bin_name(*op),
+            d.0,
+            Dis(a, k),
+            Dis(b, k)
+        )?,
+        Op::Mad { d, a, b, c } => write!(
+            f,
+            "mad r{}, {}, {}, {}",
+            d.0,
+            Dis(a, k),
+            Dis(b, k),
+            Dis(c, k)
+        )?,
+        Op::SetP { op, d, a, b } => write!(
+            f,
+            "setp.{} p{}, {}, {}",
+            cmp_name(*op),
+            d.0,
+            Dis(a, k),
+            Dis(b, k)
+        )?,
         Op::NotP { d, a } => write!(f, "notp p{}, p{}", d.0, a.0)?,
-        Op::Ld { space, d, addr, off } => {
-            write!(f, "ld.{} r{}, {}", space_name(*space), d.0, Addr(addr, off, k))?
-        }
-        Op::St { space, addr, off, a } => {
-            write!(f, "st.{} {}, {}", space_name(*space), Addr(addr, off, k), Dis(a, k))?
-        }
-        Op::AtomAdd { space, d, addr, off, a } => write!(
+        Op::Ld {
+            space,
+            d,
+            addr,
+            off,
+        } => write!(
+            f,
+            "ld.{} r{}, {}",
+            space_name(*space),
+            d.0,
+            Addr(addr, off, k)
+        )?,
+        Op::St {
+            space,
+            addr,
+            off,
+            a,
+        } => write!(
+            f,
+            "st.{} {}, {}",
+            space_name(*space),
+            Addr(addr, off, k),
+            Dis(a, k)
+        )?,
+        Op::AtomAdd {
+            space,
+            d,
+            addr,
+            off,
+            a,
+        } => write!(
             f,
             "atom.add.{} r{}, {}, {}",
             space_name(*space),
@@ -175,7 +214,8 @@ mod tests {
         "#;
         let k = parse_kernel(src).expect("parses");
         let printed = k.to_string();
-        let k2 = parse_kernel(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let k2 =
+            parse_kernel(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         assert_eq!(k.body, k2.body);
         assert_eq!(k.shared_words, k2.shared_words);
         assert_eq!(k.num_regs, k2.num_regs);

@@ -192,7 +192,11 @@ mod tests {
     fn grid2d_tags() {
         let k = grid2d_tag();
         let mut mem = vec![0u64; 12];
-        let launch = Launch { grid: (3, 2, 1), block: (2, 1, 1), params: vec![0] };
+        let launch = Launch {
+            grid: (3, 2, 1),
+            block: (2, 1, 1),
+            params: vec![0],
+        };
         run_kernel(&k, &launch, &mut mem).expect("runs");
         assert_eq!(mem[0], 0); // block (0,0) thread 0
         assert_eq!(mem[5], 2001); // block (2,0) thread 1: 2*1000 + 0 + 1

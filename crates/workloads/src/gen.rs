@@ -1,8 +1,8 @@
 //! Workload-construction utilities: kernel mixes with controlled duration
 //! distributions, calibrated so solo execution matches published numbers.
 
-use tally_gpu::rng::SmallRng;
 use tally_core::harness::WorkloadOp;
+use tally_gpu::rng::SmallRng;
 use tally_gpu::{GpuSpec, KernelDesc, KernelOrigin, SimSpan};
 
 /// One family of kernels within a model (e.g. "attention matmuls"):
@@ -58,7 +58,10 @@ impl Segment {
 
     /// Overrides the single-wave grid occupancy range.
     pub fn with_grid_fill(mut self, lo: f64, hi: f64) -> Self {
-        assert!(0.0 < lo && lo <= hi && hi <= 1.0, "grid fill must be within (0, 1]");
+        assert!(
+            0.0 < lo && lo <= hi && hi <= 1.0,
+            "grid fill must be within (0, 1]"
+        );
         self.grid_fill = (lo, hi);
         self
     }
@@ -74,7 +77,7 @@ const LONG_KERNEL_BLOCK_COST: SimSpan = SimSpan::from_micros(290);
 ///
 /// Short kernels (≲ one wave) use a partial grid with `block_cost = dur`;
 /// long kernels become multi-wave grids with per-block cost capped at
-/// [`LONG_KERNEL_BLOCK_COST`], which is what gives block-level scheduling
+/// `LONG_KERNEL_BLOCK_COST` (290 µs), which is what gives block-level scheduling
 /// its microsecond-scale turnaround advantage over kernel-level scheduling.
 pub fn kernel_with_duration(
     name: String,
@@ -150,7 +153,10 @@ pub fn calibrated_mix(
     let expected_busy_us: f64 = segments
         .iter()
         .map(|seg| {
-            assert!(seg.dur_us.0 > 0.0 && seg.dur_us.1 >= seg.dur_us.0, "bad duration range");
+            assert!(
+                seg.dur_us.0 > 0.0 && seg.dur_us.1 >= seg.dur_us.0,
+                "bad duration range"
+            );
             let mean = if seg.dur_us.1 > seg.dur_us.0 {
                 (seg.dur_us.1 - seg.dur_us.0) / (seg.dur_us.1 / seg.dur_us.0).ln()
             } else {
@@ -277,8 +283,22 @@ mod tests {
     fn deterministic_per_seed() {
         let spec = GpuSpec::a100();
         let seg = [Segment::new(50, (10.0, 200.0), (0.2, 0.8))];
-        let a = calibrated_mix("m", &spec, &seg, SimSpan::from_millis(10), SimSpan::from_millis(10), 3);
-        let b = calibrated_mix("m", &spec, &seg, SimSpan::from_millis(10), SimSpan::from_millis(10), 3);
+        let a = calibrated_mix(
+            "m",
+            &spec,
+            &seg,
+            SimSpan::from_millis(10),
+            SimSpan::from_millis(10),
+            3,
+        );
+        let b = calibrated_mix(
+            "m",
+            &spec,
+            &seg,
+            SimSpan::from_millis(10),
+            SimSpan::from_millis(10),
+            3,
+        );
         for (x, y) in a.iter().zip(&b) {
             match (x, y) {
                 (WorkloadOp::Kernel(kx), WorkloadOp::Kernel(ky)) => {

@@ -38,7 +38,10 @@ impl Maf2Config {
     /// A trace at the given load for a service with the given solo latency
     /// over `duration`, with the paper-matched burstiness defaults.
     pub fn new(load: f64, service_time: SimSpan, duration: SimSpan) -> Self {
-        assert!((0.0..1.0).contains(&load) && load > 0.0, "load must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&load) && load > 0.0,
+            "load must be in (0, 1)"
+        );
         Maf2Config {
             load,
             service_time,
@@ -184,12 +187,16 @@ mod tests {
     #[test]
     fn mean_load_is_respected() {
         for load in [0.1, 0.5, 0.9] {
-            let cfg = Maf2Config::new(load, SimSpan::from_millis(4), SimSpan::from_secs(60))
-                .with_seed(7);
+            let cfg =
+                Maf2Config::new(load, SimSpan::from_millis(4), SimSpan::from_secs(60)).with_seed(7);
             let trace = arrivals(&cfg);
             let expected = load * 60.0 / 0.004;
             let err = (trace.len() as f64 - expected).abs() / expected;
-            assert!(err < 0.15, "load {load}: {} arrivals vs expected {expected:.0}", trace.len());
+            assert!(
+                err < 0.15,
+                "load {load}: {} arrivals vs expected {expected:.0}",
+                trace.len()
+            );
         }
     }
 
@@ -227,7 +234,10 @@ mod tests {
     fn deterministic_per_seed() {
         let cfg = Maf2Config::new(0.3, SimSpan::from_millis(4), SimSpan::from_secs(10));
         assert_eq!(arrivals(&cfg), arrivals(&cfg));
-        let other = arrivals(&Maf2Config { seed: 43, ..cfg.clone() });
+        let other = arrivals(&Maf2Config {
+            seed: 43,
+            ..cfg.clone()
+        });
         assert_ne!(arrivals(&cfg), other);
     }
 
@@ -240,6 +250,9 @@ mod tests {
         // The swell means some windows are much busier than others.
         let max = counts.iter().map(|&(_, n)| n).max().unwrap();
         let min = counts.iter().map(|&(_, n)| n).min().unwrap();
-        assert!(max > min * 2, "expected traffic swell, got min {min} max {max}");
+        assert!(
+            max > min * 2,
+            "expected traffic swell, got min {min} max {max}"
+        );
     }
 }

@@ -120,7 +120,14 @@ impl TrainModel {
             ),
         };
         let busy = total.mul_f64(busy_frac);
-        let ops = calibrated_mix(self.name(), spec, &segments, busy, total, seed_of(self.name()));
+        let ops = calibrated_mix(
+            self.name(),
+            spec,
+            &segments,
+            busy,
+            total,
+            seed_of(self.name()),
+        );
         JobSpec::training(self.name(), ops)
     }
 }
@@ -208,7 +215,14 @@ impl InferModel {
                 .with_grid_fill(0.15, 0.5)],
         };
         // Inference requests are GPU-bound end to end.
-        calibrated_mix(self.name(), spec, &segments, latency, latency, seed_of(self.name()))
+        calibrated_mix(
+            self.name(),
+            spec,
+            &segments,
+            latency,
+            latency,
+            seed_of(self.name()),
+        )
     }
 
     /// Builds the high-priority inference job from an arrival trace.
@@ -245,7 +259,11 @@ mod tests {
             let est = estimate_solo(&spec, iteration).as_secs_f64();
             let target = 1.0 / m.paper_throughput();
             let err = (est - target).abs() / target;
-            assert!(err < 0.03, "{}: estimated {est:.3}s vs Table 2 {target:.3}s", m.name());
+            assert!(
+                err < 0.03,
+                "{}: estimated {est:.3}s vs Table 2 {target:.3}s",
+                m.name()
+            );
         }
     }
 
@@ -257,7 +275,11 @@ mod tests {
             let est = estimate_solo(&spec, &ops).as_secs_f64();
             let target = m.paper_latency().as_secs_f64();
             let err = (est - target).abs() / target;
-            assert!(err < 0.03, "{}: estimated {est:.5}s vs Table 2 {target:.5}s", m.name());
+            assert!(
+                err < 0.03,
+                "{}: estimated {est:.5}s vs Table 2 {target:.5}s",
+                m.name()
+            );
         }
     }
 
@@ -266,7 +288,9 @@ mod tests {
         // Paper §5.5: 99.3% of ResNet50 training kernels finish < 0.1 ms.
         let spec = GpuSpec::a100();
         let job = TrainModel::ResNet50.job(&spec);
-        let JobKind::Training { iteration } = &job.kind else { unreachable!() };
+        let JobKind::Training { iteration } = &job.kind else {
+            unreachable!()
+        };
         let durations: Vec<f64> = iteration
             .iter()
             .filter_map(|op| match op {
@@ -288,7 +312,9 @@ mod tests {
         // Paper §5.5: 5.6% of Whisper kernels exceed 3.93 ms.
         let spec = GpuSpec::a100();
         let job = TrainModel::WhisperV3.job(&spec);
-        let JobKind::Training { iteration } = &job.kind else { unreachable!() };
+        let JobKind::Training { iteration } = &job.kind else {
+            unreachable!()
+        };
         let durations: Vec<f64> = iteration
             .iter()
             .filter_map(|op| match op {
@@ -304,7 +330,10 @@ mod tests {
             frac * 100.0
         );
         let max = durations.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 20.0, "Whisper should have multi-ms kernels, max {max:.1}ms");
+        assert!(
+            max > 20.0,
+            "Whisper should have multi-ms kernels, max {max:.1}ms"
+        );
     }
 
     #[test]
@@ -321,6 +350,10 @@ mod tests {
         };
         let rep = tally_core::harness::run_solo(&spec, &job, &cfg);
         let err = (rep.throughput - 40.0).abs() / 40.0;
-        assert!(err < 0.05, "PointNet solo throughput {:.1} it/s vs 40", rep.throughput);
+        assert!(
+            err < 0.05,
+            "PointNet solo throughput {:.1} it/s vs 40",
+            rep.throughput
+        );
     }
 }

@@ -20,8 +20,16 @@ fn main() {
     let block = (8, 1, 1);
     let n: u64 = 60; // last block partially active
     let mut reference = device_memory();
-    run_kernel(&kernel, &Launch { grid, block, params: vec![0, 64, n] }, &mut reference)
-        .expect("reference run");
+    run_kernel(
+        &kernel,
+        &Launch {
+            grid,
+            block,
+            params: vec![0, 64, n],
+        },
+        &mut reference,
+    )
+    .expect("reference run");
     println!("reference sum = {}", reference[64]);
 
     // --- Slicing ---------------------------------------------------------
@@ -31,7 +39,11 @@ fn main() {
     for (off, count) in passes::Sliced::plan(8, 3) {
         let launch = sliced.launch(&[0, 64, n], off, count, grid, block);
         run_kernel(&sliced.kernel, &launch, &mut mem).expect("slice");
-        println!("slice [{off}, {}) done, partial sum = {}", off + count, mem[64]);
+        println!(
+            "slice [{off}, {}) done, partial sum = {}",
+            off + count,
+            mem[64]
+        );
     }
     assert_eq!(mem[64], reference[64]);
     println!("slicing preserved the result ✓");

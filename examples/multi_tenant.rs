@@ -20,31 +20,45 @@ fn main() {
     };
     let model = InferModel::ResNet50;
 
-    println!("online {} at 10% load + N offline copies (best-effort)\n", model.name());
+    println!(
+        "online {} at 10% load + N offline copies (best-effort)\n",
+        model.name()
+    );
     println!("{:>3} {:>12} {:>16}", "N", "online p99", "req/min (total)");
 
     for n in [0usize, 1, 2, 4, 6, 8, 10] {
         let mut jobs = Vec::new();
         // The online, latency-critical tenant.
-        let trace = arrivals(
-            &Maf2Config::new(0.10, model.paper_latency(), duration).with_seed(100),
-        );
+        let trace =
+            arrivals(&Maf2Config::new(0.10, model.paper_latency(), duration).with_seed(100));
         jobs.push(model.job(&spec, trace));
         // Offline tenants: same model, saturating arrival queues, run as
         // best-effort (the paper designates them offline inference).
         for i in 0..n {
             let trace = arrivals(
-                &Maf2Config::new(0.10, model.paper_latency(), duration)
-                    .with_seed(200 + i as u64),
+                &Maf2Config::new(0.10, model.paper_latency(), duration).with_seed(200 + i as u64),
             );
             jobs.push(model.job(&spec, trace).with_priority(Priority::BestEffort));
         }
 
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let report = run_colocation(&spec, &jobs, &mut tally, &cfg);
-        let online_p99 = report.high_priority().and_then(|c| c.p99()).expect("latencies");
+        let report = Colocation::on(spec.clone())
+            .clients(jobs)
+            .system(&mut tally)
+            .config(cfg.clone())
+            .transport(Transport::SharedMemory)
+            .run();
+        let online_p99 = report
+            .high_priority()
+            .and_then(|c| c.p99())
+            .expect("latencies");
         let total_rpm: f64 = report.clients.iter().map(|c| c.throughput * 60.0).sum();
-        println!("{:>3} {:>12} {:>16.0}", n, format!("{online_p99}"), total_rpm);
+        println!(
+            "{:>3} {:>12} {:>16.0}",
+            n,
+            format!("{online_p99}"),
+            total_rpm
+        );
     }
 
     println!("\nThe online p99 should stay ~flat as tenants pack in.");

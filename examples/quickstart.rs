@@ -19,7 +19,11 @@ fn main() {
 
     // The high-priority side: BERT inference (3.93 ms solo latency),
     // driven by a bursty MAF2-style trace at 50% load.
-    let trace = arrivals(&Maf2Config::new(0.5, InferModel::Bert.paper_latency(), duration));
+    let trace = arrivals(&Maf2Config::new(
+        0.5,
+        InferModel::Bert.paper_latency(),
+        duration,
+    ));
     println!("trace: {} requests over {duration}", trace.len());
     let service = InferModel::Bert.job(&spec, trace);
 
@@ -31,9 +35,16 @@ fn main() {
     let solo_service = run_solo(&spec, &service, &cfg);
     let solo_trainer = run_solo(&spec, &trainer, &cfg);
 
-    // Shared execution under Tally.
+    // Shared execution under Tally, with both clients behind the §4.3
+    // interception stubs (shared-memory transport, as deployed).
     let mut tally = TallySystem::new(TallyConfig::paper_default());
-    let shared = run_colocation(&spec, &[service, trainer], &mut tally, &cfg);
+    let shared = Colocation::on(spec.clone())
+        .client(service)
+        .client(trainer)
+        .system(&mut tally)
+        .config(cfg.clone())
+        .transport(Transport::SharedMemory)
+        .run();
     let hp = shared.high_priority().expect("inference client");
     let be = shared.best_effort().next().expect("training client");
 
@@ -60,4 +71,10 @@ fn main() {
     println!("best-effort preemptions : {}", tally.preemptions());
     println!("profiler                : {:?}", tally.profiler_stats());
     println!("transformer             : {:?}", tally.transform_stats());
+    println!(
+        "interception (service)  : {} forwarded, {} local ({:.0}% local)",
+        hp.intercept.forwarded,
+        hp.intercept.served_locally,
+        hp.intercept.local_fraction() * 100.0
+    );
 }

@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release --example sharing_showdown`
 
 use tally::prelude::*;
+use tally_bench::is_tally_variant;
 
 fn main() {
     let spec = GpuSpec::a100();
@@ -34,14 +35,36 @@ fn main() {
         infer.name(),
         train.name()
     );
-    println!("{:<20} {:>12} {:>12} {:>10}", "system", "p99", "vs ideal", "sys-thr");
-    println!("{:<20} {:>12} {:>12} {:>10.2}", "ideal", format!("{ideal_p99}"), "-", 1.0);
+    println!(
+        "{:<20} {:>12} {:>12} {:>10}",
+        "system", "p99", "vs ideal", "sys-thr"
+    );
+    println!(
+        "{:<20} {:>12} {:>12} {:>10.2}",
+        "ideal",
+        format!("{ideal_p99}"),
+        "-",
+        1.0
+    );
 
     let mut systems: Vec<Box<dyn SharingSystem>> = tally::baselines::all_baselines();
     systems.push(Box::new(TallySystem::new(TallyConfig::paper_default())));
     for system in &mut systems {
-        let report = run_colocation(&spec, &jobs(), system.as_mut(), &cfg);
-        let p99 = report.high_priority().and_then(|c| c.p99()).expect("latencies");
+        // Only Tally (and its ablations) deploy behind the interception
+        // layer; the shared predicate keeps this in sync with the benches.
+        let virtualized = is_tally_variant(system.name());
+        let mut session = Colocation::on(spec.clone())
+            .clients(jobs())
+            .system(system.as_mut())
+            .config(cfg.clone());
+        if virtualized {
+            session = session.transport(Transport::SharedMemory);
+        }
+        let report = session.run();
+        let p99 = report
+            .high_priority()
+            .and_then(|c| c.p99())
+            .expect("latencies");
         let overhead = (p99.ratio(ideal_p99) - 1.0) * 100.0;
         let st = report.system_throughput(&solo);
         println!(

@@ -30,12 +30,17 @@
 //! );
 //! let service = InferModel::ResNet50.job(&spec, arrivals);
 //! let mut tally = TallySystem::new(TallyConfig::paper_default());
-//! let cfg = HarnessConfig {
-//!     duration: SimSpan::from_secs(2),
-//!     warmup: SimSpan::from_millis(200),
-//!     ..Default::default()
-//! };
-//! let report = run_colocation(&spec, &[service, trainer], &mut tally, &cfg);
+//! let report = Colocation::on(spec)
+//!     .client(service)
+//!     .client(trainer)
+//!     .system(&mut tally)
+//!     .config(HarnessConfig {
+//!         duration: SimSpan::from_secs(2),
+//!         warmup: SimSpan::from_millis(200),
+//!         ..Default::default()
+//!     })
+//!     .transport(Transport::SharedMemory)
+//!     .run();
 //! assert!(report.high_priority().unwrap().requests > 0);
 //! ```
 
@@ -50,8 +55,9 @@ pub use tally_workloads as workloads;
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use tally_baselines::{KernelLevelPriority, Mps, Tgs, TimeSlicing};
+    pub use tally_core::api::{ApiCall, ClientStub, InterceptStats, Transport};
     pub use tally_core::harness::{
-        run_colocation, run_solo, HarnessConfig, JobKind, JobSpec, WorkloadOp,
+        run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, WorkloadOp,
     };
     pub use tally_core::metrics::{ClientReport, LatencyRecorder, RunReport};
     pub use tally_core::scheduler::{TallyConfig, TallySystem};

@@ -1,0 +1,135 @@
+//! Client-churn integration tests: a mid-run attach/detach scenario runs
+//! under every Figure-5 system without panics, with deterministic reports,
+//! and with no stuck clients after a departure.
+
+use tally::prelude::*;
+use tally_bench::{run_session, FIG5_SYSTEMS};
+
+const DETACH_AT: SimTime = SimTime::from_secs(2);
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        duration: SimSpan::from_secs(4),
+        warmup: SimSpan::ZERO,
+        seed: 13,
+        jitter: 0.0,
+        record_timelines: true,
+    }
+}
+
+/// One service for the whole run; trainer A leaves at 2 s, trainer B joins
+/// at 1 s and stays.
+fn jobs(spec: &GpuSpec, c: &HarnessConfig) -> [JobSpec; 3] {
+    let trace = arrivals(&Maf2Config::new(
+        0.3,
+        InferModel::Bert.paper_latency(),
+        c.duration,
+    ));
+    [
+        InferModel::Bert.job(spec, trace),
+        TrainModel::PointNet.job(spec).active_until(DETACH_AT),
+        TrainModel::Bert
+            .job(spec)
+            .active_from(SimTime::from_secs(1))
+            .with_priority(Priority::BestEffort),
+    ]
+}
+
+#[test]
+fn churn_is_deterministic_under_every_system() {
+    let spec = GpuSpec::a100();
+    let c = cfg();
+    for name in FIG5_SYSTEMS {
+        let a = run_session(&spec, jobs(&spec, &c), name, &c);
+        let b = run_session(&spec, jobs(&spec, &c), name, &c);
+        for (ca, cb) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(
+                ca.latency.samples(),
+                cb.latency.samples(),
+                "{name}/{}: latencies diverged across identical runs",
+                ca.name
+            );
+            assert_eq!(
+                ca.kernels, cb.kernels,
+                "{name}/{}: kernel counts diverged",
+                ca.name
+            );
+            assert_eq!(
+                ca.iterations, cb.iterations,
+                "{name}/{}: iteration counts diverged",
+                ca.name
+            );
+        }
+    }
+}
+
+#[test]
+fn no_client_is_stuck_after_a_detach() {
+    let spec = GpuSpec::a100();
+    let c = cfg();
+    for name in FIG5_SYSTEMS {
+        let report = run_session(&spec, jobs(&spec, &c), name, &c);
+        let [service, departed, stayer] = &report.clients[..] else {
+            panic!("{name}: expected three clients");
+        };
+
+        // The departed trainer worked while attached and stopped at its
+        // window edge.
+        assert!(departed.iterations > 0, "{name}: trainer A never ran");
+        assert!(
+            departed.op_times.iter().all(|&t| t <= DETACH_AT),
+            "{name}: trainer A completed work after detaching"
+        );
+
+        // The service keeps draining requests after the departure — no
+        // stuck queue, no lost completion.
+        let served_after = service
+            .timed_latencies
+            .iter()
+            .filter(|(arrival, _)| *arrival >= DETACH_AT)
+            .count();
+        assert!(
+            served_after > 0,
+            "{name}: service served nothing after the detach"
+        );
+
+        // The late-joining trainer keeps making progress after its rival
+        // departs (it must not be starved by leaked state).
+        let stayer_late = stayer.op_times.iter().filter(|&&t| t >= DETACH_AT).count();
+        assert!(
+            stayer_late > 0,
+            "{name}: trainer B made no progress after the detach"
+        );
+    }
+}
+
+#[test]
+fn detach_and_reattach_windows_do_not_leak_into_reports() {
+    // A client active only in [1s, 2s) reports work from that window
+    // alone, under every system.
+    let spec = GpuSpec::a100();
+    let c = cfg();
+    for name in FIG5_SYSTEMS {
+        let trace = arrivals(&Maf2Config::new(
+            0.3,
+            InferModel::Bert.paper_latency(),
+            c.duration,
+        ));
+        let jobs = [
+            InferModel::Bert.job(&spec, trace),
+            TrainModel::PointNet
+                .job(&spec)
+                .active_window(SimTime::from_secs(1), SimTime::from_secs(2)),
+        ];
+        let report = run_session(&spec, jobs, name, &c);
+        let trainer = &report.clients[1];
+        assert!(trainer.iterations > 0, "{name}: windowed trainer never ran");
+        assert!(
+            trainer
+                .op_times
+                .iter()
+                .all(|&t| t >= SimTime::from_secs(1) && t <= SimTime::from_secs(2)),
+            "{name}: windowed trainer completed work outside its window"
+        );
+    }
+}

@@ -13,7 +13,12 @@ use tally_gpu::{LaunchId, LaunchRequest, LaunchShape, Notification};
 #[derive(Debug, Clone)]
 enum Action {
     /// Submit a kernel: (blocks, threads_exp, cost_us, ptb_workers).
-    Submit { blocks: u32, threads_exp: u8, cost_us: u64, ptb_workers: Option<u16> },
+    Submit {
+        blocks: u32,
+        threads_exp: u8,
+        cost_us: u64,
+        ptb_workers: Option<u16>,
+    },
     /// Advance simulated time by this many microseconds.
     Advance(u64),
     /// Preempt the nth-oldest still-active launch.
@@ -61,15 +66,26 @@ fn launches_conserve_and_resolve() {
                     live.swap_remove(pos);
                     *resolved += 1;
                 }
-                if let Notification::Preempted { done_upto, total, .. } = n {
-                    assert!(done_upto <= total, "case {case}: progress cannot exceed total");
+                if let Notification::Preempted {
+                    done_upto, total, ..
+                } = n
+                {
+                    assert!(
+                        done_upto <= total,
+                        "case {case}: progress cannot exceed total"
+                    );
                 }
             }
         };
 
         for action in actions {
             match action {
-                Action::Submit { blocks, threads_exp, cost_us, ptb_workers } => {
+                Action::Submit {
+                    blocks,
+                    threads_exp,
+                    cost_us,
+                    ptb_workers,
+                } => {
                     let threads = 1u32 << threads_exp; // 32..=1024
                     let kernel = KernelDesc::builder("prop")
                         .grid(blocks)
@@ -119,8 +135,16 @@ fn launches_conserve_and_resolve() {
         assert!(live.is_empty(), "case {case}: launches left unresolved");
         assert_eq!(submitted, resolved, "case {case}");
         assert!(engine.is_idle(), "case {case}");
-        assert_eq!(engine.free_block_slots(), total_blocks, "case {case}: block slots leaked");
-        assert_eq!(engine.free_thread_slots(), total_threads, "case {case}: thread slots leaked");
+        assert_eq!(
+            engine.free_block_slots(),
+            total_blocks,
+            "case {case}: block slots leaked"
+        );
+        assert_eq!(
+            engine.free_thread_slots(),
+            total_threads,
+            "case {case}: thread slots leaked"
+        );
     }
 }
 

@@ -3,6 +3,19 @@
 
 use tally::prelude::*;
 
+fn run(
+    spec: &GpuSpec,
+    jobs: impl IntoIterator<Item = JobSpec>,
+    system: &mut dyn SharingSystem,
+    c: &HarnessConfig,
+) -> RunReport {
+    Colocation::on(spec.clone())
+        .clients(jobs)
+        .system(system)
+        .config(c.clone())
+        .run()
+}
+
 fn cfg(secs: u64) -> HarnessConfig {
     HarnessConfig {
         duration: SimSpan::from_secs(secs),
@@ -31,8 +44,11 @@ fn tally_beats_every_baseline_on_tail_latency_vs_whisper() {
     let ideal = solo.p99().expect("latencies");
 
     let mut tally = TallySystem::new(TallyConfig::paper_default());
-    let jobs = [bert_at_load(&spec, 0.5, &c), TrainModel::WhisperV3.job(&spec)];
-    let tally_rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let jobs = [
+        bert_at_load(&spec, 0.5, &c),
+        TrainModel::WhisperV3.job(&spec),
+    ];
+    let tally_rep = run(&spec, jobs, &mut tally, &c);
     let tally_p99 = tally_rep.high_priority().unwrap().p99().unwrap();
 
     let mut baselines: Vec<Box<dyn SharingSystem>> = vec![
@@ -42,8 +58,11 @@ fn tally_beats_every_baseline_on_tail_latency_vs_whisper() {
         Box::new(Tgs::new()),
     ];
     for b in &mut baselines {
-        let jobs = [bert_at_load(&spec, 0.5, &c), TrainModel::WhisperV3.job(&spec)];
-        let rep = run_colocation(&spec, &jobs, b.as_mut(), &c);
+        let jobs = [
+            bert_at_load(&spec, 0.5, &c),
+            TrainModel::WhisperV3.job(&spec),
+        ];
+        let rep = run(&spec, jobs, b.as_mut(), &c);
         let p99 = rep.high_priority().unwrap().p99().unwrap();
         assert!(
             p99 > tally_p99,
@@ -68,12 +87,11 @@ fn strict_priority_invariant_under_tally() {
     let solo = run_solo(&spec, &trainer, &c);
 
     // Saturating inference: arrivals at 2x capacity.
-    let trace = arrivals(
-        &Maf2Config::new(0.95, InferModel::Bert.paper_latency(), c.duration).with_seed(1),
-    );
+    let trace =
+        arrivals(&Maf2Config::new(0.95, InferModel::Bert.paper_latency(), c.duration).with_seed(1));
     let jobs = [InferModel::Bert.job(&spec, trace), trainer.clone()];
     let mut tally = TallySystem::new(TallyConfig::paper_default());
-    let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let rep = run(&spec, jobs, &mut tally, &c);
     let be_share = rep.best_effort().next().unwrap().throughput / solo.throughput;
     assert!(
         be_share < 0.35,
@@ -81,12 +99,11 @@ fn strict_priority_invariant_under_tally() {
     );
 
     // Light inference: the trainer keeps most of its solo throughput.
-    let trace = arrivals(
-        &Maf2Config::new(0.05, InferModel::Bert.paper_latency(), c.duration).with_seed(2),
-    );
+    let trace =
+        arrivals(&Maf2Config::new(0.05, InferModel::Bert.paper_latency(), c.duration).with_seed(2));
     let jobs = [InferModel::Bert.job(&spec, trace), trainer];
     let mut tally = TallySystem::new(TallyConfig::paper_default());
-    let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let rep = run(&spec, jobs, &mut tally, &c);
     let be_share = rep.best_effort().next().unwrap().throughput / solo.throughput;
     assert!(
         be_share > 0.55,
@@ -105,7 +122,7 @@ fn tally_p99_is_load_insensitive() {
         let ideal = solo.p99().expect("latencies");
         let jobs = [bert_at_load(&spec, load, &c), TrainModel::Bert.job(&spec)];
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+        let rep = run(&spec, jobs, &mut tally, &c);
         let p99 = rep.high_priority().unwrap().p99().unwrap();
         worst = worst.max(p99.ratio(ideal));
     }
@@ -116,18 +133,21 @@ fn tally_p99_is_load_insensitive() {
 fn runs_are_reproducible() {
     let spec = GpuSpec::a100();
     let c = cfg(4);
-    let run = || {
+    let mk = || {
         let jobs = [bert_at_load(&spec, 0.4, &c), TrainModel::Pegasus.job(&spec)];
         let mut tally = TallySystem::new(TallyConfig::paper_default());
-        run_colocation(&spec, &jobs, &mut tally, &c)
+        run(&spec, jobs, &mut tally, &c)
     };
-    let a = run();
-    let b = run();
+    let a = mk();
+    let b = mk();
     assert_eq!(
         a.high_priority().unwrap().latency.samples(),
         b.high_priority().unwrap().latency.samples()
     );
-    assert_eq!(a.best_effort().next().unwrap().kernels, b.best_effort().next().unwrap().kernels);
+    assert_eq!(
+        a.best_effort().next().unwrap().kernels,
+        b.best_effort().next().unwrap().kernels
+    );
 }
 
 #[test]
@@ -135,11 +155,15 @@ fn multi_best_effort_clients_all_progress() {
     let spec = GpuSpec::a100();
     let c = cfg(5);
     let mut jobs = vec![bert_at_load(&spec, 0.2, &c)];
-    for m in [TrainModel::PointNet, TrainModel::Bert, TrainModel::Gpt2Large] {
+    for m in [
+        TrainModel::PointNet,
+        TrainModel::Bert,
+        TrainModel::Gpt2Large,
+    ] {
         jobs.push(m.job(&spec));
     }
     let mut tally = TallySystem::new(TallyConfig::paper_default());
-    let rep = run_colocation(&spec, &jobs, &mut tally, &c);
+    let rep = run(&spec, jobs, &mut tally, &c);
     for be in rep.best_effort() {
         assert!(be.throughput > 0.0, "{} starved", be.name);
     }

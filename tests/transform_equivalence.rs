@@ -39,7 +39,11 @@ fn random_plan(rng: &mut SmallRng) -> KernelPlan {
             .map(|_| (rng.gen_range(0u32..6) as u8, rng.gen_range(1u64..50)))
             .collect(),
         use_barrier: rng.gen_bool(0.5),
-        early_return_mod: if rng.gen_bool(0.5) { Some(rng.gen_range(2u64..5)) } else { None },
+        early_return_mod: if rng.gen_bool(0.5) {
+            Some(rng.gen_range(2u64..5))
+        } else {
+            None
+        },
     }
 }
 
@@ -82,7 +86,12 @@ fn build_kernel(plan: &KernelPlan) -> Kernel {
             4 => BinOp::Or,
             _ => BinOp::And,
         };
-        k.push(Op::Bin { op: bin, d: r_val, a: r_val.into(), b: Operand::Imm(imm) });
+        k.push(Op::Bin {
+            op: bin,
+            d: r_val,
+            a: r_val.into(),
+            b: Operand::Imm(imm),
+        });
     }
     if let Some(m) = plan.early_return_mod {
         // Threads whose tid % m == 1 bail out before the barrier (their
@@ -103,7 +112,12 @@ fn build_kernel(plan: &KernelPlan) -> Kernel {
             off: Operand::Imm(0),
             a: r_val.into(),
         });
-        k.push(Op::SetP { op: CmpOp::Eq, d: p, a: r_tmp.into(), b: Operand::Imm(1) });
+        k.push(Op::SetP {
+            op: CmpOp::Eq,
+            d: p,
+            a: r_tmp.into(),
+            b: Operand::Imm(1),
+        });
         k.push_guarded(p, true, Op::Ret);
     } else {
         k.push(Op::St {
@@ -129,8 +143,18 @@ fn build_kernel(plan: &KernelPlan) -> Kernel {
             a: r_n.into(),
             b: Operand::Sreg(Sreg::Ntid(Axis::X)),
         });
-        k.push(Op::Ld { space: Space::Shared, d: r_tmp, addr: r_n.into(), off: Operand::Imm(0) });
-        k.push(Op::Bin { op: BinOp::Xor, d: r_val, a: r_val.into(), b: r_tmp.into() });
+        k.push(Op::Ld {
+            space: Space::Shared,
+            d: r_tmp,
+            addr: r_n.into(),
+            off: Operand::Imm(0),
+        });
+        k.push(Op::Bin {
+            op: BinOp::Xor,
+            d: r_val,
+            a: r_val.into(),
+            b: r_tmp.into(),
+        });
     }
     k.push(Op::St {
         space: Space::Global,
@@ -179,7 +203,9 @@ fn unified_sync_preserves_semantics() {
     for case in 0..64u64 {
         let mut rng = SmallRng::seed_from_u64(case);
         let plan = random_plan(&mut rng);
-        let Some(reference) = reference(&plan) else { continue };
+        let Some(reference) = reference(&plan) else {
+            continue;
+        };
         let k = build_kernel(&plan);
         let synced = passes::unified_sync(&k);
         let mut mem = vec![0u64; words_needed(&plan)];
@@ -194,7 +220,9 @@ fn slicing_preserves_semantics_under_any_partition() {
         let mut rng = SmallRng::seed_from_u64(0x51_1CE ^ case);
         let plan = random_plan(&mut rng);
         let slices = rng.gen_range(1u64..7);
-        let Some(reference) = reference(&plan) else { continue };
+        let Some(reference) = reference(&plan) else {
+            continue;
+        };
         let k = build_kernel(&plan);
         // Slicing alone cannot fix divergent barriers, so compose with
         // unified sync exactly as Tally's transformer does.
@@ -211,7 +239,10 @@ fn slicing_preserves_semantics_under_any_partition() {
             );
             run_kernel(&sliced.kernel, &launch, &mut mem).expect("slice runs");
         }
-        assert_eq!(mem, reference, "case {case}: plan {plan:?}, slices {slices}");
+        assert_eq!(
+            mem, reference,
+            "case {case}: plan {plan:?}, slices {slices}"
+        );
     }
 }
 
@@ -222,7 +253,9 @@ fn ptb_preserves_semantics_with_preempt_resume() {
         let plan = random_plan(&mut rng);
         let workers = rng.gen_range(1u32..5);
         let preempt_after = rng.gen_range(1u64..2000);
-        let Some(reference) = reference(&plan) else { continue };
+        let Some(reference) = reference(&plan) else {
+            continue;
+        };
         let k = build_kernel(&plan);
         let ptb = passes::ptb(&k);
         let n = words_needed(&plan);
