@@ -12,7 +12,7 @@
 //!
 //! Pass `--json PATH` to record the per-phase measurements.
 
-use tally_bench::{banner, ms, run_session, windowed_p99, JsonSink, FIG5_SYSTEMS};
+use tally_bench::{banner, ms, run_session, JsonSink, FIG5_SYSTEMS};
 use tally_core::harness::{run_solo, HarnessConfig};
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 use tally_workloads::maf2::{arrivals, Maf2Config};
@@ -73,7 +73,7 @@ fn main() {
     let solo = run_solo(&spec, &service, &cfg);
     print!("{:<16}", "ideal");
     for (label, from, until) in phases() {
-        let p99 = windowed_p99(&solo, from, until);
+        let p99 = solo.windowed(from, until).p99();
         print!("{:>22}", p99.map_or("-".into(), ms));
         if let Some(p) = p99 {
             sink.record(
@@ -91,7 +91,7 @@ fn main() {
         let hp = report.high_priority().expect("service");
         print!("{system_name:<16}");
         for (label, from, until) in phases() {
-            let p99 = windowed_p99(hp, from, until);
+            let p99 = hp.windowed(from, until).p99();
             print!("{:>22}", p99.map_or("-".into(), ms));
             if let Some(p) = p99 {
                 sink.record(

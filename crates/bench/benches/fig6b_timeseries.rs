@@ -8,7 +8,7 @@
 //! baselines inflate, and Tally opportunistically modulates the trainer —
 //! preserving over 68% of its solo throughput across the trace.
 
-use tally_bench::{banner, ms, run_session, windowed_p99, JsonSink, FIG5_SYSTEMS};
+use tally_bench::{banner, ms, run_session, JsonSink, FIG5_SYSTEMS};
 use tally_core::harness::{run_solo, HarnessConfig};
 use tally_core::metrics::ClientReport;
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
@@ -82,7 +82,6 @@ fn main() {
     banner("Figure 6b panel 3: best-effort BERT training throughput under Tally (it/s)");
     let solo_be = run_solo(&spec, &TrainModel::Bert.job(&spec), &cfg);
     let be = tally_be.expect("tally run recorded");
-    let ops_per_iter = be.op_times.len().max(1) as f64 / be.iterations.max(1) as f64;
     print!("solo:   ");
     for _ in 0..n_windows {
         print!("{:>6.2}", solo_be.throughput);
@@ -92,9 +91,7 @@ fn main() {
     let mut retained_sum = 0.0;
     for w in 0..n_windows {
         let lo = SimTime::ZERO + WINDOW * w as u64;
-        let hi = lo + WINDOW;
-        let ops = be.op_times.iter().filter(|&&t| t >= lo && t < hi).count() as f64;
-        let thr = ops / ops_per_iter / WINDOW.as_secs_f64();
+        let thr = be.windowed(lo, lo + WINDOW).throughput;
         retained_sum += thr / solo_be.throughput;
         print!("{thr:>6.2}");
     }
@@ -116,7 +113,7 @@ fn print_p99_row(label: &str, client: &ClientReport, n_windows: usize) {
     print!("{label:<8}");
     for w in 0..n_windows {
         let lo = SimTime::ZERO + WINDOW * w as u64;
-        match windowed_p99(client, lo, lo + WINDOW) {
+        match client.windowed(lo, lo + WINDOW).p99() {
             Some(p99) => print!("{:>6}", trim(ms(p99))),
             None => print!("{:>6}", "-"),
         }

@@ -1,0 +1,253 @@
+//! **Cluster scalability** (beyond the paper): fleet throughput vs GPU
+//! count under pluggable placement policies, plus the two placement
+//! stories a fleet scheduler must get right:
+//!
+//! 1. *Linear scaling* — N copies of the paper's standard single-GPU
+//!    colocation mix (BERT inference + GPT2-Large training, each device
+//!    under Tally) should deliver ≥ 0.9·N× the single-GPU normalized
+//!    throughput, for every sensible policy.
+//! 2. *Skew sensitivity* — on a demand-skewed all-best-effort mix,
+//!    load-aware placement (`LeastLoaded`) must beat `RoundRobin`, which
+//!    stacks the heavy trainers onto the same devices.
+//! 3. *Migration* — `BestEffortPacking` keeps trainers packed away from
+//!    services; when the service retires, detach-triggered migration
+//!    spreads the trainers onto the freed device.
+//!
+//! Pass `--json PATH` to record the measurements (`BENCH_cluster.json` in
+//! the perf trajectory).
+
+use tally_bench::{banner, make_system, JsonSink};
+use tally_core::cluster::{BestEffortPacking, Cluster, LeastLoaded, PlacementPolicy, RoundRobin};
+use tally_core::harness::{run_solo, HarnessConfig, JobSpec};
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
+use tally_workloads::mixes;
+
+const LOAD: f64 = 0.5;
+
+fn policy_by_name(name: &str) -> Box<dyn PlacementPolicy> {
+    match name {
+        "round-robin" => Box::new(RoundRobin::default()),
+        "least-loaded" => Box::new(LeastLoaded),
+        "best-effort-packing" => Box::new(BestEffortPacking),
+        other => panic!("unknown policy `{other}`"),
+    }
+}
+
+/// Solo throughput per model name, for normalization.
+struct SoloTable(Vec<(String, f64)>);
+
+impl SoloTable {
+    fn build(spec: &GpuSpec, jobs: &[JobSpec], cfg: &HarnessConfig) -> Self {
+        let mut table: Vec<(String, f64)> = Vec::new();
+        for job in jobs {
+            if table.iter().any(|(n, _)| *n == job.name) {
+                continue;
+            }
+            let mut solo_job = job.clone();
+            solo_job.active_from = SimTime::ZERO;
+            solo_job.active_until = None;
+            let thr = run_solo(spec, &solo_job, cfg).throughput;
+            table.push((job.name.clone(), thr));
+        }
+        SoloTable(table)
+    }
+
+    fn normalized_client(&self, report: &tally_core::metrics::ClientReport) -> f64 {
+        let solo = self
+            .0
+            .iter()
+            .find(|(n, _)| *n == report.name)
+            .map(|&(_, thr)| thr)
+            .unwrap_or(0.0);
+        if solo > 0.0 {
+            report.throughput / solo
+        } else {
+            0.0
+        }
+    }
+
+    fn normalized_fleet(&self, report: &tally_core::cluster::ClusterReport) -> f64 {
+        report
+            .clients
+            .iter()
+            .map(|c| self.normalized_client(&c.report))
+            .sum()
+    }
+}
+
+fn main() {
+    let mut sink = JsonSink::from_args("fig_cluster");
+    let spec = GpuSpec::a100();
+
+    // ---- 1. linear scaling of the replicated standard mix ------------
+    let cfg = HarnessConfig {
+        duration: SimSpan::from_secs(10),
+        warmup: SimSpan::from_secs(1),
+        seed: 1,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    let solo = SoloTable::build(&spec, &mixes::standard(&spec, LOAD, cfg.duration), &cfg);
+
+    banner("Cluster scaling: N copies of the standard mix on N GPUs (Tally per device)");
+    println!(
+        "{:<6}{:<22}{:>12}{:>12}{:>12}",
+        "gpus", "policy", "fleet-norm", "scaling", "fleet p99"
+    );
+    let mut single_gpu_norm = None;
+    for n in [1usize, 2, 4, 8] {
+        for policy in ["round-robin", "least-loaded", "best-effort-packing"] {
+            let jobs = mixes::replicated(&spec, n, LOAD, cfg.duration);
+            let report = Cluster::new()
+                .devices(n, spec.clone())
+                .clients(jobs)
+                .policy_boxed(policy_by_name(policy))
+                .systems_with(|_| make_system("tally"))
+                .transport(tally_core::api::Transport::SharedMemory)
+                .config(cfg.clone())
+                .run();
+            let norm = solo.normalized_fleet(&report);
+            let single = *single_gpu_norm.get_or_insert(norm);
+            let scaling = norm / single;
+            let p99 = report
+                .fleet_p99()
+                .map_or("-".into(), |p| format!("{:.2}ms", p.as_millis_f64()));
+            println!("{n:<6}{policy:<22}{norm:>12.2}{scaling:>11.2}x{p99:>12}");
+            sink.record(
+                "fleet_norm_throughput",
+                norm,
+                &[
+                    ("gpus", &n.to_string()),
+                    ("policy", policy),
+                    ("mix", "replicated"),
+                ],
+            );
+            sink.record(
+                "scaling_x",
+                scaling,
+                &[("gpus", &n.to_string()), ("policy", policy)],
+            );
+            // Spreading policies must scale the fleet linearly; packing
+            // trades trainer throughput for free devices by design.
+            if policy != "best-effort-packing" {
+                assert!(
+                    scaling >= 0.9 * n as f64,
+                    "{policy} on {n} GPUs scaled only {scaling:.2}x"
+                );
+            }
+        }
+    }
+    println!("\n[expected: round-robin and least-loaded scale >= 0.9*N]");
+
+    // ---- 2. skewed mix: least-loaded vs round-robin ------------------
+    let skew_cfg = HarnessConfig {
+        duration: SimSpan::from_secs(20),
+        warmup: SimSpan::from_secs(2),
+        seed: 1,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    let skew_jobs = mixes::skewed(&spec, 2);
+    let skew_solo = SoloTable::build(&spec, &skew_jobs, &skew_cfg);
+
+    banner("Skewed trainer mix on 2 GPUs: worst-client normalized throughput");
+    let mut worst_norms = Vec::new();
+    for policy in ["round-robin", "least-loaded"] {
+        let report = Cluster::new()
+            .devices(2, spec.clone())
+            .clients(skew_jobs.clone())
+            .policy_boxed(policy_by_name(policy))
+            .config(skew_cfg.clone())
+            .run();
+        let placements: Vec<usize> = report.clients.iter().map(|c| c.initial_device).collect();
+        let norms: Vec<f64> = report
+            .clients
+            .iter()
+            .map(|c| skew_solo.normalized_client(&c.report))
+            .collect();
+        let worst = norms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let fleet: f64 = norms.iter().sum();
+        println!(
+            "{policy:<22}worst-client norm {worst:>5.2}   fleet-norm {fleet:>5.2}   placements {placements:?}"
+        );
+        sink.record(
+            "worst_client_norm",
+            worst,
+            &[("gpus", "2"), ("policy", policy), ("mix", "skewed")],
+        );
+        sink.record(
+            "fleet_norm_throughput",
+            fleet,
+            &[("gpus", "2"), ("policy", policy), ("mix", "skewed")],
+        );
+        worst_norms.push(worst);
+    }
+    let gain = worst_norms[1] / worst_norms[0];
+    println!(
+        "least-loaded / round-robin worst-client norm = {gain:.2}   \
+         [expected: > 1 — round-robin stacks the heavy trainers, starving them]"
+    );
+    sink.record("ll_over_rr_worst_client", gain, &[("mix", "skewed")]);
+    assert!(
+        gain > 1.0,
+        "least-loaded (worst norm {:.3}) must beat round-robin (worst norm {:.3}) on the skewed mix",
+        worst_norms[1],
+        worst_norms[0]
+    );
+
+    // ---- 3. migration: packing + a retiring service ------------------
+    banner("Migration: packed trainers spread onto the device freed by a retiring service");
+    let mig_cfg = HarnessConfig {
+        duration: SimSpan::from_secs(10),
+        warmup: SimSpan::from_secs(1),
+        seed: 1,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    let mut churn_jobs = mixes::standard(&spec, LOAD, mig_cfg.duration);
+    churn_jobs.truncate(1); // keep the service
+    churn_jobs[0] = churn_jobs[0].clone().active_until(SimTime::from_secs(5));
+    for i in 0..4 {
+        let mut trainer = mixes::standard(&spec, LOAD, mig_cfg.duration).remove(1);
+        trainer.client_key = Some(format!("{}/t{i}", trainer.name));
+        churn_jobs.push(trainer);
+    }
+    for migrate in [false, true] {
+        let report = Cluster::new()
+            .devices(2, spec.clone())
+            .clients(churn_jobs.clone())
+            .policy(BestEffortPacking)
+            .migrate_on_detach(migrate)
+            .config(mig_cfg.clone())
+            .run();
+        let trainer_thr: f64 = report
+            .clients
+            .iter()
+            .filter(|c| !c.report.high_priority)
+            .map(|c| c.report.throughput)
+            .sum();
+        println!(
+            "migrate_on_detach={migrate:<6} migrations {:<3} trainer throughput {trainer_thr:.2} it/s",
+            report.migrations
+        );
+        sink.record(
+            "migrations",
+            report.migrations as f64,
+            &[("mix", "churn"), ("migrate", &migrate.to_string())],
+        );
+        sink.record(
+            "trainer_throughput",
+            trainer_thr,
+            &[("mix", "churn"), ("migrate", &migrate.to_string())],
+        );
+        if migrate {
+            assert!(
+                report.migrations > 0,
+                "the retiring service must trigger at least one migration"
+            );
+        } else {
+            assert_eq!(report.migrations, 0);
+        }
+    }
+    sink.finish();
+}

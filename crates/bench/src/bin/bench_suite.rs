@@ -1,0 +1,90 @@
+//! Perf-trajectory driver: runs the JSON-emitting bench targets and
+//! writes their `BENCH_*.json` documents at the repo root, so each PR
+//! leaves machine-readable numbers the next one can diff against.
+//!
+//! ```sh
+//! cargo run -p tally-bench --bin bench_suite              # default set
+//! cargo run -p tally-bench --bin bench_suite -- churn     # named subset
+//! cargo run -p tally-bench --bin bench_suite -- --all     # everything
+//! ```
+//!
+//! Each bench is executed via `cargo bench --bench <name> -- --json <out>`
+//! in a child process, so a crashing bench fails the suite loudly instead
+//! of silently truncating the trajectory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every JSON-emitting bench target and its trajectory file.
+const BENCHES: &[(&str, &str)] = &[
+    ("fig_cluster", "BENCH_cluster.json"),
+    ("fig5_end_to_end", "BENCH_fig5.json"),
+    ("fig6a_load_sensitivity", "BENCH_fig6a.json"),
+    ("fig6b_timeseries", "BENCH_fig6b.json"),
+    ("fig7a_scalability", "BENCH_fig7a.json"),
+    ("fig7b_decomposition", "BENCH_fig7b.json"),
+    ("fig7c_turnaround_threshold", "BENCH_fig7c.json"),
+    ("table1_turnaround", "BENCH_table1.json"),
+    ("table2_suite", "BENCH_table2.json"),
+    ("sec57_overheads", "BENCH_sec57.json"),
+    ("micro", "BENCH_micro.json"),
+    ("churn", "BENCH_churn.json"),
+];
+
+/// The default trajectory: the cluster scalability bench plus the paper's
+/// headline end-to-end figure.
+const DEFAULT: &[&str] = &["fig_cluster", "fig5_end_to_end"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&(&str, &str)> = if args.iter().any(|a| a == "--all") {
+        BENCHES.iter().collect()
+    } else if args.is_empty() {
+        BENCHES
+            .iter()
+            .filter(|(name, _)| DEFAULT.contains(name))
+            .collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                BENCHES
+                    .iter()
+                    .find(|(name, _)| name == a)
+                    .unwrap_or_else(|| {
+                        let known: Vec<&str> = BENCHES.iter().map(|&(n, _)| n).collect();
+                        panic!("unknown bench `{a}`; known: {known:?} (or --all)")
+                    })
+            })
+            .collect()
+    };
+
+    let root = repo_root();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut written = Vec::new();
+    for &&(bench, out) in &selected {
+        let out_path = root.join(out);
+        eprintln!("== bench_suite: {bench} -> {}", out_path.display());
+        let status = Command::new(&cargo)
+            .args(["bench", "-p", "tally-bench", "--bench", bench, "--"])
+            .arg("--json")
+            .arg(&out_path)
+            .current_dir(&root)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for `{bench}`: {e}"));
+        assert!(status.success(), "bench `{bench}` failed ({status})");
+        written.push(out_path);
+    }
+    eprintln!("\nbench_suite: wrote {} trajectory file(s):", written.len());
+    for p in &written {
+        eprintln!("  {}", p.display());
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}

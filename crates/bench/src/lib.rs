@@ -200,23 +200,16 @@ pub fn outcome_from_report(report: &RunReport, refs: &SoloRefs) -> ComboOutcome 
 /// The nearest-rank p99 of a client's request latencies whose arrivals
 /// fall in `[from, until)` — for time-series / phased figures. Requires
 /// the run to have recorded timelines. `None` when the window is empty.
+///
+/// Thin wrapper over
+/// [`ClientReport::windowed`](tally_core::metrics::ClientReport::windowed),
+/// which also exposes per-window mean/throughput.
 pub fn windowed_p99(
     client: &tally_core::metrics::ClientReport,
     from: tally_gpu::SimTime,
     until: tally_gpu::SimTime,
 ) -> Option<SimSpan> {
-    let mut lats: Vec<SimSpan> = client
-        .timed_latencies
-        .iter()
-        .filter(|(arrival, _)| *arrival >= from && *arrival < until)
-        .map(|&(_, l)| l)
-        .collect();
-    if lats.is_empty() {
-        return None;
-    }
-    lats.sort_unstable();
-    let idx = ((0.99 * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
-    Some(lats[idx - 1])
+    client.windowed(from, until).p99()
 }
 
 /// Formats a span as milliseconds with sensible precision.

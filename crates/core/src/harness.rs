@@ -86,6 +86,12 @@ pub struct JobSpec {
     /// detached client stops issuing work; the sharing system reclaims its
     /// state via [`SharingSystem::on_client_detach`].
     pub active_until: Option<SimTime>,
+    /// Stable client identity, independent of attach order. Systems and
+    /// placement policies can key per-client state by this instead of the
+    /// session-local [`ClientId`] index, which is what makes re-attach and
+    /// cross-device migration trackable. `None` means the client is only
+    /// known by its session index.
+    pub client_key: Option<String>,
 }
 
 impl JobSpec {
@@ -101,6 +107,7 @@ impl JobSpec {
             kind: JobKind::Inference { request, arrivals },
             active_from: SimTime::ZERO,
             active_until: None,
+            client_key: None,
         }
     }
 
@@ -112,6 +119,7 @@ impl JobSpec {
             kind: JobKind::Training { iteration },
             active_from: SimTime::ZERO,
             active_until: None,
+            client_key: None,
         }
     }
 
@@ -119,6 +127,19 @@ impl JobSpec {
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self
+    }
+
+    /// Returns this job carrying a stable client key (see
+    /// [`JobSpec::client_key`]).
+    pub fn with_client_key(mut self, key: impl Into<String>) -> Self {
+        self.client_key = Some(key.into());
+        self
+    }
+
+    /// The stable client key, defaulting to the display name when none was
+    /// set explicitly.
+    pub fn key(&self) -> &str {
+        self.client_key.as_deref().unwrap_or(&self.name)
     }
 
     /// Returns this job attaching at `from` instead of session start.
@@ -186,10 +207,13 @@ pub enum InterceptMode {
     Virtualized(Transport),
 }
 
-struct Client {
+pub(crate) struct Client {
     spec: JobSpec,
     attached: bool,
     departed: bool,
+    /// Slot vacated by a cross-device migration: the client state moved to
+    /// another session and this placeholder only keeps [`ClientId`]s stable.
+    migrated_away: bool,
     stub: Option<ClientStub>,
     op_idx: usize,
     waiting_kernel: bool,
@@ -214,6 +238,7 @@ impl Client {
             spec,
             attached: false,
             departed: false,
+            migrated_away: false,
             stub: None,
             op_idx: 0,
             waiting_kernel: false,
@@ -480,6 +505,21 @@ impl<'s> Colocation<'s> {
     /// Panics if no client was added, or if the configured warmup is not
     /// shorter than the duration.
     pub fn run(self) -> RunReport {
+        assert!(!self.jobs.is_empty(), "at least one client required");
+        let mut session = self.into_session();
+        session.run_to_end();
+        session.into_report()
+    }
+
+    /// Converts the builder into a steppable [`Session`] without running
+    /// it — the entry point for external drivers (e.g. the multi-GPU
+    /// [`Cluster`](crate::cluster::Cluster), which advances many sessions
+    /// in lockstep on a shared clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured warmup is not shorter than the duration.
+    pub fn into_session(self) -> Session<'s> {
         let Colocation {
             spec,
             jobs,
@@ -487,80 +527,137 @@ impl<'s> Colocation<'s> {
             cfg,
             intercept,
         } = self;
-        let mut fallback;
-        let mut owned;
-        let system: &mut dyn SharingSystem = match system {
-            Some(SystemSlot::Borrowed(s)) => s,
-            Some(SystemSlot::Owned(s)) => {
-                owned = s;
-                owned.as_mut()
-            }
-            None => {
-                fallback = Passthrough::new();
-                &mut fallback
-            }
-        };
-        run_session(&spec, jobs, system, &cfg, intercept)
+        let system = system.unwrap_or_else(|| SystemSlot::Owned(Box::new(Passthrough::new())));
+        Session::new(&spec, jobs, system, &cfg, intercept)
     }
 }
 
-/// The session run loop (see the module docs for the settling discipline).
-fn run_session(
-    spec: &GpuSpec,
-    jobs: Vec<JobSpec>,
-    system: &mut dyn SharingSystem,
-    cfg: &HarnessConfig,
-    intercept: InterceptMode,
-) -> RunReport {
-    assert!(!jobs.is_empty(), "at least one client required");
-    assert!(
-        cfg.warmup < cfg.duration,
-        "warmup must be shorter than the run"
-    );
-    let mut engine = Engine::with_seed(spec.clone(), cfg.seed);
-    if cfg.jitter > 0.0 {
-        engine.set_jitter(cfg.jitter);
+/// A live co-location session that can be driven one instant at a time.
+///
+/// [`Colocation::run`] is a loop over this type's three stepping
+/// primitives, and external drivers use them directly:
+///
+/// 1. [`Session::settle`] — bring the current instant to a fixed point
+///    (deliver completions, process lifecycle edges, advance client
+///    programs, let the system poll);
+/// 2. [`Session::next_wake`] — the next instant anything interesting
+///    happens (never earlier than now);
+/// 3. [`Session::advance_to`] — move simulated time forward, delivering
+///    engine notifications to the system.
+///
+/// Keeping several sessions in lockstep means settling all of them,
+/// advancing every engine to the *minimum* of their wake instants, and
+/// repeating — which is exactly what the multi-GPU
+/// [`Cluster`](crate::cluster::Cluster) does.
+pub struct Session<'s> {
+    engine: Engine,
+    metas: Vec<ClientMeta>,
+    clients: Vec<Client>,
+    system: SystemSlot<'s>,
+    end: SimTime,
+    warmup: SimTime,
+    duration: SimSpan,
+    record_timelines: bool,
+    pending_completions: Vec<ClientId>,
+    // Kernels held in the interception layer until their stub cost elapses.
+    in_transit: Vec<(SimTime, ClientId, Arc<KernelDesc>)>,
+    // Window-close detaches seen so far (migrations excluded) — lets an
+    // external driver notice departures and react (e.g. rebalance).
+    departures: u64,
+}
+
+impl fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("now", &self.engine.now())
+            .field("end", &self.end)
+            .field("clients", &self.clients.len())
+            .finish_non_exhaustive()
     }
-    let metas: Vec<ClientMeta> = jobs
-        .iter()
-        .map(|j| ClientMeta {
-            name: j.name.clone(),
-            priority: j.priority,
-        })
-        .collect();
-    let mut clients: Vec<Client> = jobs.into_iter().map(Client::new).collect();
-    for c in &mut clients {
-        c.record_timelines = cfg.record_timelines;
-        if let InterceptMode::Virtualized(transport) = intercept {
-            c.stub = Some(ClientStub::new(transport));
+}
+
+impl<'s> Session<'s> {
+    fn new(
+        spec: &GpuSpec,
+        jobs: Vec<JobSpec>,
+        system: SystemSlot<'s>,
+        cfg: &HarnessConfig,
+        intercept: InterceptMode,
+    ) -> Self {
+        assert!(
+            cfg.warmup < cfg.duration,
+            "warmup must be shorter than the run"
+        );
+        let mut engine = Engine::with_seed(spec.clone(), cfg.seed);
+        if cfg.jitter > 0.0 {
+            engine.set_jitter(cfg.jitter);
+        }
+        let metas: Vec<ClientMeta> = jobs.iter().map(meta_of).collect();
+        let mut clients: Vec<Client> = jobs.into_iter().map(Client::new).collect();
+        for c in &mut clients {
+            c.record_timelines = cfg.record_timelines;
+            if let InterceptMode::Virtualized(transport) = intercept {
+                c.stub = Some(ClientStub::new(transport));
+            }
+        }
+        Session {
+            engine,
+            metas,
+            clients,
+            system,
+            end: SimTime::ZERO + cfg.duration,
+            warmup: SimTime::ZERO + cfg.warmup,
+            duration: cfg.duration,
+            record_timelines: cfg.record_timelines,
+            pending_completions: Vec::new(),
+            in_transit: Vec::new(),
+            departures: 0,
         }
     }
-    let end = SimTime::ZERO + cfg.duration;
-    let warmup = SimTime::ZERO + cfg.warmup;
 
-    let mut pending_completions: Vec<ClientId> = Vec::new();
-    // Kernels held in the interception layer until their stub cost elapses.
-    let mut in_transit: Vec<(SimTime, ClientId, Arc<KernelDesc>)> = Vec::new();
-    loop {
-        // Settle the current instant to a fixed point.
+    /// Current simulated time of this session's engine.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Whether simulated time has reached the configured duration.
+    pub fn is_done(&self) -> bool {
+        self.engine.now() >= self.end
+    }
+
+    /// Name of the sharing system driving this session.
+    pub fn system_name(&self) -> &str {
+        match &self.system {
+            SystemSlot::Borrowed(s) => s.name(),
+            SystemSlot::Owned(b) => b.name(),
+        }
+    }
+
+    /// Settles the current instant to a fixed point (see the module docs
+    /// for the settling discipline).
+    pub fn settle(&mut self) {
+        let system: &mut dyn SharingSystem = match &mut self.system {
+            SystemSlot::Borrowed(s) => &mut **s,
+            SystemSlot::Owned(b) => b.as_mut(),
+        };
         loop {
-            let now = engine.now();
+            let now = self.engine.now();
             let mut progressed = false;
-            for c in pending_completions.drain(..) {
-                let client = &mut clients[c.0 as usize];
+            for c in self.pending_completions.drain(..) {
+                let client = &mut self.clients[c.0 as usize];
                 if client.departed {
                     continue; // completion signalled for a detached client
                 }
                 client.waiting_kernel = false;
                 client.kernels += 1;
-                client.finish_op(now, warmup);
+                client.finish_op(now, self.warmup);
                 progressed = true;
             }
-            let mut ctx = Ctx::new(&mut engine, &metas);
+            let mut ctx = Ctx::new(&mut self.engine, &self.metas);
 
             // Client lifecycle edges: attach windows that opened, detach
             // windows that closed.
-            for (i, client) in clients.iter_mut().enumerate() {
+            for (i, client) in self.clients.iter_mut().enumerate() {
                 if !client.attached && !client.departed && client.spec.active_from <= now {
                     client.attached = true;
                     system.on_client_attach(&mut ctx, ClientId(i as u32));
@@ -582,14 +679,17 @@ fn run_session(
                     client.waiting_kernel = false;
                     client.gap_until = None;
                     system.on_client_detach(&mut ctx, ClientId(i as u32));
+                    self.departures += 1;
                     progressed = true;
                 }
             }
-            in_transit.retain(|&(_, c, _)| !clients[c.0 as usize].departed);
+            let clients = &self.clients;
+            self.in_transit
+                .retain(|&(_, c, _)| !clients[c.0 as usize].departed);
 
             // Launches whose interception cost has elapsed reach the system.
             let mut due = Vec::new();
-            in_transit.retain(|&(t, c, ref k)| {
+            self.in_transit.retain(|&(t, c, ref k)| {
                 if t <= now {
                     due.push((c, Arc::clone(k)));
                     false
@@ -602,39 +702,40 @@ fn run_session(
                 progressed = true;
             }
 
-            for (i, client) in clients.iter_mut().enumerate() {
+            for (i, client) in self.clients.iter_mut().enumerate() {
                 if !client.attached || client.departed {
                     continue;
                 }
                 client.tick(now);
-                if let Some(kernel) = client.advance(now, warmup) {
+                if let Some(kernel) = client.advance(now, self.warmup) {
                     progressed = true;
                     match client.stub.as_mut() {
                         Some(stub) => {
                             let cost = stub.launch_burst();
-                            in_transit.push((now + cost, ClientId(i as u32), kernel));
+                            self.in_transit
+                                .push((now + cost, ClientId(i as u32), kernel));
                         }
                         None => system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel),
                     }
                 }
             }
             system.poll(&mut ctx);
-            pending_completions = ctx.take_completions();
-            if !progressed && pending_completions.is_empty() {
+            self.pending_completions = ctx.take_completions();
+            if !progressed && self.pending_completions.is_empty() {
                 break;
             }
         }
+    }
 
-        if engine.now() >= end {
-            break;
-        }
-
-        // Next interesting instant.
-        let mut wake = end;
-        if let Some(t) = engine.next_event_time() {
+    /// The next instant anything interesting happens: an engine event, a
+    /// client lifecycle edge, a request arrival, a CPU gap or interception
+    /// cost expiring, or a system timer — capped at the end of the run.
+    pub fn next_wake(&self) -> SimTime {
+        let mut wake = self.end;
+        if let Some(t) = self.engine.next_event_time() {
             wake = wake.min(t);
         }
-        for client in &clients {
+        for client in &self.clients {
             if client.departed {
                 continue;
             }
@@ -652,29 +753,166 @@ fn run_session(
                 wake = wake.min(t);
             }
         }
-        for &(t, _, _) in &in_transit {
+        for &(t, _, _) in &self.in_transit {
             wake = wake.min(t);
         }
-        if let Some(t) = system.next_timer() {
-            wake = wake.min(t.max(engine.now()));
+        let timer = match &self.system {
+            SystemSlot::Borrowed(s) => s.next_timer(),
+            SystemSlot::Owned(b) => b.next_timer(),
+        };
+        if let Some(t) = timer {
+            wake = wake.min(t.max(self.engine.now()));
         }
+        wake
+    }
 
-        match engine.advance(wake) {
+    /// Advances simulated time to at most `limit`, delivering any engine
+    /// notifications that fire to the system. Follow with
+    /// [`Session::settle`].
+    pub fn advance_to(&mut self, limit: SimTime) {
+        match self.engine.advance(limit) {
             Step::Notified(notes) => {
-                let mut ctx = Ctx::new(&mut engine, &metas);
+                let system: &mut dyn SharingSystem = match &mut self.system {
+                    SystemSlot::Borrowed(s) => &mut **s,
+                    SystemSlot::Owned(b) => b.as_mut(),
+                };
+                let mut ctx = Ctx::new(&mut self.engine, &self.metas);
                 for n in &notes {
                     system.on_notification(&mut ctx, n);
                 }
-                pending_completions.extend(ctx.take_completions());
+                self.pending_completions.extend(ctx.take_completions());
             }
             Step::ReachedLimit | Step::Idle => {}
         }
     }
 
-    RunReport {
-        system: system.name().to_string(),
-        duration: cfg.duration,
-        clients: clients.iter().map(|c| c.report(warmup, end)).collect(),
+    /// Drives the session to the end of its configured duration.
+    pub fn run_to_end(&mut self) {
+        loop {
+            self.settle();
+            if self.is_done() {
+                break;
+            }
+            let wake = self.next_wake();
+            self.advance_to(wake);
+        }
+    }
+
+    /// Consumes the session and produces the run report. Slots vacated by
+    /// cross-device migration are omitted (the client reports from the
+    /// session it migrated to).
+    pub fn into_report(self) -> RunReport {
+        RunReport {
+            system: self.system_name().to_string(),
+            duration: self.duration,
+            clients: self
+                .clients
+                .iter()
+                .filter(|c| !c.migrated_away)
+                .map(|c| c.report(self.warmup, self.end))
+                .collect(),
+        }
+    }
+
+    /// Window-close detaches seen so far (migrations excluded).
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+
+    // ---- cluster-internal surface (crate-private) --------------------
+
+    pub(crate) fn client_len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Attached, not departed, not migrated away.
+    pub(crate) fn client_active(&self, i: usize) -> bool {
+        let c = &self.clients[i];
+        c.attached && !c.departed
+    }
+
+    pub(crate) fn client_spec(&self, i: usize) -> &JobSpec {
+        &self.clients[i].spec
+    }
+
+    pub(crate) fn client_is_tombstone(&self, i: usize) -> bool {
+        self.clients[i].migrated_away
+    }
+
+    pub(crate) fn client_report_at(&self, i: usize) -> ClientReport {
+        self.clients[i].report(self.warmup, self.end)
+    }
+
+    /// Removes client `i` from this session for migration: detaches it
+    /// from the sharing system (preempting its in-flight work), drops its
+    /// pending completions and in-transit launches, and leaves a tombstone
+    /// so the session's remaining [`ClientId`]s stay valid. The returned
+    /// state carries all accumulated metrics.
+    pub(crate) fn extract_client(&mut self, i: usize) -> (ClientMeta, Client) {
+        let id = ClientId(i as u32);
+        let system: &mut dyn SharingSystem = match &mut self.system {
+            SystemSlot::Borrowed(s) => &mut **s,
+            SystemSlot::Owned(b) => b.as_mut(),
+        };
+        if self.clients[i].attached && !self.clients[i].departed {
+            let mut ctx = Ctx::new(&mut self.engine, &self.metas);
+            system.on_client_detach(&mut ctx, id);
+            self.pending_completions.extend(ctx.take_completions());
+        }
+        self.pending_completions.retain(|&c| c != id);
+        self.in_transit.retain(|&(_, c, _)| c != id);
+        let mut tombstone = Client::new(JobSpec::training(
+            self.clients[i].spec.name.clone(),
+            Vec::new(),
+        ));
+        tombstone.departed = true;
+        tombstone.migrated_away = true;
+        let mut client = std::mem::replace(&mut self.clients[i], tombstone);
+        // The kernel that was in flight (if any) was preempted with the
+        // detach; the client re-issues it on the destination device.
+        client.waiting_kernel = false;
+        (self.metas[i].clone(), client)
+    }
+
+    /// Adds a migrated client to this session, re-attaching it to the
+    /// sharing system (and paying the interception attach burst again when
+    /// virtualized — migration is a reconnect). Returns its new id.
+    pub(crate) fn inject_client(&mut self, meta: ClientMeta, mut client: Client) -> ClientId {
+        let id = ClientId(self.clients.len() as u32);
+        self.metas.push(meta);
+        let now = self.engine.now();
+        if client.attached && !client.departed {
+            let system: &mut dyn SharingSystem = match &mut self.system {
+                SystemSlot::Borrowed(s) => &mut **s,
+                SystemSlot::Owned(b) => b.as_mut(),
+            };
+            let mut ctx = Ctx::new(&mut self.engine, &self.metas);
+            system.on_client_attach(&mut ctx, id);
+            self.pending_completions.extend(ctx.take_completions());
+            if let Some(stub) = client.stub.as_mut() {
+                let cost = stub.attach_burst();
+                if !cost.is_zero() {
+                    // The reconnect burst runs concurrently with whatever
+                    // CPU stall the client was already in: keep the later
+                    // of the two so migration never shortens a gap.
+                    let burst_end = now + cost;
+                    client.gap_until =
+                        Some(client.gap_until.map_or(burst_end, |g| g.max(burst_end)));
+                }
+            }
+        }
+        client.record_timelines = self.record_timelines;
+        self.clients.push(client);
+        id
+    }
+}
+
+/// Builds the [`ClientMeta`] the sharing system sees for a job.
+fn meta_of(j: &JobSpec) -> ClientMeta {
+    ClientMeta {
+        name: j.name.clone(),
+        priority: j.priority,
+        client_key: j.client_key.clone(),
     }
 }
 

@@ -17,6 +17,7 @@
 //! | priority-aware scheduler (Figure 4) | [`scheduler`] |
 //! | co-location experiment harness + metrics (§5.1) | [`harness`], [`metrics`] |
 //! | the `SharingSystem` interface baselines implement | [`system`] |
+//! | multi-GPU placement, lockstep drive, migration (beyond the paper) | [`cluster`] |
 //!
 //! ## Quickstart
 //!
@@ -64,6 +65,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod api;
+pub mod cluster;
 pub mod harness;
 pub mod metrics;
 pub mod profiler;
@@ -72,11 +74,15 @@ pub mod system;
 pub mod transform;
 
 pub use api::{ApiCall, ClientStub, InterceptStats, Transport};
+pub use cluster::{
+    BestEffortPacking, Cluster, ClusterClientReport, ClusterReport, DeviceLoad, DeviceReport,
+    LeastLoaded, PlacementPolicy, RoundRobin,
+};
 #[allow(deprecated)]
 pub use harness::run_colocation;
 pub use harness::{
-    run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, WorkloadOp,
+    run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, WorkloadOp,
 };
-pub use metrics::{ClientReport, LatencyRecorder, RunReport};
+pub use metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
 pub use scheduler::{TallyConfig, TallySystem};
 pub use system::{ClientMeta, Ctx, Passthrough, SharingSystem};

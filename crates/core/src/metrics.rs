@@ -1,6 +1,6 @@
 //! Latency and throughput metrics — the quantities the paper reports.
 
-use tally_gpu::SimSpan;
+use tally_gpu::{SimSpan, SimTime};
 
 use crate::api::InterceptStats;
 
@@ -131,6 +131,90 @@ impl ClientReport {
     pub fn p99(&self) -> Option<SimSpan> {
         self.latency.p99()
     }
+
+    /// Metrics restricted to the window `[from, until)` — the building
+    /// block of time-series and phased figures (requests are attributed to
+    /// the window their *arrival* falls in, ops to their completion).
+    ///
+    /// Requires the run to have recorded timelines
+    /// ([`HarnessConfig::record_timelines`](crate::harness::HarnessConfig::record_timelines));
+    /// without them every window is empty.
+    pub fn windowed(&self, from: SimTime, until: SimTime) -> Windowed {
+        let mut latency = LatencyRecorder::new();
+        for &(arrival, l) in &self.timed_latencies {
+            if arrival >= from && arrival < until {
+                latency.record(l);
+            }
+        }
+        let ops = self
+            .op_times
+            .iter()
+            .filter(|&&t| t >= from && t < until)
+            .count() as u64;
+        let secs = until.saturating_since(from).as_secs_f64().max(1e-9);
+        let throughput = if self.iterations > 0 {
+            // Training: ops completed in the window, in iterations.
+            let ops_per_iter = self.op_times.len().max(1) as f64 / self.iterations as f64;
+            ops as f64 / ops_per_iter / secs
+        } else {
+            // Inference: requests arriving in the window.
+            latency.len() as f64 / secs
+        };
+        Windowed {
+            latency,
+            ops,
+            throughput,
+        }
+    }
+}
+
+/// One time window of a client's run (see [`ClientReport::windowed`]).
+///
+/// ```
+/// # use tally_core::metrics::{ClientReport, LatencyRecorder};
+/// # use tally_core::api::InterceptStats;
+/// use tally_gpu::{SimSpan, SimTime};
+/// # let report = ClientReport {
+/// #     name: "svc".into(), high_priority: true, requests: 2,
+/// #     iterations: 0, kernels: 2, latency: LatencyRecorder::new(),
+/// #     throughput: 0.0, intercept: InterceptStats::default(),
+/// #     timed_latencies: vec![
+/// #         (SimTime::ZERO, SimSpan::from_millis(1)),
+/// #         (SimTime::from_secs(3), SimSpan::from_millis(9)),
+/// #     ],
+/// #     op_times: vec![SimTime::from_millis(1)],
+/// # };
+/// let early = report.windowed(SimTime::ZERO, SimTime::from_secs(2));
+/// assert_eq!(early.p99(), Some(SimSpan::from_millis(1)));
+/// assert_eq!(early.requests(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Windowed {
+    /// Latencies of the requests that arrived inside the window.
+    pub latency: LatencyRecorder,
+    /// Program ops completed inside the window.
+    pub ops: u64,
+    /// Work units per second over the window: iterations for training
+    /// clients, requests for inference clients.
+    pub throughput: f64,
+}
+
+impl Windowed {
+    /// Requests that arrived inside the window.
+    pub fn requests(&self) -> u64 {
+        self.latency.len() as u64
+    }
+
+    /// The window's 99th-percentile latency (`None` when no requests
+    /// arrived in it).
+    pub fn p99(&self) -> Option<SimSpan> {
+        self.latency.p99()
+    }
+
+    /// The window's mean latency.
+    pub fn mean(&self) -> Option<SimSpan> {
+        self.latency.mean()
+    }
 }
 
 /// Outcome of one co-location run.
@@ -209,6 +293,64 @@ mod tests {
         }
         assert_eq!(a.p99(), b.p99());
         assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn windowed_splits_requests_and_ops_by_instant() {
+        let report = ClientReport {
+            name: "svc".into(),
+            high_priority: true,
+            requests: 3,
+            iterations: 0,
+            kernels: 3,
+            latency: LatencyRecorder::new(),
+            throughput: 0.0,
+            intercept: InterceptStats::default(),
+            timed_latencies: vec![
+                (SimTime::ZERO, SimSpan::from_millis(1)),
+                (SimTime::from_millis(500), SimSpan::from_millis(5)),
+                (SimTime::from_secs(1), SimSpan::from_millis(9)),
+            ],
+            op_times: vec![
+                SimTime::from_millis(1),
+                SimTime::from_millis(501),
+                SimTime::from_millis(1001),
+            ],
+        };
+        let w = report.windowed(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(w.requests(), 2);
+        assert_eq!(w.ops, 2);
+        assert_eq!(w.p99(), Some(SimSpan::from_millis(5)));
+        assert_eq!(w.mean(), Some(SimSpan::from_millis(3)));
+        // 2 requests in a 1s window.
+        assert!((w.throughput - 2.0).abs() < 1e-9);
+        let late = report.windowed(SimTime::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(late.requests(), 1);
+        assert_eq!(late.p99(), Some(SimSpan::from_millis(9)));
+        let empty = report.windowed(SimTime::from_secs(5), SimTime::from_secs(6));
+        assert_eq!(empty.requests(), 0);
+        assert_eq!(empty.p99(), None);
+    }
+
+    #[test]
+    fn windowed_training_throughput_counts_iterations() {
+        // 4 ops per iteration, 2 iterations completed, all ops at t<1s.
+        let report = ClientReport {
+            name: "train".into(),
+            high_priority: false,
+            requests: 0,
+            iterations: 2,
+            kernels: 8,
+            latency: LatencyRecorder::new(),
+            throughput: 0.0,
+            intercept: InterceptStats::default(),
+            timed_latencies: Vec::new(),
+            op_times: (0..8).map(|i| SimTime::from_millis(100 * i)).collect(),
+        };
+        let w = report.windowed(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(w.ops, 8);
+        // 8 ops / (4 ops per iter) / 1s = 2 it/s.
+        assert!((w.throughput - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct ClientMeta {
     pub name: String,
     /// Scheduling class.
     pub priority: Priority,
+    /// Stable client identity (see
+    /// [`JobSpec::client_key`](crate::harness::JobSpec::client_key)):
+    /// unlike the [`ClientId`] index, it survives detach/re-attach and
+    /// cross-device migration. `None` when the job did not set one.
+    pub client_key: Option<String>,
 }
 
 /// The interface a sharing system sees while a co-location run executes.
@@ -55,6 +60,13 @@ impl<'a> Ctx<'a> {
     /// Scheduling class of `client`.
     pub fn priority(&self, client: ClientId) -> Priority {
         self.clients[client.0 as usize].priority
+    }
+
+    /// Stable identity of `client`, when its job carries one — the key to
+    /// use for per-client state that should survive re-attach or
+    /// cross-device migration (the session-local [`ClientId`] does not).
+    pub fn client_key(&self, client: ClientId) -> Option<&str> {
+        self.clients[client.0 as usize].client_key.as_deref()
     }
 
     /// Number of clients in the run.
@@ -188,14 +200,18 @@ mod tests {
             ClientMeta {
                 name: "a".into(),
                 priority: Priority::High,
+                client_key: None,
             },
             ClientMeta {
                 name: "b".into(),
                 priority: Priority::BestEffort,
+                client_key: Some("tenant-b".into()),
             },
         ];
         let mut ctx = Ctx::new(&mut engine, &clients);
         assert_eq!(ctx.priority(ClientId(1)), Priority::BestEffort);
+        assert_eq!(ctx.client_key(ClientId(0)), None);
+        assert_eq!(ctx.client_key(ClientId(1)), Some("tenant-b"));
         ctx.complete_kernel(ClientId(0));
         ctx.complete_kernel(ClientId(1));
         assert_eq!(ctx.take_completions(), vec![ClientId(0), ClientId(1)]);

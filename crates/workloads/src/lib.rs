@@ -29,6 +29,7 @@
 
 pub mod gen;
 pub mod maf2;
+pub mod mixes;
 pub mod models;
 
 pub use models::{InferModel, TrainModel};

@@ -1,0 +1,141 @@
+//! Per-device job mixes for multi-GPU cluster experiments.
+//!
+//! The cluster scalability figures need workload sets with controlled
+//! shapes: `n` identical copies of a single-GPU colocation mix (to measure
+//! fleet scaling against the single-GPU baseline) and a demand-skewed mix
+//! (to separate load-aware placement from round-robin). These builders
+//! produce them from the paper's Table 2 models, with stable client keys
+//! so reports can be matched back to copies.
+
+use tally_core::harness::JobSpec;
+use tally_gpu::{GpuSpec, SimSpan};
+
+use crate::maf2::{arrivals, Maf2Config};
+use crate::{InferModel, TrainModel};
+
+/// The standard single-GPU colocation mix: a high-priority BERT inference
+/// service at `load` (fraction of solo capacity) plus a best-effort
+/// GPT2-Large trainer — the representative pairing used throughout the
+/// paper's end-to-end figures.
+pub fn standard(spec: &GpuSpec, load: f64, duration: SimSpan) -> Vec<JobSpec> {
+    let infer = InferModel::Bert;
+    let trace = arrivals(&Maf2Config::new(load, infer.paper_latency(), duration));
+    vec![infer.job(spec, trace), TrainModel::Gpt2Large.job(spec)]
+}
+
+/// `n` identical copies of the [`standard`] mix, keyed by copy.
+///
+/// Ordered services-first (all `n` services, then all `n` trainers) so
+/// that round-robin placement over `n` devices reassembles copy `i`
+/// intact on device `i` — the configuration whose fleet throughput should
+/// scale linearly with the device count.
+pub fn replicated(spec: &GpuSpec, n: usize, load: f64, duration: SimSpan) -> Vec<JobSpec> {
+    let mut services = Vec::with_capacity(n);
+    let mut trainers = Vec::with_capacity(n);
+    for copy in 0..n {
+        let mut mix = standard(spec, load, duration);
+        let mut trainer = mix.pop().expect("trainer");
+        let mut service = mix.pop().expect("service");
+        service.client_key = Some(format!("{}/copy{copy}", service.name));
+        trainer.client_key = Some(format!("{}/copy{copy}", trainer.name));
+        services.push(service);
+        trainers.push(trainer);
+    }
+    services.extend(trainers);
+    services
+}
+
+/// A demand-skewed all-trainer mix: `pairs` heavy trainers (GPT2-Large,
+/// ~88% GPU duty cycle) interleaved with light ones (the *same* GPT2
+/// kernel stream diluted by a long per-iteration input stall to ~30%
+/// duty cycle — a trainer bottlenecked on its data pipeline), heavy
+/// first. Identical kernel shapes mean the skew is purely in GPU
+/// *demand*, not kernel granularity.
+///
+/// On an even device count the interleaving is exactly the order that
+/// traps round-robin into stacking the heavy trainers together: the
+/// stacked pair oversubscribes its device (~1.76 demand) and, since
+/// co-resident equals share at equal rates, each heavy trainer runs at
+/// ~55% of solo — while the light devices idle ~40% of the time.
+/// Demand-aware policies pair each heavy trainer with a light one
+/// (~1.18 demand) instead, so nobody starves: `LeastLoaded` beats
+/// `RoundRobin` on both the fleet's worst-client normalized throughput
+/// (the no-tenant-starves number a fleet scheduler answers for) and the
+/// fleet total.
+pub fn skewed(spec: &GpuSpec, pairs: usize) -> Vec<JobSpec> {
+    use tally_core::harness::{JobKind, WorkloadOp};
+    let mut jobs = Vec::with_capacity(2 * pairs);
+    for p in 0..pairs {
+        let mut heavy = TrainModel::Gpt2Large.job(spec);
+        heavy.client_key = Some(format!("{}/heavy{p}", heavy.name));
+        jobs.push(heavy);
+        let mut light = TrainModel::Gpt2Large.job(spec);
+        if let JobKind::Training { iteration } = &mut light.kind {
+            iteration.push(WorkloadOp::CpuGap(SimSpan::from_millis(600)));
+        }
+        light.name = format!("{}-light", light.name);
+        light.client_key = Some(format!("{}/light{p}", light.name));
+        jobs.push(light);
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tally_core::cluster::job_demand;
+
+    #[test]
+    fn standard_mix_shape() {
+        let spec = GpuSpec::a100();
+        let mix = standard(&spec, 0.5, SimSpan::from_secs(10));
+        assert_eq!(mix.len(), 2);
+        assert!(mix[0].priority.is_high());
+        assert!(!mix[1].priority.is_high());
+    }
+
+    #[test]
+    fn replicated_orders_services_first_with_unique_keys() {
+        let spec = GpuSpec::a100();
+        let n = 4;
+        let jobs = replicated(&spec, n, 0.5, SimSpan::from_secs(10));
+        assert_eq!(jobs.len(), 2 * n);
+        assert!(jobs[..n].iter().all(|j| j.priority.is_high()));
+        assert!(jobs[n..].iter().all(|j| !j.priority.is_high()));
+        let keys: HashSet<&str> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(keys.len(), 2 * n, "client keys must be unique");
+        // Round-robin over n devices sends index i and index n+i to the
+        // same device, so copy i must sit at exactly those two indices.
+        for i in 0..n {
+            let copy = format!("/copy{i}");
+            assert!(
+                jobs[i].key().ends_with(&copy),
+                "service of copy {i} must be at index {i}, found {}",
+                jobs[i].key()
+            );
+            assert!(
+                jobs[n + i].key().ends_with(&copy),
+                "trainer of copy {i} must be at index {}, found {}",
+                n + i,
+                jobs[n + i].key()
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_mix_really_is_skewed() {
+        let spec = GpuSpec::a100();
+        let jobs = skewed(&spec, 2);
+        assert_eq!(jobs.len(), 4);
+        let demands: Vec<f64> = jobs.iter().map(|j| job_demand(j, &spec)).collect();
+        // Heavy at even indices, light at odd ones.
+        assert!(demands[0] > 1.4 * demands[1], "demands: {demands:?}");
+        assert!(demands[2] > 1.4 * demands[3], "demands: {demands:?}");
+        // Two heavies oversubscribe a device; heavy + light is milder.
+        assert!(demands[0] + demands[2] > 1.5, "demands: {demands:?}");
+        assert!(demands[0] + demands[1] < demands[0] + demands[2]);
+        let keys: HashSet<&str> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(keys.len(), 4, "client keys must be unique");
+    }
+}

@@ -10,7 +10,6 @@
 //! Run with: `cargo run --release --example client_churn`
 
 use tally::prelude::*;
-use tally_bench::windowed_p99;
 
 fn main() {
     let spec = GpuSpec::a100();
@@ -54,7 +53,7 @@ fn main() {
     for w in 0..8u64 {
         let lo = SimTime::ZERO + window * w;
         let hi = lo + window;
-        let p99 = windowed_p99(hp, lo, hi);
+        let p99 = hp.windowed(lo, hi).p99();
         // Label by the window start against the timeline edges above.
         let phase = if lo < SimTime::from_secs(4) {
             "service alone"

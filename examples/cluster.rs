@@ -1,0 +1,76 @@
+//! Multi-GPU quickstart: place clients across a two-GPU fleet with a
+//! demand-aware policy, let a service retire mid-run, and watch the
+//! cluster migrate a best-effort trainer onto the freed device.
+//!
+//! ```sh
+//! cargo run --release --example cluster
+//! ```
+
+use tally::prelude::*;
+use tally::workloads::mixes;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let cfg = HarnessConfig {
+        duration: SimSpan::from_secs(10),
+        warmup: SimSpan::from_secs(1),
+        seed: 42,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+
+    // A BERT service that retires at t=5s, plus four GPT2-Large trainers.
+    let mut jobs = mixes::standard(&spec, 0.5, cfg.duration);
+    jobs.truncate(1);
+    jobs[0] = jobs[0].clone().active_until(SimTime::from_secs(5));
+    for i in 0..4 {
+        let mut trainer = mixes::standard(&spec, 0.5, cfg.duration).remove(1);
+        trainer.client_key = Some(format!("trainer-{i}"));
+        jobs.push(trainer);
+    }
+
+    // BestEffortPacking keeps the trainers off the service's device; when
+    // the service retires, detach-triggered migration reuses the freed GPU.
+    let report = Cluster::new()
+        .devices(2, spec)
+        .clients(jobs)
+        .policy(BestEffortPacking)
+        .systems_with(|_| Box::new(TallySystem::new(TallyConfig::paper_default())))
+        .transport(Transport::SharedMemory)
+        .config(cfg)
+        .run();
+
+    println!(
+        "policy {}   migrations {}   fleet p99 {:?}\n",
+        report.policy,
+        report.migrations,
+        report.fleet_p99()
+    );
+    println!(
+        "{:<10}{:<10}{:>8}{:>8}{:>12}{:>14}",
+        "device", "system", "placed", "final", "mig in/out", "throughput"
+    );
+    for d in &report.devices {
+        println!(
+            "{:<10}{:<10}{:>8}{:>8}{:>9}/{:<4}{:>10.2}",
+            d.device,
+            d.system,
+            d.placed,
+            d.residents,
+            d.migrations_in,
+            d.migrations_out,
+            d.throughput
+        );
+    }
+    println!();
+    println!(
+        "{:<24}{:>8}{:>8}{:>6}{:>12}{:>12}",
+        "client", "placed", "final", "migs", "iters", "requests"
+    );
+    for c in &report.clients {
+        println!(
+            "{:<24}{:>8}{:>8}{:>6}{:>12}{:>12}",
+            c.key, c.initial_device, c.device, c.migrations, c.report.iterations, c.report.requests
+        );
+    }
+}

@@ -56,10 +56,14 @@ pub use tally_workloads as workloads;
 pub mod prelude {
     pub use tally_baselines::{KernelLevelPriority, Mps, Tgs, TimeSlicing};
     pub use tally_core::api::{ApiCall, ClientStub, InterceptStats, Transport};
-    pub use tally_core::harness::{
-        run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, WorkloadOp,
+    pub use tally_core::cluster::{
+        BestEffortPacking, Cluster, ClusterClientReport, ClusterReport, DeviceLoad, DeviceReport,
+        LeastLoaded, PlacementPolicy, RoundRobin,
     };
-    pub use tally_core::metrics::{ClientReport, LatencyRecorder, RunReport};
+    pub use tally_core::harness::{
+        run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, WorkloadOp,
+    };
+    pub use tally_core::metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
     pub use tally_core::scheduler::{TallyConfig, TallySystem};
     pub use tally_core::system::{Passthrough, SharingSystem};
     pub use tally_gpu::{
