@@ -6,7 +6,7 @@
 //! aggregate throughput (requests/minute) climbs until the GPU saturates
 //! around 8 concurrent best-effort workloads.
 
-use tally_bench::{banner, ms, JsonSink};
+use tally_bench::{banner, full_or_quick, ms, JsonSink};
 use tally_core::api::Transport;
 use tally_core::harness::{Colocation, HarnessConfig};
 use tally_core::scheduler::{TallyConfig, TallySystem};
@@ -18,7 +18,7 @@ fn main() {
     let mut sink = JsonSink::from_args("fig7a_scalability");
     let spec = GpuSpec::a100();
     let cfg = HarnessConfig {
-        duration: SimSpan::from_secs(10),
+        duration: full_or_quick(SimSpan::from_secs(10), SimSpan::from_secs(5)),
         warmup: SimSpan::from_secs(1),
         seed: 11,
         jitter: 0.0,

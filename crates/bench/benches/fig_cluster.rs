@@ -44,8 +44,7 @@ impl SoloTable {
                 continue;
             }
             let mut solo_job = job.clone();
-            solo_job.active_from = SimTime::ZERO;
-            solo_job.active_until = None;
+            solo_job.windows = vec![tally_core::harness::ActivityWindow::ALWAYS];
             let thr = run_solo(spec, &solo_job, cfg).throughput;
             table.push((job.name.clone(), thr));
         }

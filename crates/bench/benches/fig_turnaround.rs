@@ -1,0 +1,215 @@
+//! **Turnaround under churn**: Table-1-style sweeps driven by an
+//! arrival trace instead of hand-placed windows. A latency-critical BERT
+//! service runs for the whole trace while best-effort trainers arrive,
+//! depart, and *re-attach* at a configurable churn rate (mean client
+//! arrivals per second, MAF2-flavored bursty process). The sweep crosses
+//! churn rate × sharing system and reports the service's p99, the
+//! trainers' aggregate progress, and the realized churn (attachments).
+//!
+//! Expected shape: the baselines' service p99 degrades as churn rises
+//! (every join/leave perturbs their schedules), while Tally stays near the
+//! shared-GPU floor at every rate; trainer work scales with how many
+//! trainers are resident, not with how often they churn.
+//!
+//! Pass `--json PATH` to record the measurements. Honors the
+//! reduced-duration CI profile (`TALLY_BENCH_PROFILE=quick`).
+
+use tally_bench::{
+    banner, full_or_quick, is_tally_variant, make_system, ms, JsonSink, FIG5_SYSTEMS,
+};
+use tally_core::api::Transport;
+use tally_core::harness::{Colocation, HarnessConfig};
+use tally_core::metrics::RunReport;
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
+use tally_workloads::trace::{ArrivalTrace, TraceGen, TraceJob, TraceMix};
+use tally_workloads::{InferModel, TrainModel};
+
+/// Trainer churn rates swept (mean arrivals per second).
+const CHURN_RATES: [f64; 3] = [0.25, 1.0, 2.5];
+
+fn duration() -> SimSpan {
+    full_or_quick(SimSpan::from_secs(16), SimSpan::from_secs(8))
+}
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        duration: duration(),
+        warmup: SimSpan::ZERO,
+        seed: 11,
+        jitter: 0.0,
+        record_timelines: false,
+    }
+}
+
+/// Trainer-only churn mix: GPT2-Large and Whisper trainers that stay a
+/// couple of seconds and frequently come back (re-attach).
+fn churn_gen(rate: f64) -> TraceGen {
+    TraceGen {
+        duration: duration(),
+        seed: 29,
+        rate,
+        burstiness: 0.3,
+        window: SimSpan::from_millis(500),
+        mix: vec![
+            TraceMix {
+                job: TraceJob::Train(TrainModel::Gpt2Large),
+                weight: 0.6,
+                mean_service: SimSpan::from_secs(2),
+                rearrive: 0.5,
+                mean_gap: SimSpan::from_secs(1),
+            },
+            TraceMix {
+                job: TraceJob::Train(TrainModel::WhisperV3),
+                weight: 0.4,
+                mean_service: SimSpan::from_secs(2),
+                rearrive: 0.4,
+                mean_gap: SimSpan::from_secs(1),
+            },
+        ],
+    }
+}
+
+/// The service half of every trace: BERT at 40% load, up the whole run.
+fn with_service(mut trainers: ArrivalTrace) -> ArrivalTrace {
+    let mut t = ArrivalTrace::new();
+    t.arrive(
+        SimTime::ZERO,
+        "svc",
+        TraceJob::Infer {
+            model: InferModel::Bert,
+            load: 0.4,
+            seed: 33,
+        },
+    );
+    t.events.append(&mut trainers.events);
+    t.events.sort_by_key(|e| e.at);
+    t.validate().expect("merged trace is valid");
+    t
+}
+
+fn run(spec: &GpuSpec, trace: &ArrivalTrace, system: &str) -> RunReport {
+    let mut session = Colocation::on(spec.clone())
+        .trace(trace.session_events(spec, duration()))
+        .system_boxed(make_system(system))
+        .config(cfg());
+    if is_tally_variant(system) {
+        session = session.transport(Transport::SharedMemory);
+    }
+    session.run()
+}
+
+fn main() {
+    let mut sink = JsonSink::from_args("fig_turnaround");
+    let spec = GpuSpec::a100();
+
+    banner("Turnaround under churn: BERT service vs trace-driven trainer churn");
+    println!(
+        "trace: trainers arrive at the churn rate, stay ~2s, re-attach often; {}s runs\n",
+        duration().as_secs_f64()
+    );
+    println!(
+        "{:<10} {:<14} {:>9} {:>10} {:>12} {:>12}",
+        "churn/s", "system", "p99", "vs ideal", "trainer-iters", "attaches"
+    );
+
+    // Ideal reference: the service alone on the GPU, same request trace
+    // (the trainer events are simply absent) — churn-rate independent.
+    let solo_trace = with_service(ArrivalTrace::new());
+    let solo = run(&spec, &solo_trace, "mps"); // any system; service runs alone
+    let ideal_p99 = solo.high_priority().expect("svc").p99().expect("requests");
+
+    for rate in CHURN_RATES {
+        let trainers = ArrivalTrace::generate(&churn_gen(rate));
+        let trace = with_service(trainers);
+        let trainer_keys = trace.keys().count() - 1;
+        println!(
+            "{:<10.2} {:<14} {:>9} {:>10} {:>12} {:>12}",
+            rate,
+            "ideal",
+            ms(ideal_p99),
+            "-",
+            "-",
+            trainer_keys
+        );
+        sink.record(
+            "p99_ms",
+            ideal_p99.as_millis_f64(),
+            &[("system", "ideal"), ("churn", &format!("{rate}"))],
+        );
+
+        let mut tally_p99 = None;
+        let mut worst_baseline_p99: Option<SimSpan> = None;
+        for system in FIG5_SYSTEMS {
+            let report = run(&spec, &trace, system);
+            let svc = report.high_priority().expect("svc");
+            let p99 = svc.p99().expect("service served requests");
+            let trainer_iters: u64 = report.best_effort().map(|c| c.iterations).sum();
+            let attaches: u64 = report.best_effort().map(|c| c.attachments).sum();
+            println!(
+                "{:<10.2} {:<14} {:>9} {:>9.2}x {:>12} {:>12}",
+                "",
+                system,
+                ms(p99),
+                p99.ratio(ideal_p99),
+                trainer_iters,
+                attaches
+            );
+            let churn_tag = format!("{rate}");
+            sink.record(
+                "p99_ms",
+                p99.as_millis_f64(),
+                &[("system", system), ("churn", &churn_tag)],
+            );
+            sink.record(
+                "trainer_iterations",
+                trainer_iters as f64,
+                &[("system", system), ("churn", &churn_tag)],
+            );
+            sink.record(
+                "trainer_attachments",
+                attaches as f64,
+                &[("system", system), ("churn", &churn_tag)],
+            );
+
+            // -- self-asserts ------------------------------------------
+            assert!(
+                svc.requests > 0,
+                "{system}@{rate}: service starved under churn"
+            );
+            assert_eq!(
+                report.clients.len() as u64,
+                trainer_keys as u64 + 1,
+                "{system}@{rate}: every trace key reports exactly once"
+            );
+            if rate >= 1.0 {
+                assert!(
+                    attaches > trainer_keys as u64,
+                    "{system}@{rate}: churn mix must re-attach some trainers \
+                     ({attaches} attaches over {trainer_keys} keys)"
+                );
+            }
+            if system == "tally" {
+                tally_p99 = Some(p99);
+            } else {
+                worst_baseline_p99 = Some(worst_baseline_p99.map_or(p99, |w: SimSpan| w.max(p99)));
+            }
+        }
+        let tally_p99 = tally_p99.expect("tally ran");
+        let worst = worst_baseline_p99.expect("baselines ran");
+        assert!(
+            tally_p99.ratio(ideal_p99) < 4.0,
+            "@{rate}: tally p99 {tally_p99} drifted far from ideal {ideal_p99}"
+        );
+        assert!(
+            worst.ratio(tally_p99) > 1.5,
+            "@{rate}: expected the worst baseline ({worst}) well above tally ({tally_p99})"
+        );
+        println!();
+    }
+
+    println!(
+        "Expected shape: baselines' p99 inflates with churn; Tally tracks the\n\
+         ideal row at every churn rate while trainers keep re-attaching."
+    );
+    sink.finish();
+}

@@ -1,23 +1,38 @@
-//! Perf-trajectory driver: runs the JSON-emitting bench targets and
-//! writes their `BENCH_*.json` documents at the repo root, so each PR
-//! leaves machine-readable numbers the next one can diff against.
+//! Perf-trajectory driver: runs the JSON-emitting bench targets, writes
+//! their `BENCH_*.json` documents (repo root by default), and diffs
+//! trajectory directories — so each PR leaves machine-readable numbers
+//! the next one is gated against.
 //!
 //! ```sh
-//! cargo run -p tally-bench --bin bench_suite              # default set
-//! cargo run -p tally-bench --bin bench_suite -- churn     # named subset
-//! cargo run -p tally-bench --bin bench_suite -- --all     # everything
+//! cargo run -p tally-bench --bin bench_suite                 # default set
+//! cargo run -p tally-bench --bin bench_suite -- churn        # named subset
+//! cargo run -p tally-bench --bin bench_suite -- --all        # everything
+//! cargo run -p tally-bench --bin bench_suite -- --all --profile quick \
+//!     --out-dir target/bench-new                             # CI profile
+//! cargo run -p tally-bench --bin bench_suite -- --diff . target/bench-new
 //! ```
 //!
 //! Each bench is executed via `cargo bench --bench <name> -- --json <out>`
 //! in a child process, so a crashing bench fails the suite loudly instead
-//! of silently truncating the trajectory.
+//! of silently truncating the trajectory. `--profile quick` exports
+//! `TALLY_BENCH_PROFILE=quick` to every child: the reduced-duration
+//! profile CI runs (and the committed documents are generated with).
+//!
+//! `--diff OLD_DIR NEW_DIR [--threshold F]` compares two trajectory
+//! directories (see [`tally_bench::diff`]) and exits non-zero when a
+//! throughput-like metric dropped or a latency-like metric rose by more
+//! than the threshold (default 10%), or when a measurement disappeared.
 
 use std::path::PathBuf;
 use std::process::Command;
 
+use tally_bench::diff::{diff_dirs, print_report, DEFAULT_THRESHOLD};
+use tally_bench::PROFILE_ENV;
+
 /// Every JSON-emitting bench target and its trajectory file.
 const BENCHES: &[(&str, &str)] = &[
     ("fig_cluster", "BENCH_cluster.json"),
+    ("fig_turnaround", "BENCH_turnaround.json"),
     ("fig5_end_to_end", "BENCH_fig5.json"),
     ("fig6a_load_sensitivity", "BENCH_fig6a.json"),
     ("fig6b_timeseries", "BENCH_fig6b.json"),
@@ -31,21 +46,53 @@ const BENCHES: &[(&str, &str)] = &[
     ("churn", "BENCH_churn.json"),
 ];
 
-/// The default trajectory: the cluster scalability bench plus the paper's
-/// headline end-to-end figure.
-const DEFAULT: &[&str] = &["fig_cluster", "fig5_end_to_end"];
+/// The default trajectory: the cluster scalability bench, the trace-driven
+/// churn sweep, and the paper's headline end-to-end figure.
+const DEFAULT: &[&str] = &["fig_cluster", "fig_turnaround", "fig5_end_to_end"];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<&(&str, &str)> = if args.iter().any(|a| a == "--all") {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(pos) = args.iter().position(|a| a == "--diff") {
+        args.remove(pos);
+        run_diff(args, pos);
+        return;
+    }
+
+    let mut all = false;
+    let mut quick = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--profile" => match it.next().as_deref() {
+                Some("quick") => quick = true,
+                Some("full") => quick = false,
+                other => panic!("--profile expects `quick` or `full`, got {other:?}"),
+            },
+            "--out-dir" => {
+                out_dir =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                        panic!("--out-dir requires a directory argument")
+                    })))
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let selected: Vec<&(&str, &str)> = if all {
+        assert!(names.is_empty(), "--all conflicts with naming benches");
         BENCHES.iter().collect()
-    } else if args.is_empty() {
+    } else if names.is_empty() {
         BENCHES
             .iter()
             .filter(|(name, _)| DEFAULT.contains(name))
             .collect()
     } else {
-        args.iter()
+        names
+            .iter()
             .map(|a| {
                 BENCHES
                     .iter()
@@ -59,16 +106,34 @@ fn main() {
     };
 
     let root = repo_root();
+    let out_dir = out_dir.unwrap_or_else(|| root.clone());
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", out_dir.display()));
+    // Absolutize: the bench child processes run with the *package* dir as
+    // cwd, so a relative --out-dir would silently point elsewhere.
+    let out_dir = out_dir
+        .canonicalize()
+        .unwrap_or_else(|e| panic!("resolving {}: {e}", out_dir.display()));
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut written = Vec::new();
     for &&(bench, out) in &selected {
-        let out_path = root.join(out);
-        eprintln!("== bench_suite: {bench} -> {}", out_path.display());
-        let status = Command::new(&cargo)
-            .args(["bench", "-p", "tally-bench", "--bench", bench, "--"])
+        let out_path = out_dir.join(out);
+        eprintln!(
+            "== bench_suite: {bench} -> {}{}",
+            out_path.display(),
+            if quick { " (quick profile)" } else { "" }
+        );
+        let mut cmd = Command::new(&cargo);
+        cmd.args(["bench", "-p", "tally-bench", "--bench", bench, "--"])
             .arg("--json")
             .arg(&out_path)
-            .current_dir(&root)
+            .current_dir(&root);
+        if quick {
+            cmd.env(PROFILE_ENV, "quick");
+        } else {
+            cmd.env_remove(PROFILE_ENV);
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn cargo for `{bench}`: {e}"));
         assert!(status.success(), "bench `{bench}` failed ({status})");
@@ -77,6 +142,36 @@ fn main() {
     eprintln!("\nbench_suite: wrote {} trajectory file(s):", written.len());
     for p in &written {
         eprintln!("  {}", p.display());
+    }
+}
+
+/// `--diff OLD_DIR NEW_DIR [--threshold F]`: compare and exit non-zero on
+/// regression.
+fn run_diff(mut args: Vec<String>, at: usize) {
+    let mut threshold = DEFAULT_THRESHOLD;
+    if let Some(pos) = args.iter().position(|a| a == "--threshold") {
+        let v = args
+            .get(pos + 1)
+            .unwrap_or_else(|| panic!("--threshold requires a value"))
+            .clone();
+        threshold = v
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad threshold `{v}`: {e}"));
+        assert!(
+            (0.0..10.0).contains(&threshold),
+            "threshold is a fraction (0.1 = 10%), got {threshold}"
+        );
+        args.drain(pos..=pos + 1);
+    }
+    let [old_dir, new_dir] = &args[at..] else {
+        panic!("usage: bench_suite --diff OLD_DIR NEW_DIR [--threshold 0.1]");
+    };
+    let deltas = diff_dirs(&PathBuf::from(old_dir), &PathBuf::from(new_dir), threshold)
+        .unwrap_or_else(|e| panic!("diff failed: {e}"));
+    let regressed = print_report(&deltas, threshold);
+    if regressed {
+        eprintln!("bench_suite --diff: REGRESSION detected");
+        std::process::exit(1);
     }
 }
 

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod json;
 
 pub use json::JsonSink;
@@ -30,6 +31,29 @@ use tally_workloads::{InferModel, TrainModel};
 
 /// The systems of Figure 5, in paper order, plus Tally.
 pub const FIG5_SYSTEMS: [&str; 5] = ["time-slicing", "mps", "mps-priority", "tgs", "tally"];
+
+/// Name of the environment variable selecting the bench profile.
+pub const PROFILE_ENV: &str = "TALLY_BENCH_PROFILE";
+
+/// Whether the reduced-duration profile is active
+/// (`TALLY_BENCH_PROFILE=quick`, which `bench_suite --profile quick`
+/// exports to every child bench). The CI perf-trajectory gate runs — and
+/// the committed `BENCH_*.json` documents are refreshed — under this
+/// profile, so the diffed numbers are apples-to-apples; run the default
+/// full profile for paper-fidelity numbers.
+pub fn quick_profile() -> bool {
+    std::env::var(PROFILE_ENV).is_ok_and(|v| v == "quick")
+}
+
+/// Picks a bench parameter by profile: `full` fidelity by default, the
+/// cheaper `quick` value under the reduced-duration profile.
+pub fn full_or_quick<T>(full: T, quick: T) -> T {
+    if quick_profile() {
+        quick
+    } else {
+        full
+    }
+}
 
 /// Whether the named system is Tally (or a Tally ablation) and therefore
 /// runs behind Tally's §4.3 interception layer. Baselines are native GPU
@@ -76,20 +100,22 @@ pub fn make_system(name: &str) -> Box<dyn SharingSystem> {
 
 /// Simulated run length appropriate for an inference model: long-latency
 /// services need longer windows to accumulate enough requests for a stable
-/// tail estimate.
+/// tail estimate. Under the reduced-duration profile ([`quick_profile`])
+/// the windows shrink — tails get noisier but stay deterministic, which is
+/// all the CI trajectory diff needs.
 pub fn harness_for(infer: InferModel) -> HarnessConfig {
     let long = infer.paper_latency() >= SimSpan::from_millis(100);
     if long {
         HarnessConfig {
-            duration: SimSpan::from_secs(36),
-            warmup: SimSpan::from_secs(4),
+            duration: full_or_quick(SimSpan::from_secs(36), SimSpan::from_secs(16)),
+            warmup: full_or_quick(SimSpan::from_secs(4), SimSpan::from_secs(2)),
             seed: 1,
             jitter: 0.02,
             record_timelines: false,
         }
     } else {
         HarnessConfig {
-            duration: SimSpan::from_secs(10),
+            duration: full_or_quick(SimSpan::from_secs(10), SimSpan::from_secs(5)),
             warmup: SimSpan::from_secs(1),
             seed: 1,
             jitter: 0.02,

@@ -1,0 +1,92 @@
+//! End-to-end test of the perf-trajectory gate: the real `bench_suite`
+//! binary must exit zero when two trajectory directories are identical and
+//! non-zero on a synthetic 20% throughput regression (the CI contract).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tally_bench::JsonSink;
+
+fn write_doc(dir: &Path, file: &str, bench: &str, rows: &[(&str, f64)]) {
+    let mut sink = JsonSink::to_path(bench, Some(dir.join(file)));
+    for (metric, value) in rows {
+        sink.record(metric, *value, &[("system", "tally")]);
+    }
+    sink.finish();
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tally_diff_gate_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn run_diff(old: &Path, new: &Path) -> std::process::ExitStatus {
+    Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .args(["--diff"])
+        .arg(old)
+        .arg(new)
+        .status()
+        .expect("bench_suite runs")
+}
+
+#[test]
+fn exits_zero_on_identical_documents() {
+    let old = temp_dir("ident_old");
+    let new = temp_dir("ident_new");
+    for d in [&old, &new] {
+        write_doc(
+            d,
+            "BENCH_x.json",
+            "x",
+            &[("fleet_throughput", 100.0), ("p99_ms", 2.5)],
+        );
+    }
+    let status = run_diff(&old, &new);
+    assert!(
+        status.success(),
+        "identical trajectories must pass: {status}"
+    );
+}
+
+#[test]
+fn exits_nonzero_on_twenty_percent_throughput_drop() {
+    let old = temp_dir("drop_old");
+    let new = temp_dir("drop_new");
+    write_doc(&old, "BENCH_x.json", "x", &[("fleet_throughput", 100.0)]);
+    write_doc(&new, "BENCH_x.json", "x", &[("fleet_throughput", 80.0)]);
+    let status = run_diff(&old, &new);
+    assert!(
+        !status.success(),
+        "a 20% throughput drop must fail the 10% gate"
+    );
+}
+
+#[test]
+fn exits_nonzero_on_p99_rise_and_zero_within_threshold() {
+    let old = temp_dir("p99_old");
+    let new = temp_dir("p99_new");
+    write_doc(&old, "BENCH_x.json", "x", &[("p99_ms", 2.0)]);
+    write_doc(&new, "BENCH_x.json", "x", &[("p99_ms", 2.6)]); // +30%
+    assert!(!run_diff(&old, &new).success(), "p99 rise must fail");
+    // Within the default 10% threshold: passes.
+    write_doc(&new, "BENCH_x.json", "x", &[("p99_ms", 2.1)]); // +5%
+    assert!(
+        run_diff(&old, &new).success(),
+        "+5% p99 is within threshold"
+    );
+}
+
+#[test]
+fn exits_nonzero_when_a_document_disappears() {
+    let old = temp_dir("gone_old");
+    let new = temp_dir("gone_new");
+    write_doc(&old, "BENCH_x.json", "x", &[("p99_ms", 2.0)]);
+    write_doc(&old, "BENCH_y.json", "y", &[("p99_ms", 2.0)]);
+    write_doc(&new, "BENCH_x.json", "x", &[("p99_ms", 2.0)]);
+    assert!(
+        !run_diff(&old, &new).success(),
+        "a vanished trajectory document must fail"
+    );
+}

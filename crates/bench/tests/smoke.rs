@@ -80,6 +80,37 @@ fn churn_smoke_under_every_system() {
 }
 
 #[test]
+fn reattach_smoke_under_every_system() {
+    // A trainer with a two-window schedule (detach at 20ms, re-attach at
+    // 35ms) must re-enter cleanly everywhere the benches go.
+    let spec = GpuSpec::a100();
+    let cfg = short_cfg();
+    for name in FIG5_SYSTEMS.iter().chain(ABLATIONS.iter()) {
+        let trace = arrivals(&Maf2Config::new(
+            0.5,
+            InferModel::Bert.paper_latency(),
+            cfg.duration,
+        ));
+        let jobs = [
+            InferModel::Bert.job(&spec, trace),
+            TrainModel::PointNet
+                .job(&spec)
+                .active_window(SimTime::ZERO, SimTime::from_millis(20))
+                .also_active(SimTime::from_millis(35), None),
+        ];
+        let report = run_session(&spec, jobs, name, &cfg);
+        assert_eq!(
+            report.clients[1].attachments, 2,
+            "{name}: trainer must attach twice"
+        );
+        assert!(
+            report.high_priority().expect("hp").requests > 0,
+            "{name}: service made no progress through the re-attach"
+        );
+    }
+}
+
+#[test]
 #[should_panic(expected = "unknown system")]
 fn unknown_system_name_panics() {
     make_system("does-not-exist");

@@ -51,7 +51,10 @@ use std::fmt;
 
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
-use crate::harness::{Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session};
+use crate::harness::{
+    compile_trace, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session,
+    SessionEvent,
+};
 use crate::metrics::{ClientReport, LatencyRecorder};
 use crate::system::{Passthrough, SharingSystem};
 
@@ -252,6 +255,7 @@ impl PlacementPolicy for BestEffortPacking {
 pub struct Cluster {
     devices: Vec<GpuSpec>,
     jobs: Vec<JobSpec>,
+    trace: Vec<(SimTime, SessionEvent)>,
     policy: Box<dyn PlacementPolicy>,
     system_factory: Box<dyn Fn(usize) -> Box<dyn SharingSystem>>,
     cfg: HarnessConfig,
@@ -285,6 +289,7 @@ impl Cluster {
         Cluster {
             devices: Vec::new(),
             jobs: Vec::new(),
+            trace: Vec::new(),
             policy: Box::new(RoundRobin::default()),
             system_factory: Box::new(|_| Box::new(Passthrough::new())),
             cfg: HarnessConfig::default(),
@@ -315,6 +320,22 @@ impl Cluster {
     /// Adds several client jobs, in order.
     pub fn clients(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
         self.jobs.extend(jobs);
+        self
+    }
+
+    /// Drives the fleet from a time-ordered arrive/depart event stream:
+    /// each distinct key becomes one client that is *injected* when the
+    /// shared clock reaches its first arrival — the placement policy sees
+    /// the loads of the clients actually resident at that instant, not a
+    /// static up-front plan — and is attached/detached/re-attached as the
+    /// clock crosses its later events. Explicitly added clients
+    /// ([`Cluster::client`]) are still placed up front.
+    ///
+    /// # Panics
+    ///
+    /// [`Cluster::run`] panics on an invalid stream (see [`SessionEvent`]).
+    pub fn trace(mut self, events: impl IntoIterator<Item = (SimTime, SessionEvent)>) -> Self {
+        self.trace.extend(events);
         self
     }
 
@@ -382,6 +403,7 @@ impl Cluster {
         let Cluster {
             devices,
             mut jobs,
+            trace,
             mut policy,
             system_factory,
             cfg,
@@ -390,23 +412,37 @@ impl Cluster {
             rebalance_every,
         } = self;
         assert!(!devices.is_empty(), "at least one device required");
-        assert!(!jobs.is_empty(), "at least one client required");
         let n = devices.len();
 
-        // Give every fleet client a stable key (jobs may repeat a name).
+        // Give every explicitly added client a stable key (jobs may repeat
+        // a name); trace clients carry their event key.
         for (k, job) in jobs.iter_mut().enumerate() {
             if job.client_key.is_none() {
                 job.client_key = Some(format!("{}#{k}", job.name));
             }
         }
+        let upfront = jobs.len();
+        jobs.extend(compile_trace(trace));
+        assert!(!jobs.is_empty(), "at least one client required");
+        {
+            let mut seen = std::collections::BTreeSet::new();
+            for job in &jobs {
+                assert!(
+                    seen.insert(job.key().to_string()),
+                    "duplicate client key `{}`",
+                    job.key()
+                );
+            }
+        }
 
-        // Initial placement, one job at a time against the loads so far.
-        // `locations` maps fleet client -> (device, session-local slot)
-        // and is maintained across migrations.
+        // Up-front placement of the explicitly added jobs, one at a time
+        // against the loads so far. `locations` maps fleet client ->
+        // (device, session-local slot) and is maintained across migrations;
+        // trace clients get theirs when they are injected at first arrival.
         let mut placed_jobs: Vec<Vec<JobSpec>> = vec![Vec::new(); n];
-        let mut placements: Vec<usize> = Vec::with_capacity(jobs.len());
-        let mut locations: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
-        for job in &jobs {
+        let mut placements: Vec<Option<usize>> = vec![None; jobs.len()];
+        let mut locations: Vec<Option<(usize, usize)>> = vec![None; jobs.len()];
+        for (k, job) in jobs.iter().enumerate().take(upfront) {
             let loads: Vec<DeviceLoad> = devices
                 .iter()
                 .enumerate()
@@ -414,10 +450,13 @@ impl Cluster {
                 .collect();
             let d = policy.place(job, &loads);
             assert!(d < n, "policy `{}` placed on device {d}/{n}", policy.name());
-            placements.push(d);
-            locations.push((d, placed_jobs[d].len()));
+            placements[k] = Some(d);
+            locations[k] = Some((d, placed_jobs[d].len()));
             placed_jobs[d].push(job.clone());
         }
+        // Trace clients await injection in first-arrival order (the order
+        // `compile_trace` emits).
+        let mut pending: std::collections::VecDeque<usize> = (upfront..jobs.len()).collect();
 
         // One session per device, seeds staggered by device index.
         let mut sessions: Vec<Session<'static>> = placed_jobs
@@ -443,13 +482,30 @@ impl Cluster {
         let mut migrations_in = vec![0u64; n];
         let mut migrations_out = vec![0u64; n];
 
-        // Lockstep drive: settle everyone, migrate if triggered, advance
-        // every engine to the global minimum wake instant.
+        // Lockstep drive: inject trace clients whose first arrival is due,
+        // settle everyone, migrate if triggered, advance every engine to
+        // the global minimum wake instant.
         loop {
+            let now = sessions[0].now();
+            while let Some(&k) = pending.front() {
+                if jobs[k].first_active() > now {
+                    break;
+                }
+                pending.pop_front();
+                place_pending(
+                    policy.as_mut(),
+                    &devices,
+                    &mut sessions,
+                    &jobs,
+                    k,
+                    now,
+                    &mut placements,
+                    &mut locations,
+                );
+            }
             for s in sessions.iter_mut() {
                 s.settle();
             }
-            let now = sessions[0].now();
 
             let mut do_rebalance = false;
             for (d, s) in sessions.iter().enumerate() {
@@ -499,9 +555,29 @@ impl Cluster {
             if let Some(t) = next_rebalance {
                 wake = wake.min(t);
             }
+            if let Some(&k) = pending.front() {
+                wake = wake.min(jobs[k].first_active());
+            }
             for s in sessions.iter_mut() {
                 s.advance_to(wake);
             }
+        }
+
+        // Trace clients whose first arrival fell at/after the end of the
+        // run never went live; admit them now so the report covers every
+        // key (their reports are empty).
+        let final_now = sessions[0].now();
+        for k in pending {
+            place_pending(
+                policy.as_mut(),
+                &devices,
+                &mut sessions,
+                &jobs,
+                k,
+                final_now,
+                &mut placements,
+                &mut locations,
+            );
         }
 
         // Collect: per-client reports from wherever each client ended up.
@@ -509,10 +585,10 @@ impl Cluster {
             .iter()
             .enumerate()
             .map(|(k, job)| {
-                let (d, slot) = locations[k];
+                let (d, slot) = locations[k].expect("every client placed by run end");
                 ClusterClientReport {
                     key: job.key().to_string(),
-                    initial_device: placements[k],
+                    initial_device: placements[k].expect("every client placed by run end"),
                     device: d,
                     migrations: per_client_migrations[k],
                     report: sessions[d].client_report_at(slot),
@@ -536,7 +612,7 @@ impl Cluster {
                 DeviceReport {
                     device: d,
                     system: s.system_name().to_string(),
-                    placed: placements.iter().filter(|&&p| p == d).count() as u64,
+                    placed: placements.iter().filter(|&&p| p == Some(d)).count() as u64,
                     residents: residents.len(),
                     migrations_in: migrations_in[d],
                     migrations_out: migrations_out[d],
@@ -581,15 +657,49 @@ fn load_of<'j>(
     load
 }
 
+/// Places a trace client at its injection instant: snapshots the loads of
+/// the clients live right now (plus any admitted this same instant), asks
+/// the policy, and admits the job into the chosen session. The session's
+/// normal lifecycle attaches it when its first window opens.
+#[allow(clippy::too_many_arguments)]
+fn place_pending(
+    policy: &mut dyn PlacementPolicy,
+    devices: &[GpuSpec],
+    sessions: &mut [Session<'static>],
+    jobs: &[JobSpec],
+    k: usize,
+    now: SimTime,
+    placements: &mut [Option<usize>],
+    locations: &mut [Option<(usize, usize)>],
+) {
+    let loads: Vec<DeviceLoad> = devices
+        .iter()
+        .enumerate()
+        .map(|(dev, spec)| load_of(dev, spec, loadable_specs(&sessions[dev], now)))
+        .collect();
+    let d = policy.place(&jobs[k], &loads);
+    assert!(
+        d < sessions.len(),
+        "policy `{}` placed on device {d}/{}",
+        policy.name(),
+        sessions.len()
+    );
+    let slot = sessions[d].admit_job(jobs[k].clone());
+    placements[k] = Some(d);
+    locations[k] = Some((d, slot.0 as usize));
+}
+
 /// One migration pass: offer the policy every active best-effort client,
-/// in fleet order, re-snapshotting loads after each move. Returns whether
-/// anything moved.
+/// in fleet order, re-snapshotting loads after each move. Clients sitting
+/// in the gap between two scheduled windows (detached-by-schedule) are not
+/// candidates — they hold no device resources and resume where they left
+/// off. Returns whether anything moved.
 #[allow(clippy::too_many_arguments)]
 fn rebalance_pass(
     policy: &mut dyn PlacementPolicy,
     devices: &[GpuSpec],
     sessions: &mut [Session<'static>],
-    locations: &mut [(usize, usize)],
+    locations: &mut [Option<(usize, usize)>],
     jobs: &[JobSpec],
     per_client_migrations: &mut [u32],
     migrations_in: &mut [u64],
@@ -598,7 +708,9 @@ fn rebalance_pass(
 ) -> bool {
     let mut moved = false;
     for k in 0..jobs.len() {
-        let (d, slot) = locations[k];
+        let Some((d, slot)) = locations[k] else {
+            continue; // trace client not injected yet
+        };
         if jobs[k].priority.is_high() || !sessions[d].client_active(slot) {
             continue;
         }
@@ -622,7 +734,7 @@ fn rebalance_pass(
         }
         let (meta, client) = sessions[d].extract_client(slot);
         let new_id = sessions[target].inject_client(meta, client);
-        locations[k] = (target, new_id.0 as usize);
+        locations[k] = Some((target, new_id.0 as usize));
         per_client_migrations[k] += 1;
         migrations_out[d] += 1;
         migrations_in[target] += 1;
@@ -638,6 +750,18 @@ fn active_specs<'a, 's>(
 ) -> impl Iterator<Item = &'a JobSpec> + use<'a, 's> {
     (0..session.client_len())
         .filter(move |&i| !session.client_is_tombstone(i) && session.client_active(i))
+        .map(move |i| session.client_spec(i))
+}
+
+/// The specs counting toward placement load at `now`: active clients plus
+/// those admitted this instant that have not settled into attachment yet
+/// (so a burst of same-instant arrivals sees its earlier siblings).
+fn loadable_specs<'a, 's>(
+    session: &'a Session<'s>,
+    now: SimTime,
+) -> impl Iterator<Item = &'a JobSpec> + use<'a, 's> {
+    (0..session.client_len())
+        .filter(move |&i| !session.client_is_tombstone(i) && session.client_loadable(i, now))
         .map(move |i| session.client_spec(i))
 }
 
@@ -960,6 +1084,123 @@ mod tests {
         assert_eq!(residents, 3);
         let per_client: u64 = report.clients.iter().map(|c| c.migrations as u64).sum();
         assert_eq!(per_client, report.migrations);
+    }
+
+    #[test]
+    fn rebalance_skips_clients_in_their_window_gap() {
+        // `gappy` runs on [0, 150ms) and again from 600ms; a heavy service
+        // departs at 200ms, triggering a migration pass while `gappy` sits
+        // detached in its gap. Steady trainers oversubscribe device 1 so
+        // the pass has every reason to move someone onto the freed device —
+        // but a detached-by-schedule client must not be a candidate.
+        let gappy = trainer("gappy", 1000, 0)
+            .active_window(SimTime::ZERO, SimTime::from_millis(150))
+            .also_active(SimTime::from_millis(600), None);
+        let report = Cluster::new()
+            .devices(2, GpuSpec::tiny())
+            .client(departing_service())
+            .client(gappy)
+            .client(trainer("a", 1000, 0))
+            .client(trainer("b", 1000, 0))
+            .policy(LeastLoaded)
+            .config(cfg(1))
+            .run();
+        let gap_client = report.client("gappy#1").expect("gappy resident");
+        assert_eq!(
+            gap_client.migrations, 0,
+            "a client in its inactive gap must not migrate"
+        );
+        assert_eq!(
+            gap_client.initial_device, gap_client.device,
+            "gap client stays where it was placed"
+        );
+        assert_eq!(gap_client.report.attachments, 2, "gappy re-attached");
+        assert!(
+            report.migrations >= 1,
+            "the pass still migrates an *active* trainer to the freed device"
+        );
+        assert!(report
+            .clients
+            .iter()
+            .filter(|c| c.migrations > 0)
+            .all(|c| !["gappy#1"].contains(&c.key.as_str())));
+    }
+
+    #[test]
+    fn trace_injection_places_at_arrival_with_live_loads() {
+        let job = |n: &str| trainer(n, 1000, 0);
+        let arrive = |at_ms: u64, key: &str| {
+            (
+                SimTime::from_millis(at_ms),
+                SessionEvent::Arrive {
+                    key: key.into(),
+                    job: job(key),
+                },
+            )
+        };
+        let depart = |at_ms: u64, key: &str| {
+            (
+                SimTime::from_millis(at_ms),
+                SessionEvent::Depart { key: key.into() },
+            )
+        };
+        // a and b arrive at t=0 (one per device under LeastLoaded); a
+        // departs at 300ms; c arrives at 500ms and must be placed on the
+        // device a freed — which only live loads can know.
+        let report = Cluster::new()
+            .devices(2, GpuSpec::tiny())
+            .migrate_on_detach(false)
+            .policy(LeastLoaded)
+            .trace(vec![
+                arrive(0, "a"),
+                arrive(0, "b"),
+                depart(300, "a"),
+                arrive(500, "c"),
+            ])
+            .config(cfg(1))
+            .run();
+        let a = report.client("a").expect("a");
+        let b = report.client("b").expect("b");
+        let c = report.client("c").expect("c");
+        assert_ne!(a.initial_device, b.initial_device, "spread at t=0");
+        assert_eq!(
+            c.initial_device, a.initial_device,
+            "late arrival lands on the device the departure freed"
+        );
+        assert!(a.report.iterations > 0 && b.report.iterations > 0 && c.report.iterations > 0);
+        // Deterministic replay: identical trace, identical report.
+        let again = Cluster::new()
+            .devices(2, GpuSpec::tiny())
+            .migrate_on_detach(false)
+            .policy(LeastLoaded)
+            .trace(vec![
+                arrive(0, "a"),
+                arrive(0, "b"),
+                depart(300, "a"),
+                arrive(500, "c"),
+            ])
+            .config(cfg(1))
+            .run();
+        assert_eq!(format!("{report:?}"), format!("{again:?}"));
+    }
+
+    #[test]
+    fn trace_arrivals_after_the_end_report_empty() {
+        let report = Cluster::new()
+            .device(GpuSpec::tiny())
+            .client(trainer("base", 1000, 0))
+            .trace(vec![(
+                SimTime::from_secs(5),
+                SessionEvent::Arrive {
+                    key: "late".into(),
+                    job: trainer("late", 1000, 0),
+                },
+            )])
+            .config(cfg(1))
+            .run();
+        let late = report.client("late").expect("late client reported");
+        assert_eq!(late.report.iterations, 0);
+        assert_eq!(late.report.attachments, 0);
     }
 
     #[test]

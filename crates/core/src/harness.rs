@@ -4,12 +4,17 @@
 //! The entry point is the [`Colocation`] session builder. A session models
 //! the real Tally deployment shape: a long-lived server (the
 //! [`SharingSystem`]) that clients attach to and detach from at runtime.
-//! Each [`JobSpec`] may carry an activity window
-//! ([`JobSpec::active_from`] / [`JobSpec::active_until`]); the session
-//! attaches the client when the window opens, detaches it when the window
-//! closes, and notifies the system through
-//! [`SharingSystem::on_client_attach`] /
+//! Each [`JobSpec`] carries an activity *schedule* ([`JobSpec::windows`],
+//! with [`JobSpec::active_from`] / [`JobSpec::active_until`] as the
+//! one-window convenience); the session attaches the client when a window
+//! opens, detaches it when the window closes, and *re-attaches* it for
+//! every later window under the same stable identity — notifying the
+//! system through [`SharingSystem::on_client_attach`] /
 //! [`SharingSystem::on_client_detach`] so it can reclaim per-client state.
+//! Metrics accumulate across attachments. Sessions can also be driven from
+//! a timestamped arrive/depart event stream ([`Colocation::trace`]); the
+//! trace generator and its checked-in plain-text format live in
+//! `tally_workloads::trace`.
 //!
 //! A client is either a **training job** (an iteration template of kernels
 //! and CPU gaps, repeated forever) or an **inference service** (a request
@@ -71,7 +76,33 @@ pub enum JobKind {
     },
 }
 
-/// A client job: name, priority class, program, and activity window.
+/// One activity window of a client: the client attaches at `from` and
+/// detaches at `until` (`None` = stays to the end of the run).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ActivityWindow {
+    /// Instant the client attaches.
+    pub from: SimTime,
+    /// Instant the client detaches again (`None` = end of the run).
+    pub until: Option<SimTime>,
+}
+
+impl ActivityWindow {
+    /// A window spanning the whole run.
+    pub const ALWAYS: ActivityWindow = ActivityWindow {
+        from: SimTime::ZERO,
+        until: None,
+    };
+
+    /// A window over `[from, until)`.
+    pub fn new(from: SimTime, until: Option<SimTime>) -> Self {
+        if let Some(u) = until {
+            assert!(from < u, "activity window must be non-empty");
+        }
+        ActivityWindow { from, until }
+    }
+}
+
+/// A client job: name, priority class, program, and activity schedule.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// Display name.
@@ -80,12 +111,14 @@ pub struct JobSpec {
     pub priority: Priority,
     /// The program.
     pub kind: JobKind,
-    /// Instant the client attaches to the session (default: session start).
-    pub active_from: SimTime,
-    /// Instant the client detaches again (default: end of the run). A
-    /// detached client stops issuing work; the sharing system reclaims its
-    /// state via [`SharingSystem::on_client_detach`].
-    pub active_until: Option<SimTime>,
+    /// Activity schedule: the client attaches at each window's `from` and
+    /// detaches at its `until`, re-attaching for every later window under
+    /// the same stable identity (metrics accumulate across attachments).
+    /// Windows must be ascending and non-overlapping; only the last may be
+    /// open-ended. Defaults to one window spanning the whole run; the
+    /// [`JobSpec::active_from`] / [`JobSpec::active_until`] builders remain
+    /// the one-window convenience.
+    pub windows: Vec<ActivityWindow>,
     /// Stable client identity, independent of attach order. Systems and
     /// placement policies can key per-client state by this instead of the
     /// session-local [`ClientId`] index, which is what makes re-attach and
@@ -105,8 +138,7 @@ impl JobSpec {
             name: name.into(),
             priority: Priority::High,
             kind: JobKind::Inference { request, arrivals },
-            active_from: SimTime::ZERO,
-            active_until: None,
+            windows: vec![ActivityWindow::ALWAYS],
             client_key: None,
         }
     }
@@ -117,8 +149,7 @@ impl JobSpec {
             name: name.into(),
             priority: Priority::BestEffort,
             kind: JobKind::Training { iteration },
-            active_from: SimTime::ZERO,
-            active_until: None,
+            windows: vec![ActivityWindow::ALWAYS],
             client_key: None,
         }
     }
@@ -142,19 +173,32 @@ impl JobSpec {
         self.client_key.as_deref().unwrap_or(&self.name)
     }
 
-    /// Returns this job attaching at `from` instead of session start.
+    /// Returns this job attaching at `from` instead of session start — the
+    /// one-window convenience over [`JobSpec::windows`].
     ///
     /// Inference arrivals that predate the attach instant queue up and are
     /// served (late) once the client joins — the turnaround/queueing
     /// scenario of the paper's Table 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job already carries a multi-window schedule (adjust
+    /// [`JobSpec::windows`] directly instead).
     pub fn active_from(mut self, from: SimTime) -> Self {
-        self.active_from = from;
+        assert!(
+            self.windows.len() == 1,
+            "active_from is the one-window convenience; edit `windows` for schedules"
+        );
+        self.windows[0].from = from;
         self
     }
 
-    /// Returns this job detaching at `until` instead of running to the end.
+    /// Returns this job detaching at `until` instead of running to the end
+    /// — closes the job's *last* scheduled window.
     pub fn active_until(mut self, until: SimTime) -> Self {
-        self.active_until = Some(until);
+        let last = self.windows.last_mut().expect("at least one window");
+        assert!(last.from < until, "activity window must be non-empty");
+        last.until = Some(until);
         self
     }
 
@@ -162,6 +206,134 @@ impl JobSpec {
     pub fn active_window(self, from: SimTime, until: SimTime) -> Self {
         self.active_from(from).active_until(until)
     }
+
+    /// Appends another activity window: the client detaches at the end of
+    /// its previous window and *re-attaches* at `from`, keeping its stable
+    /// identity and accumulating metrics across attachments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the previous window is open-ended or overlaps `from`.
+    pub fn also_active(mut self, from: SimTime, until: Option<SimTime>) -> Self {
+        let prev = self.windows.last().expect("at least one window");
+        let prev_end = prev
+            .until
+            .expect("cannot schedule a window after an open-ended one");
+        assert!(prev_end <= from, "activity windows must not overlap");
+        self.windows.push(ActivityWindow::new(from, until));
+        self
+    }
+
+    /// Replaces the whole activity schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty, has an empty or inverted window
+    /// (possible by building `ActivityWindow` literals, which bypass
+    /// [`ActivityWindow::new`]), is unordered or overlapping, or has an
+    /// open-ended window anywhere but last.
+    pub fn with_schedule(mut self, windows: Vec<ActivityWindow>) -> Self {
+        assert!(
+            !windows.is_empty(),
+            "schedule must have at least one window"
+        );
+        for w in &windows {
+            if let Some(u) = w.until {
+                assert!(w.from < u, "activity window must be non-empty");
+            }
+        }
+        for pair in windows.windows(2) {
+            let end = pair[0]
+                .until
+                .expect("only the last window may be open-ended");
+            assert!(end <= pair[1].from, "activity windows must not overlap");
+        }
+        self.windows = windows;
+        self
+    }
+
+    /// The instant of the job's first attach.
+    pub fn first_active(&self) -> SimTime {
+        self.windows.first().expect("at least one window").from
+    }
+}
+
+/// A timestamped client lifecycle event — the unit of trace-driven session
+/// construction (see [`Colocation::trace`] and
+/// [`Cluster::trace`](crate::cluster::Cluster::trace)).
+///
+/// Event streams are replayed in timestamp order. A key that arrives,
+/// departs, and arrives again names *one* client that re-attaches: its
+/// metrics accumulate across attachments and its program is the one
+/// carried by the first arrival.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// A client keyed `key` arrives, running `job`'s program. On a repeat
+    /// arrival for a known key the carried job is ignored and the existing
+    /// client re-attaches.
+    Arrive {
+        /// Stable client identity.
+        key: String,
+        /// The program (windows are overridden by the event stream).
+        job: JobSpec,
+    },
+    /// The client keyed `key` departs (detaches).
+    Depart {
+        /// Stable client identity.
+        key: String,
+    },
+}
+
+/// Compiles a time-ordered arrive/depart event stream into one [`JobSpec`]
+/// per distinct key (first-arrival order) carrying the key's full window
+/// schedule.
+///
+/// # Panics
+///
+/// Panics on an invalid stream: timestamps out of order, a key arriving
+/// while attached, departing while detached, or departing at/before its
+/// arrival instant.
+pub(crate) fn compile_trace(
+    events: impl IntoIterator<Item = (SimTime, SessionEvent)>,
+) -> Vec<JobSpec> {
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    let mut index: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut last = SimTime::ZERO;
+    for (at, ev) in events {
+        assert!(at >= last, "trace events must be in timestamp order");
+        last = at;
+        match ev {
+            SessionEvent::Arrive { key, job } => match index.get(&key) {
+                Some(&i) => {
+                    let closed = jobs[i].windows.last().expect("window").until;
+                    let closed =
+                        closed.unwrap_or_else(|| panic!("client `{key}` arrived while attached"));
+                    assert!(closed <= at, "client `{key}` re-arrives before departing");
+                    jobs[i].windows.push(ActivityWindow::new(at, None));
+                }
+                None => {
+                    let mut job = job;
+                    job.windows = vec![ActivityWindow::new(at, None)];
+                    job.client_key = Some(key.clone());
+                    index.insert(key, jobs.len());
+                    jobs.push(job);
+                }
+            },
+            SessionEvent::Depart { key } => {
+                let &i = index
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("depart for unknown client `{key}`"));
+                let w = jobs[i].windows.last_mut().expect("window");
+                assert!(w.until.is_none(), "client `{key}` departed while detached");
+                assert!(
+                    w.from < at,
+                    "client `{key}` departs at or before its arrival"
+                );
+                w.until = Some(at);
+            }
+        }
+    }
+    jobs
 }
 
 /// Harness parameters.
@@ -210,7 +382,13 @@ pub enum InterceptMode {
 pub(crate) struct Client {
     spec: JobSpec,
     attached: bool,
-    departed: bool,
+    /// Index into `spec.windows` of the window currently open (when
+    /// attached) or the next one to open (when detached). Equal to
+    /// `spec.windows.len()` once the schedule is exhausted.
+    window_idx: usize,
+    /// Times this client has attached (initial attach, every scheduled
+    /// re-attach, and cross-device migration reconnects).
+    attachments: u64,
     /// Slot vacated by a cross-device migration: the client state moved to
     /// another session and this placeholder only keeps [`ClientId`]s stable.
     migrated_away: bool,
@@ -237,7 +415,8 @@ impl Client {
         Client {
             spec,
             attached: false,
-            departed: false,
+            window_idx: 0,
+            attachments: 0,
             migrated_away: false,
             stub: None,
             op_idx: 0,
@@ -345,12 +524,31 @@ impl Client {
         }
     }
 
+    /// The window currently open (when attached) or the next one to open;
+    /// `None` once the schedule is exhausted.
+    fn window(&self) -> Option<ActivityWindow> {
+        self.spec.windows.get(self.window_idx).copied()
+    }
+
+    /// Whether this client will never issue work again: detached with no
+    /// window left to open (or vacated by migration).
+    fn retired(&self) -> bool {
+        self.migrated_away || (!self.attached && self.window_idx >= self.spec.windows.len())
+    }
+
     /// Post-warmup span during which this client was (or could have been)
-    /// attached — the window its throughput is normalized over.
+    /// attached — the union of its activity windows, clipped to
+    /// `[warmup, end)` — which its throughput is normalized over.
     fn measured_span(&self, warmup: SimTime, end: SimTime) -> SimSpan {
-        let from = self.spec.active_from.max(warmup);
-        let until = self.spec.active_until.map_or(end, |t| t.min(end));
-        until.saturating_since(from)
+        self.spec
+            .windows
+            .iter()
+            .map(|w| {
+                let from = w.from.max(warmup);
+                let until = w.until.map_or(end, |t| t.min(end));
+                until.saturating_since(from)
+            })
+            .sum()
     }
 
     fn report(&self, warmup: SimTime, end: SimTime) -> ClientReport {
@@ -367,6 +565,7 @@ impl Client {
             requests: self.requests,
             iterations: self.iterations,
             kernels: self.kernels,
+            attachments: self.attachments,
             latency: self.latency.clone(),
             throughput,
             intercept: self
@@ -459,6 +658,23 @@ impl<'s> Colocation<'s> {
     /// Adds several clients, in order.
     pub fn clients(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> Self {
         self.jobs.extend(jobs);
+        self
+    }
+
+    /// Adds the clients described by a time-ordered arrive/depart event
+    /// stream: each distinct key becomes one client (in first-arrival
+    /// order, after any explicitly added clients) whose activity schedule
+    /// is exactly the trace's arrive/depart windows, so the session
+    /// attaches, detaches, and re-attaches it as simulated time crosses
+    /// each event. Equivalent to adding the same clients with hand-built
+    /// window schedules — byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid stream (see [`SessionEvent`]): timestamps out
+    /// of order, arrivals while attached, or departures while detached.
+    pub fn trace(mut self, events: impl IntoIterator<Item = (SimTime, SessionEvent)>) -> Self {
+        self.jobs.extend(compile_trace(events));
         self
     }
 
@@ -558,6 +774,7 @@ pub struct Session<'s> {
     warmup: SimTime,
     duration: SimSpan,
     record_timelines: bool,
+    intercept: InterceptMode,
     pending_completions: Vec<ClientId>,
     // Kernels held in the interception layer until their stub cost elapses.
     in_transit: Vec<(SimTime, ClientId, Arc<KernelDesc>)>,
@@ -609,6 +826,7 @@ impl<'s> Session<'s> {
             warmup: SimTime::ZERO + cfg.warmup,
             duration: cfg.duration,
             record_timelines: cfg.record_timelines,
+            intercept,
             pending_completions: Vec::new(),
             in_transit: Vec::new(),
             departures: 0,
@@ -645,7 +863,7 @@ impl<'s> Session<'s> {
             let mut progressed = false;
             for c in self.pending_completions.drain(..) {
                 let client = &mut self.clients[c.0 as usize];
-                if client.departed {
+                if !client.attached {
                     continue; // completion signalled for a detached client
                 }
                 client.waiting_kernel = false;
@@ -656,14 +874,22 @@ impl<'s> Session<'s> {
             let mut ctx = Ctx::new(&mut self.engine, &self.metas);
 
             // Client lifecycle edges: attach windows that opened, detach
-            // windows that closed.
+            // windows that closed. A client with several scheduled windows
+            // re-attaches through the same hooks, keeping its accumulated
+            // metrics; each pass takes at most one edge per client, and the
+            // fixed-point loop delivers any immediately-following edge.
             for (i, client) in self.clients.iter_mut().enumerate() {
-                if !client.attached && !client.departed && client.spec.active_from <= now {
+                if client.migrated_away {
+                    continue;
+                }
+                if !client.attached && client.window().is_some_and(|w| w.from <= now) {
                     client.attached = true;
+                    client.attachments += 1;
                     system.on_client_attach(&mut ctx, ClientId(i as u32));
                     if let Some(stub) = client.stub.as_mut() {
                         // The API startup burst (fatbin registration,
-                        // device discovery) delays the first launch.
+                        // device discovery) delays the first launch —
+                        // re-attaches pay it again.
                         let cost = stub.attach_burst();
                         if !cost.is_zero() {
                             client.gap_until = Some(now + cost);
@@ -672,10 +898,13 @@ impl<'s> Session<'s> {
                     progressed = true;
                 }
                 if client.attached
-                    && !client.departed
-                    && client.spec.active_until.is_some_and(|t| t <= now)
+                    && client
+                        .window()
+                        .and_then(|w| w.until)
+                        .is_some_and(|t| t <= now)
                 {
-                    client.departed = true;
+                    client.attached = false;
+                    client.window_idx += 1;
                     client.waiting_kernel = false;
                     client.gap_until = None;
                     system.on_client_detach(&mut ctx, ClientId(i as u32));
@@ -685,7 +914,7 @@ impl<'s> Session<'s> {
             }
             let clients = &self.clients;
             self.in_transit
-                .retain(|&(_, c, _)| !clients[c.0 as usize].departed);
+                .retain(|&(_, c, _)| clients[c.0 as usize].attached);
 
             // Launches whose interception cost has elapsed reach the system.
             let mut due = Vec::new();
@@ -703,7 +932,7 @@ impl<'s> Session<'s> {
             }
 
             for (i, client) in self.clients.iter_mut().enumerate() {
-                if !client.attached || client.departed {
+                if !client.attached {
                     continue;
                 }
                 client.tick(now);
@@ -736,14 +965,16 @@ impl<'s> Session<'s> {
             wake = wake.min(t);
         }
         for client in &self.clients {
-            if client.departed {
+            if client.retired() {
                 continue;
             }
             if !client.attached {
-                wake = wake.min(client.spec.active_from);
+                if let Some(w) = client.window() {
+                    wake = wake.min(w.from);
+                }
                 continue;
             }
-            if let Some(t) = client.spec.active_until {
+            if let Some(t) = client.window().and_then(|w| w.until) {
                 wake = wake.min(t);
             }
             if let Some(t) = client.next_arrival_time() {
@@ -825,10 +1056,19 @@ impl<'s> Session<'s> {
         self.clients.len()
     }
 
-    /// Attached, not departed, not migrated away.
+    /// Currently attached. A client sitting in the gap between two
+    /// scheduled windows (detached-by-schedule) reports inactive, which
+    /// keeps it out of migration candidate sets and load snapshots.
     pub(crate) fn client_active(&self, i: usize) -> bool {
+        self.clients[i].attached
+    }
+
+    /// Whether client `i` counts toward a placement-load snapshot taken at
+    /// `now`: attached, or admitted with a window opening at this instant
+    /// (it will attach in the next settle).
+    pub(crate) fn client_loadable(&self, i: usize, now: SimTime) -> bool {
         let c = &self.clients[i];
-        c.attached && !c.departed
+        !c.migrated_away && (c.attached || c.window().is_some_and(|w| w.from <= now))
     }
 
     pub(crate) fn client_spec(&self, i: usize) -> &JobSpec {
@@ -854,7 +1094,7 @@ impl<'s> Session<'s> {
             SystemSlot::Borrowed(s) => &mut **s,
             SystemSlot::Owned(b) => b.as_mut(),
         };
-        if self.clients[i].attached && !self.clients[i].departed {
+        if self.clients[i].attached {
             let mut ctx = Ctx::new(&mut self.engine, &self.metas);
             system.on_client_detach(&mut ctx, id);
             self.pending_completions.extend(ctx.take_completions());
@@ -865,7 +1105,7 @@ impl<'s> Session<'s> {
             self.clients[i].spec.name.clone(),
             Vec::new(),
         ));
-        tombstone.departed = true;
+        tombstone.window_idx = tombstone.spec.windows.len();
         tombstone.migrated_away = true;
         let mut client = std::mem::replace(&mut self.clients[i], tombstone);
         // The kernel that was in flight (if any) was preempted with the
@@ -881,13 +1121,14 @@ impl<'s> Session<'s> {
         let id = ClientId(self.clients.len() as u32);
         self.metas.push(meta);
         let now = self.engine.now();
-        if client.attached && !client.departed {
+        if client.attached {
             let system: &mut dyn SharingSystem = match &mut self.system {
                 SystemSlot::Borrowed(s) => &mut **s,
                 SystemSlot::Owned(b) => b.as_mut(),
             };
             let mut ctx = Ctx::new(&mut self.engine, &self.metas);
             system.on_client_attach(&mut ctx, id);
+            client.attachments += 1;
             self.pending_completions.extend(ctx.take_completions());
             if let Some(stub) = client.stub.as_mut() {
                 let cost = stub.attach_burst();
@@ -902,6 +1143,22 @@ impl<'s> Session<'s> {
             }
         }
         client.record_timelines = self.record_timelines;
+        self.clients.push(client);
+        id
+    }
+
+    /// Admits a brand-new job into a running session (trace-driven client
+    /// injection). The client starts detached; the normal lifecycle
+    /// attaches it when its first window opens, which is never earlier
+    /// than the current instant for a validated trace.
+    pub(crate) fn admit_job(&mut self, job: JobSpec) -> ClientId {
+        let id = ClientId(self.clients.len() as u32);
+        self.metas.push(meta_of(&job));
+        let mut client = Client::new(job);
+        client.record_timelines = self.record_timelines;
+        if let InterceptMode::Virtualized(transport) = self.intercept {
+            client.stub = Some(ClientStub::new(transport));
+        }
         self.clients.push(client);
         id
     }
@@ -1201,6 +1458,161 @@ mod tests {
             v.iterations,
             n.iterations
         );
+    }
+
+    #[test]
+    fn re_attach_accumulates_across_windows() {
+        // One client, two 250ms windows separated by a 250ms gap: it does
+        // ~half the work of a full-span client, attaches twice, and
+        // completes nothing inside the gap.
+        let mut c = cfg(1);
+        c.record_timelines = true;
+        let job = JobSpec::training("re", vec![WorkloadOp::Kernel(kernel(1000))])
+            .active_window(SimTime::ZERO, SimTime::from_millis(250))
+            .also_active(SimTime::from_millis(500), Some(SimTime::from_millis(750)));
+        let report = run_one(job, &c);
+        let r = &report.clients[0];
+        assert_eq!(r.attachments, 2, "one attach per scheduled window");
+        assert!(
+            (400..=520).contains(&r.iterations),
+            "~500 iterations over two 250ms windows, got {}",
+            r.iterations
+        );
+        assert!(
+            r.op_times.iter().all(|&t| t <= SimTime::from_millis(250)
+                || (t >= SimTime::from_millis(500) && t <= SimTime::from_millis(750))),
+            "no work completes inside the inactive gap"
+        );
+        // Throughput normalizes over the union of the windows (500ms), so
+        // it matches a full-span solo trainer's rate.
+        let full = run_one(
+            JobSpec::training("full", vec![WorkloadOp::Kernel(kernel(1000))]),
+            &c,
+        );
+        let ratio = r.throughput / full.clients[0].throughput;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "windowed throughput normalizes over active span (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn re_attach_resumes_inference_backlog() {
+        // Arrivals keep coming while the service is detached; they queue
+        // and are served after the re-attach, latency counted from arrival.
+        let arrivals: Vec<SimTime> = (0..100).map(|i| SimTime::from_millis(10 * i)).collect();
+        let job = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals)
+            .active_window(SimTime::ZERO, SimTime::from_millis(300))
+            .also_active(SimTime::from_millis(600), None);
+        let report = run_one(job, &cfg(2));
+        let r = &report.clients[0];
+        assert_eq!(
+            r.requests, 100,
+            "backlogged arrivals served after re-attach"
+        );
+        assert_eq!(r.attachments, 2);
+        // Requests arriving in the gap wait at least until the re-attach.
+        let waited = r
+            .latency
+            .samples()
+            .iter()
+            .filter(|&&l| l >= SimSpan::from_millis(100))
+            .count();
+        assert!(waited >= 20, "gap arrivals waited out the detach: {waited}");
+    }
+
+    #[test]
+    fn trace_events_match_hand_built_schedule() {
+        let mk_job = || JobSpec::training("t", vec![WorkloadOp::Kernel(kernel(500))]);
+        let events = vec![
+            (
+                SimTime::ZERO,
+                SessionEvent::Arrive {
+                    key: "t".into(),
+                    job: mk_job(),
+                },
+            ),
+            (
+                SimTime::from_millis(200),
+                SessionEvent::Depart { key: "t".into() },
+            ),
+            (
+                SimTime::from_millis(400),
+                SessionEvent::Arrive {
+                    key: "t".into(),
+                    job: mk_job(),
+                },
+            ),
+        ];
+        let via_trace = Colocation::on(GpuSpec::tiny())
+            .trace(events)
+            .config(cfg(1))
+            .run();
+        let via_schedule = Colocation::on(GpuSpec::tiny())
+            .client(
+                mk_job()
+                    .with_client_key("t")
+                    .active_window(SimTime::ZERO, SimTime::from_millis(200))
+                    .also_active(SimTime::from_millis(400), None),
+            )
+            .config(cfg(1))
+            .run();
+        assert_eq!(format!("{via_trace:?}"), format!("{via_schedule:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived while attached")]
+    fn trace_rejects_double_arrival() {
+        let job = JobSpec::training("t", vec![]);
+        let _ = compile_trace(vec![
+            (
+                SimTime::ZERO,
+                SessionEvent::Arrive {
+                    key: "t".into(),
+                    job: job.clone(),
+                },
+            ),
+            (
+                SimTime::from_millis(1),
+                SessionEvent::Arrive {
+                    key: "t".into(),
+                    job,
+                },
+            ),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown client")]
+    fn trace_rejects_orphan_departure() {
+        let _ = compile_trace(vec![(
+            SimTime::ZERO,
+            SessionEvent::Depart {
+                key: "ghost".into(),
+            },
+        )]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp order")]
+    fn trace_rejects_unordered_events() {
+        let job = JobSpec::training("t", vec![]);
+        let _ = compile_trace(vec![
+            (
+                SimTime::from_millis(5),
+                SessionEvent::Arrive {
+                    key: "a".into(),
+                    job: job.clone(),
+                },
+            ),
+            (
+                SimTime::ZERO,
+                SessionEvent::Arrive {
+                    key: "b".into(),
+                    job,
+                },
+            ),
+        ]);
     }
 
     #[test]

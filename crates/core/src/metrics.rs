@@ -109,6 +109,11 @@ pub struct ClientReport {
     pub iterations: u64,
     /// GPU kernels completed.
     pub kernels: u64,
+    /// Times the client attached over the run: 1 for a classic one-window
+    /// client, one per scheduled window for re-attaching clients, plus one
+    /// per cross-device migration reconnect. Metrics are cumulative across
+    /// all attachments.
+    pub attachments: u64,
     /// Request latencies (inference jobs, post-warmup).
     pub latency: LatencyRecorder,
     /// Work units (requests or iterations) per second of simulated time,
@@ -176,7 +181,7 @@ impl ClientReport {
 /// use tally_gpu::{SimSpan, SimTime};
 /// # let report = ClientReport {
 /// #     name: "svc".into(), high_priority: true, requests: 2,
-/// #     iterations: 0, kernels: 2, latency: LatencyRecorder::new(),
+/// #     iterations: 0, kernels: 2, attachments: 1, latency: LatencyRecorder::new(),
 /// #     throughput: 0.0, intercept: InterceptStats::default(),
 /// #     timed_latencies: vec![
 /// #         (SimTime::ZERO, SimSpan::from_millis(1)),
@@ -303,6 +308,7 @@ mod tests {
             requests: 3,
             iterations: 0,
             kernels: 3,
+            attachments: 1,
             latency: LatencyRecorder::new(),
             throughput: 0.0,
             intercept: InterceptStats::default(),
@@ -341,6 +347,7 @@ mod tests {
             requests: 0,
             iterations: 2,
             kernels: 8,
+            attachments: 1,
             latency: LatencyRecorder::new(),
             throughput: 0.0,
             intercept: InterceptStats::default(),
@@ -365,6 +372,7 @@ mod tests {
                     requests: 100,
                     iterations: 0,
                     kernels: 0,
+                    attachments: 1,
                     latency: LatencyRecorder::new(),
                     throughput: 50.0,
                     intercept: InterceptStats::default(),
@@ -377,6 +385,7 @@ mod tests {
                     requests: 0,
                     iterations: 10,
                     kernels: 0,
+                    attachments: 1,
                     latency: LatencyRecorder::new(),
                     throughput: 5.0,
                     intercept: InterceptStats::default(),

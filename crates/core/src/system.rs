@@ -117,18 +117,24 @@ pub trait SharingSystem {
         None
     }
 
-    /// A client attached to the session (its activity window opened).
+    /// A client attached to the session (an activity window opened).
     ///
-    /// Called before the client issues any kernel. Default: no-op.
+    /// Called before the client issues any kernel. A client with a
+    /// multi-window schedule *re-attaches* through this same hook after
+    /// each detach — under the same [`ClientId`] (and stable
+    /// [`Ctx::client_key`]) — so an implementation must tolerate seeing a
+    /// previously detached client again. Default: no-op.
     fn on_client_attach(&mut self, _ctx: &mut Ctx<'_>, _client: ClientId) {}
 
     /// A client detached from the session (its activity window closed).
     ///
     /// The system must reclaim all per-client state: forget queued kernels,
     /// preempt the client's in-flight launches, and drop it from any
-    /// scheduling rotation. No further [`SharingSystem::on_kernel_ready`]
-    /// will arrive for this client, and completion signals for it are
-    /// discarded by the harness. Default: no-op.
+    /// scheduling rotation. No [`SharingSystem::on_kernel_ready`] will
+    /// arrive for this client while it is detached, and completion signals
+    /// for it are discarded by the harness — but a scheduled re-attach may
+    /// bring it back later (see [`SharingSystem::on_client_attach`]).
+    /// Default: no-op.
     fn on_client_detach(&mut self, _ctx: &mut Ctx<'_>, _client: ClientId) {}
 }
 

@@ -3,7 +3,9 @@
 //! Builders for the twelve DL workloads of the paper's Table 2 (six
 //! PyTorch training jobs, six inference services) as deterministic
 //! kernel-trace generators calibrated against the published solo numbers,
-//! plus a synthetic MAF2-style bursty arrival-trace generator.
+//! plus a synthetic MAF2-style bursty request-trace generator ([`maf2`])
+//! and an arrival-driven *client* trace subsystem ([`trace`]): serialize,
+//! validate, and replay who attaches, detaches, and re-attaches when.
 //!
 //! ```
 //! use tally_gpu::{GpuSpec, SimSpan};
@@ -31,5 +33,6 @@ pub mod gen;
 pub mod maf2;
 pub mod mixes;
 pub mod models;
+pub mod trace;
 
 pub use models::{InferModel, TrainModel};

@@ -54,6 +54,13 @@ impl TrainModel {
         }
     }
 
+    /// Looks a training model up by its Table 2 name (see
+    /// [`TrainModel::name`]) — the inverse used by the plain-text trace
+    /// format.
+    pub fn from_name(name: &str) -> Option<TrainModel> {
+        TrainModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+
     /// Published solo throughput (iterations per second, Table 2).
     pub fn paper_throughput(self) -> f64 {
         match self {
@@ -170,6 +177,13 @@ impl InferModel {
             InferModel::StableDiffusion => "stable-diffusion-infer",
             InferModel::GptNeo => "gpt-neo-infer",
         }
+    }
+
+    /// Looks an inference model up by its Table 2 name (see
+    /// [`InferModel::name`]) — the inverse used by the plain-text trace
+    /// format.
+    pub fn from_name(name: &str) -> Option<InferModel> {
+        InferModel::ALL.into_iter().find(|m| m.name() == name)
     }
 
     /// Published solo request latency (Table 2).

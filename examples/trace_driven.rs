@@ -1,0 +1,111 @@
+//! Driving a session from an arrival trace: generate → save → replay.
+//!
+//! Instead of hand-placing activity windows, a seeded MAF2-flavored
+//! generator produces a client arrival/departure trace (trainers that come,
+//! go, and *re-attach*, plus a long-lived BERT service). The trace is
+//! serialized to plain text (the form you would check into a repo),
+//! parsed back, and replayed byte-identically through a Tally session —
+//! then the same events drive a two-GPU `Cluster`, where each client is
+//! placed at its arrival instant against the fleet's live load.
+//!
+//! Run with: `cargo run --release --example trace_driven`
+
+use tally::prelude::*;
+use tally_workloads::trace::TraceMix;
+
+fn main() {
+    let spec = GpuSpec::a100();
+    let duration = SimSpan::from_secs(12);
+    let cfg = HarnessConfig {
+        duration,
+        warmup: SimSpan::ZERO,
+        seed: 3,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+
+    // 1. Generate: ~1 trainer arrival/second, exponential stays, frequent
+    //    re-arrivals; plus an always-on BERT service added by hand.
+    let mut gen = TraceGen::churn(duration, 1.0, 42);
+    gen.mix.retain(|m| matches!(m.job, TraceJob::Train(_)));
+    gen.mix.push(TraceMix {
+        job: TraceJob::Train(TrainModel::Pegasus),
+        weight: 0.2,
+        mean_service: SimSpan::from_secs(3),
+        rearrive: 0.5,
+        mean_gap: SimSpan::from_secs(1),
+    });
+    let mut trace = ArrivalTrace::generate(&gen);
+    trace.events.insert(
+        0,
+        tally_workloads::trace::TraceEvent {
+            at: SimTime::ZERO,
+            event: ClientEvent::Arrive {
+                key: "svc".into(),
+                job: TraceJob::Infer {
+                    model: InferModel::Bert,
+                    load: 0.4,
+                    seed: 7,
+                },
+            },
+        },
+    );
+    trace.validate().expect("valid trace");
+
+    // 2. Save / reload: the plain-text form round-trips byte-identically.
+    let text = trace.to_text();
+    println!("=== generated trace ({} events) ===", trace.len());
+    for line in text.lines().take(12) {
+        println!("  {line}");
+    }
+    println!(
+        "  ... ({} more lines)\n",
+        text.lines().count().saturating_sub(12)
+    );
+    let reloaded = ArrivalTrace::parse(&text).expect("canonical text parses");
+    assert_eq!(reloaded, trace);
+
+    // 3. Replay under Tally on one GPU.
+    let mut tally = TallySystem::new(TallyConfig::paper_default());
+    let report = Colocation::on(spec.clone())
+        .trace(reloaded.session_events(&spec, duration))
+        .system(&mut tally)
+        .config(cfg.clone())
+        .transport(Transport::SharedMemory)
+        .run();
+    println!("=== single-GPU replay under Tally ===");
+    let svc = report.high_priority().expect("service");
+    println!(
+        "service: {} requests, p99 {:?}",
+        svc.requests,
+        svc.p99().expect("latencies")
+    );
+    for c in report.best_effort() {
+        println!(
+            "  {:<22} attaches {:>2}  iterations {:>4}",
+            c.name, c.attachments, c.iterations
+        );
+    }
+
+    // 4. The same trace drives a fleet: clients are placed at their
+    //    arrival instants against live per-device loads.
+    let cluster = Cluster::new()
+        .devices(2, spec.clone())
+        .policy(LeastLoaded)
+        .trace(reloaded.session_events(&spec, duration))
+        .config(cfg)
+        .run();
+    println!("\n=== two-GPU fleet replay ({}) ===", cluster.policy);
+    for d in &cluster.devices {
+        println!(
+            "device {}: {} resident at end, {} placed, throughput {:.2}",
+            d.device, d.residents, d.placed, d.throughput
+        );
+    }
+    println!(
+        "fleet: {} clients, {} migrations, p99 {:?}",
+        cluster.clients.len(),
+        cluster.migrations,
+        cluster.fleet_p99()
+    );
+}

@@ -61,7 +61,8 @@ pub mod prelude {
         LeastLoaded, PlacementPolicy, RoundRobin,
     };
     pub use tally_core::harness::{
-        run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, WorkloadOp,
+        run_solo, ActivityWindow, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec,
+        Session, SessionEvent, WorkloadOp,
     };
     pub use tally_core::metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
     pub use tally_core::scheduler::{TallyConfig, TallySystem};
@@ -71,5 +72,6 @@ pub mod prelude {
         Priority, SimSpan, SimTime, Step,
     };
     pub use tally_workloads::maf2::{arrivals, Maf2Config};
+    pub use tally_workloads::trace::{ArrivalTrace, ClientEvent, TraceGen, TraceJob, TraceMix};
     pub use tally_workloads::{InferModel, TrainModel};
 }

@@ -1,0 +1,187 @@
+//! Trace-replay integration tests: driving a session from an
+//! [`ArrivalTrace`] is *exactly* the same run as hand-building the
+//! equivalent window schedules — byte-identical reports, under every
+//! Figure-5 system — and the same trace feeds a fleet through
+//! [`Cluster::trace`] deterministically.
+
+use tally::prelude::*;
+use tally_bench::{is_tally_variant, make_system, FIG5_SYSTEMS};
+use tally_core::harness::ActivityWindow;
+use tally_workloads::trace::{ArrivalTrace, TraceGen, TraceJob};
+
+const DURATION: SimSpan = SimSpan::from_secs(4);
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        duration: DURATION,
+        warmup: SimSpan::ZERO,
+        seed: 5,
+        jitter: 0.0,
+        record_timelines: false,
+    }
+}
+
+/// A hand-written trace: a BERT service up for the whole run, a GPT2
+/// trainer that leaves and comes back (re-attach), and a Whisper trainer
+/// arriving late.
+fn scenario() -> ArrivalTrace {
+    let mut t = ArrivalTrace::new();
+    t.arrive(
+        SimTime::ZERO,
+        "svc",
+        TraceJob::Infer {
+            model: InferModel::Bert,
+            load: 0.4,
+            seed: 21,
+        },
+    );
+    t.arrive(
+        SimTime::from_millis(500),
+        "gpt2",
+        TraceJob::Train(TrainModel::Gpt2Large),
+    );
+    t.depart(SimTime::from_millis(1500), "gpt2");
+    t.arrive(
+        SimTime::from_millis(2500),
+        "gpt2",
+        TraceJob::Train(TrainModel::Gpt2Large),
+    );
+    t.arrive(
+        SimTime::from_secs(3),
+        "whisper",
+        TraceJob::Train(TrainModel::WhisperV3),
+    );
+    t.depart(SimTime::from_millis(3800), "whisper");
+    t
+}
+
+/// Hand-builds the jobs the scenario describes, *without* going through
+/// the trace layer: same models, same window schedules, and the service's
+/// request arrivals regenerated per window by the documented rule (MAF2 at
+/// `load` over the window span, seed `seed + window_ordinal`, offset to
+/// the window start).
+fn hand_built(spec: &GpuSpec) -> Vec<JobSpec> {
+    let svc_requests: Vec<SimTime> =
+        arrivals(&Maf2Config::new(0.4, InferModel::Bert.paper_latency(), DURATION).with_seed(21));
+    let svc = InferModel::Bert
+        .job(spec, svc_requests)
+        .with_client_key("svc");
+    let gpt2 = TrainModel::Gpt2Large
+        .job(spec)
+        .with_client_key("gpt2")
+        .with_schedule(vec![
+            ActivityWindow::new(SimTime::from_millis(500), Some(SimTime::from_millis(1500))),
+            ActivityWindow::new(SimTime::from_millis(2500), None),
+        ])
+        .with_priority(Priority::BestEffort);
+    let whisper = TrainModel::WhisperV3
+        .job(spec)
+        .with_client_key("whisper")
+        .with_schedule(vec![ActivityWindow::new(
+            SimTime::from_secs(3),
+            Some(SimTime::from_millis(3800)),
+        )]);
+    vec![svc, gpt2, whisper]
+}
+
+fn run_trace(spec: &GpuSpec, system: &str) -> RunReport {
+    let mut session = Colocation::on(spec.clone())
+        .trace(scenario().session_events(spec, DURATION))
+        .system_boxed(make_system(system))
+        .config(cfg());
+    if is_tally_variant(system) {
+        session = session.transport(Transport::SharedMemory);
+    }
+    session.run()
+}
+
+fn run_hand_built(spec: &GpuSpec, system: &str) -> RunReport {
+    let mut session = Colocation::on(spec.clone())
+        .clients(hand_built(spec))
+        .system_boxed(make_system(system))
+        .config(cfg());
+    if is_tally_variant(system) {
+        session = session.transport(Transport::SharedMemory);
+    }
+    session.run()
+}
+
+#[test]
+fn trace_replay_is_byte_identical_to_hand_built_schedules() {
+    let spec = GpuSpec::a100();
+    for name in FIG5_SYSTEMS {
+        let via_trace = run_trace(&spec, name);
+        let via_hand = run_hand_built(&spec, name);
+        assert_eq!(
+            format!("{via_trace:?}"),
+            format!("{via_hand:?}"),
+            "{name}: trace replay diverged from hand-built window schedules"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_reattaches_and_reports_cumulatively() {
+    let spec = GpuSpec::a100();
+    for name in FIG5_SYSTEMS {
+        let report = run_trace(&spec, name);
+        let gpt2 = report
+            .clients
+            .iter()
+            .find(|c| c.name == TrainModel::Gpt2Large.name())
+            .expect("gpt2 client");
+        assert_eq!(
+            gpt2.attachments, 2,
+            "{name}: gpt2 must attach once per trace window"
+        );
+        assert!(
+            gpt2.iterations > 0,
+            "{name}: re-attaching trainer accumulated no work"
+        );
+        let svc = report.high_priority().expect("service");
+        assert_eq!(svc.attachments, 1);
+        assert!(svc.requests > 0, "{name}: service served nothing");
+    }
+}
+
+#[test]
+fn text_round_trip_preserves_the_replay() {
+    // Serialize → parse → replay must equal replaying the original —
+    // the end-to-end guarantee behind checking traces into a repo.
+    let spec = GpuSpec::a100();
+    let original = scenario();
+    let reloaded = ArrivalTrace::parse(&original.to_text()).expect("canonical text parses");
+    let a = Colocation::on(spec.clone())
+        .trace(original.session_events(&spec, DURATION))
+        .config(cfg())
+        .run();
+    let b = Colocation::on(spec.clone())
+        .trace(reloaded.session_events(&spec, DURATION))
+        .config(cfg())
+        .run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn generated_trace_drives_a_cluster_deterministically() {
+    let spec = GpuSpec::a100();
+    let trace = ArrivalTrace::generate(&TraceGen::churn(DURATION, 1.0, 17));
+    let run = || {
+        Cluster::new()
+            .devices(2, spec.clone())
+            .policy(LeastLoaded)
+            .trace(trace.session_events(&spec, DURATION))
+            .config(cfg())
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(a.clients.len(), trace.keys().count());
+    // Every client that got any active time before the end did some work
+    // or at least attached.
+    assert!(
+        a.clients.iter().any(|c| c.report.attachments > 0),
+        "nobody ever attached"
+    );
+}
