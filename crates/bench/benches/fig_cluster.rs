@@ -12,13 +12,21 @@
 //! 3. *Migration* — `BestEffortPacking` keeps trainers packed away from
 //!    services; when the service retires, detach-triggered migration
 //!    spreads the trainers onto the freed device.
+//! 4. *Phase shifts* — on an anti-phased bursty mix where both devices
+//!    look identical to static demand estimates, `LoadAware` (driven by
+//!    the runtime `DeviceLoad` signals) must beat `LeastLoaded` on the
+//!    services' tail latency by shuttling trainers away from whichever
+//!    service is currently bursting.
 //!
 //! Pass `--json PATH` to record the measurements (`BENCH_cluster.json` in
 //! the perf trajectory).
 
-use tally_bench::{banner, make_system, JsonSink};
-use tally_core::cluster::{BestEffortPacking, Cluster, LeastLoaded, PlacementPolicy, RoundRobin};
+use tally_bench::{banner, make_system, ms, JsonSink};
+use tally_core::cluster::{
+    BestEffortPacking, Cluster, ClusterReport, LeastLoaded, LoadAware, PlacementPolicy, RoundRobin,
+};
 use tally_core::harness::{run_solo, HarnessConfig, JobSpec};
+use tally_core::metrics::LatencyRecorder;
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 use tally_workloads::mixes;
 
@@ -29,6 +37,7 @@ fn policy_by_name(name: &str) -> Box<dyn PlacementPolicy> {
         "round-robin" => Box::new(RoundRobin::default()),
         "least-loaded" => Box::new(LeastLoaded),
         "best-effort-packing" => Box::new(BestEffortPacking),
+        "load-aware" => Box::new(LoadAware::default()),
         other => panic!("unknown policy `{other}`"),
     }
 }
@@ -248,5 +257,110 @@ fn main() {
             assert_eq!(report.migrations, 0);
         }
     }
+
+    // ---- 4. phase shifts: load-aware vs least-loaded -----------------
+    banner("Phase-shifted bursts on 2 GPUs: runtime load signals vs static demand");
+    let phase = SimSpan::from_secs(3);
+    let phase_cfg = HarnessConfig {
+        duration: SimSpan::from_secs(12),
+        warmup: SimSpan::from_secs(1),
+        seed: 1,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    let phase_jobs = mixes::phase_shifted(&spec, phase, phase_cfg.duration, 0.8);
+    let run_phased = |policy: &str| -> ClusterReport {
+        Cluster::new()
+            .devices(2, spec.clone())
+            .clients(phase_jobs.clone())
+            .policy_boxed(policy_by_name(policy))
+            .migrate_on_detach(false)
+            .rebalance_every(SimSpan::from_millis(100))
+            .monitor_window(SimSpan::from_millis(100))
+            .config(phase_cfg.clone())
+            .run()
+    };
+    let pooled_hp = |report: &ClusterReport| -> LatencyRecorder {
+        let mut rec = LatencyRecorder::new();
+        for c in &report.clients {
+            if c.report.high_priority {
+                for &l in c.report.latency.samples() {
+                    rec.record(l);
+                }
+            }
+        }
+        rec
+    };
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}{:>14}{:>12}",
+        "policy", "hp p50", "hp p90", "hp p99", "trainer it/s", "migrations"
+    );
+    let mut p90s = Vec::new();
+    let mut trainer_thrs = Vec::new();
+    for policy in ["least-loaded", "load-aware"] {
+        let report = run_phased(policy);
+        let lat = pooled_hp(&report);
+        let p90 = lat.quantile(0.90).expect("requests served");
+        let trainer_thr: f64 = report
+            .clients
+            .iter()
+            .filter(|c| !c.report.high_priority)
+            .map(|c| c.report.throughput)
+            .sum();
+        println!(
+            "{policy:<14}{:>12}{:>12}{:>12}{trainer_thr:>14.2}{:>12}",
+            ms(lat.p50().expect("requests")),
+            ms(p90),
+            ms(lat.p99().expect("requests")),
+            report.migrations
+        );
+        sink.record(
+            "phase_hp_p90_latency_ms",
+            p90.as_millis_f64(),
+            &[("gpus", "2"), ("policy", policy), ("mix", "phase-shifted")],
+        );
+        sink.record(
+            "phase_trainer_throughput",
+            trainer_thr,
+            &[("gpus", "2"), ("policy", policy), ("mix", "phase-shifted")],
+        );
+        sink.record(
+            "phase_migrations",
+            report.migrations as f64,
+            &[("gpus", "2"), ("policy", policy), ("mix", "phase-shifted")],
+        );
+        if policy == "least-loaded" {
+            assert_eq!(
+                report.migrations, 0,
+                "static demand sees two balanced devices and never moves anyone"
+            );
+        } else {
+            assert!(
+                report.migrations >= 2,
+                "load-aware must react to the phase flips, got {} migrations",
+                report.migrations
+            );
+        }
+        p90s.push(p90);
+        trainer_thrs.push(trainer_thr);
+    }
+    let gain = p90s[0].ratio(p90s[1]);
+    println!(
+        "least-loaded p90 / load-aware p90 = {gain:.2}   \
+         [expected: > 1.3 — evacuating the bursting device protects the tail]"
+    );
+    sink.record("phase_ll_over_la_p90", gain, &[("mix", "phase-shifted")]);
+    assert!(
+        gain > 1.3,
+        "load-aware (p90 {:?}) must beat least-loaded (p90 {:?}) on the phase-shifted mix",
+        p90s[1],
+        p90s[0]
+    );
+    assert!(
+        trainer_thrs[1] > 0.5 * trainer_thrs[0],
+        "trainers must keep making progress while shuttling ({} vs {} it/s)",
+        trainer_thrs[1],
+        trainer_thrs[0]
+    );
     sink.finish();
 }

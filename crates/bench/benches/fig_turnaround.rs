@@ -90,6 +90,7 @@ fn with_service(mut trainers: ArrivalTrace) -> ArrivalTrace {
 fn run(spec: &GpuSpec, trace: &ArrivalTrace, system: &str) -> RunReport {
     let mut session = Colocation::on(spec.clone())
         .trace(trace.session_events(spec, duration()))
+        .expect("valid trace")
         .system_boxed(make_system(system))
         .config(cfg());
     if is_tally_variant(system) {

@@ -13,13 +13,17 @@
 //! source device and an attach on the destination, through the same
 //! [`SharingSystem`] hooks the dynamic client lifecycle already uses.
 //!
-//! Three placement policies ship:
+//! Four placement policies ship:
 //!
 //! * [`RoundRobin`] — device `i % N` for the `i`-th job;
 //! * [`LeastLoaded`] — the device with the least estimated GPU demand;
 //! * [`BestEffortPacking`] — spread high-priority clients so no two share
 //!   a device until they must, and pack best-effort clients together on
-//!   the devices with the fewest high-priority tenants.
+//!   the devices with the fewest high-priority tenants;
+//! * [`LoadAware`] — place and migrate by the *runtime* [`DeviceLoad`]
+//!   signals (queue depth, recent occupancy, high-priority pressure) that
+//!   the cluster's built-in [`LoadMonitor`] distills from the live event
+//!   stream, reacting to phase changes static demand estimates cannot see.
 //!
 //! ```
 //! use tally_core::cluster::{Cluster, LeastLoaded};
@@ -47,10 +51,13 @@
 //! assert_ne!(report.clients[0].device, report.clients[1].device);
 //! ```
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
+use crate::events::{LoadMonitor, Observation, SharedObserver, TraceError};
 use crate::harness::{
     compile_trace, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session,
     SessionEvent,
@@ -59,6 +66,14 @@ use crate::metrics::{ClientReport, LatencyRecorder};
 use crate::system::{Passthrough, SharingSystem};
 
 /// Load snapshot of one device, handed to [`PlacementPolicy`] decisions.
+///
+/// The static half (`clients` / `high_priority` / `best_effort` /
+/// `demand`) is computed from the resident jobs' specs; the runtime half
+/// (`queue_depth` / `recent_occupancy` / `hp_pressure`) comes from the
+/// cluster's built-in [`LoadMonitor`] listening to the live event stream,
+/// so policies can react to what the devices are *actually doing* — phase
+/// changes, bursts, idle gaps — instead of static estimates. Runtime
+/// signals are all zero for the up-front placements at `t = 0`.
 #[derive(Clone, Debug)]
 pub struct DeviceLoad {
     /// Device index within the cluster.
@@ -75,6 +90,21 @@ pub struct DeviceLoad {
     /// Sum of the residents' estimated GPU demand (see [`job_demand`]):
     /// GPU-busy seconds per wall second, so `1.0` saturates the device.
     pub demand: f64,
+    /// Kernels dispatched to the device's sharing system and not yet
+    /// finished, right now ([`LoadMonitor::queue_depth`]). Every attached
+    /// client contributes at most one logical kernel, so this counts the
+    /// clients with work in flight.
+    pub queue_depth: usize,
+    /// Mean busy-thread occupancy over the cluster's trailing monitor
+    /// window, from engine counters ([`LoadMonitor::recent_occupancy`]):
+    /// `1.0` means every resident-thread slot was busy the whole window.
+    pub recent_occupancy: f64,
+    /// Time-weighted mean number of outstanding *high-priority* kernels
+    /// over the monitor window ([`LoadMonitor::hp_pressure`]): `~1.0`
+    /// while a latency-critical service keeps a request in flight, `~0.0`
+    /// while it sits quiet — the signal that separates a bursting device
+    /// from one whose tenants merely look heavy on paper.
+    pub hp_pressure: f64,
 }
 
 /// Estimated GPU demand of a job on a device: busy seconds of GPU time the
@@ -194,6 +224,68 @@ impl PlacementPolicy for LeastLoaded {
     }
 }
 
+/// Place and migrate by what the devices are *actually doing*: the
+/// runtime [`DeviceLoad`] signals maintained by the cluster's built-in
+/// [`LoadMonitor`], with the static demand estimate only as a tie-break.
+///
+/// * **Placement** picks the device with the lowest live load
+///   (`hp_pressure + recent_occupancy`, then static demand, then index).
+///   At `t = 0` nothing has run yet, so it behaves exactly like
+///   [`LeastLoaded`].
+/// * **Migration** moves a best-effort client off a device whose
+///   high-priority pressure exceeds the coldest alternative's by more
+///   than `margin` — so trainers evacuate a device whose service is in a
+///   burst phase and come back when the burst moves elsewhere, something
+///   no static `job_demand` comparison can see. The margin keeps the rule
+///   hysteretic: near-equal pressures never trigger a move, so clients
+///   don't ping-pong within a phase.
+#[derive(Clone, Debug)]
+pub struct LoadAware {
+    /// Minimum high-priority pressure gap (in mean outstanding kernels)
+    /// between the source and the coldest other device before a
+    /// migration fires.
+    pub margin: f64,
+}
+
+impl Default for LoadAware {
+    fn default() -> Self {
+        LoadAware { margin: 0.25 }
+    }
+}
+
+impl LoadAware {
+    fn runtime_load(d: &DeviceLoad) -> f64 {
+        d.hp_pressure + d.recent_occupancy
+    }
+}
+
+impl PlacementPolicy for LoadAware {
+    fn name(&self) -> &str {
+        "load-aware"
+    }
+
+    fn place(&mut self, _job: &JobSpec, devices: &[DeviceLoad]) -> usize {
+        devices
+            .iter()
+            .min_by(|a, b| {
+                (Self::runtime_load(a), a.demand, a.device)
+                    .partial_cmp(&(Self::runtime_load(b), b.demand, b.device))
+                    .expect("finite load")
+            })
+            .expect("at least one device")
+            .device
+    }
+
+    fn migrate(&mut self, _job: &JobSpec, from: usize, devices: &[DeviceLoad]) -> Option<usize> {
+        let target = devices.iter().filter(|d| d.device != from).min_by(|a, b| {
+            (a.hp_pressure, Self::runtime_load(a), a.device)
+                .partial_cmp(&(b.hp_pressure, Self::runtime_load(b), b.device))
+                .expect("finite load")
+        })?;
+        (devices[from].hp_pressure > target.hp_pressure + self.margin).then_some(target.device)
+    }
+}
+
 /// Spread high-priority clients, pack best-effort clients.
 ///
 /// A high-priority job goes to the device with the fewest high-priority
@@ -251,17 +343,26 @@ impl PlacementPolicy for BestEffortPacking {
 ///   policy a chance to migrate best-effort clients onto the freed
 ///   device (on by default);
 /// * [`Cluster::rebalance_every`] — additionally run the migration pass on
-///   a fixed period.
+///   a fixed period;
+/// * [`Cluster::observer`] — tap the fleet-wide typed event stream
+///   (lifecycle edges, kernels, requests, migrations, rebalances);
+/// * [`Cluster::monitor_window`] — the averaging window of the built-in
+///   [`LoadMonitor`] behind the runtime [`DeviceLoad`] signals.
 pub struct Cluster {
     devices: Vec<GpuSpec>,
     jobs: Vec<JobSpec>,
     trace: Vec<(SimTime, SessionEvent)>,
+    /// The accumulated trace compiled to jobs, cached by [`Cluster::trace`]
+    /// so [`Cluster::run`] does not compile the stream twice.
+    trace_jobs: Vec<JobSpec>,
     policy: Box<dyn PlacementPolicy>,
     system_factory: Box<dyn Fn(usize) -> Box<dyn SharingSystem>>,
     cfg: HarnessConfig,
     intercept: InterceptMode,
     migrate_on_detach: bool,
     rebalance_every: Option<SimSpan>,
+    observers: Vec<SharedObserver>,
+    monitor_window: SimSpan,
 }
 
 impl fmt::Debug for Cluster {
@@ -290,12 +391,15 @@ impl Cluster {
             devices: Vec::new(),
             jobs: Vec::new(),
             trace: Vec::new(),
+            trace_jobs: Vec::new(),
             policy: Box::new(RoundRobin::default()),
             system_factory: Box::new(|_| Box::new(Passthrough::new())),
             cfg: HarnessConfig::default(),
             intercept: InterceptMode::Native,
             migrate_on_detach: true,
             rebalance_every: None,
+            observers: Vec::new(),
+            monitor_window: SimSpan::from_millis(100),
         }
     }
 
@@ -331,11 +435,42 @@ impl Cluster {
     /// clock crosses its later events. Explicitly added clients
     /// ([`Cluster::client`]) are still placed up front.
     ///
+    /// Returns a [`TraceError`] if the accumulated stream is invalid (see
+    /// [`SessionEvent`]): timestamps out of order, arrivals while
+    /// attached, or departures while detached.
+    pub fn trace(
+        mut self,
+        events: impl IntoIterator<Item = (SimTime, SessionEvent)>,
+    ) -> Result<Self, TraceError> {
+        self.trace.extend(events);
+        // Compile the whole accumulated stream (chained calls must stay
+        // consistent across call boundaries) and keep the result so that
+        // `run` does not compile it a second time.
+        self.trace_jobs = compile_trace(self.trace.iter().map(|(t, e)| (*t, e.clone())))?;
+        Ok(self)
+    }
+
+    /// Registers an observer for the fleet-wide typed event stream: every
+    /// per-device observation (stamped with its device index) plus the
+    /// cluster-level [`Observation::ClientMigrated`] and
+    /// [`Observation::Rebalance`] markers. The handle is shared — keep a
+    /// clone to read the observer's state back after [`Cluster::run`].
+    pub fn observer(mut self, observer: SharedObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Sets the averaging window of the built-in [`LoadMonitor`] that
+    /// feeds the runtime [`DeviceLoad`] signals (default: 100 ms). Shorter
+    /// windows react faster to phase changes; longer windows smooth over
+    /// request-level noise.
+    ///
     /// # Panics
     ///
-    /// [`Cluster::run`] panics on an invalid stream (see [`SessionEvent`]).
-    pub fn trace(mut self, events: impl IntoIterator<Item = (SimTime, SessionEvent)>) -> Self {
-        self.trace.extend(events);
+    /// Panics if `window` is zero.
+    pub fn monitor_window(mut self, window: SimSpan) -> Self {
+        assert!(!window.is_zero(), "monitor window must be positive");
+        self.monitor_window = window;
         self
     }
 
@@ -403,16 +538,25 @@ impl Cluster {
         let Cluster {
             devices,
             mut jobs,
-            trace,
+            trace: _,
+            trace_jobs,
             mut policy,
             system_factory,
             cfg,
             intercept,
             migrate_on_detach,
             rebalance_every,
+            observers,
+            monitor_window,
         } = self;
         assert!(!devices.is_empty(), "at least one device required");
         let n = devices.len();
+
+        // The built-in load monitor feeds the runtime DeviceLoad signals;
+        // user observers ride the same per-session streams.
+        let monitor = LoadMonitor::shared(monitor_window);
+        let mut all_observers: Vec<SharedObserver> = vec![monitor.clone()];
+        all_observers.extend(observers);
 
         // Give every explicitly added client a stable key (jobs may repeat
         // a name); trace clients carry their event key.
@@ -422,7 +566,7 @@ impl Cluster {
             }
         }
         let upfront = jobs.len();
-        jobs.extend(compile_trace(trace));
+        jobs.extend(trace_jobs);
         assert!(!jobs.is_empty(), "at least one client required");
         {
             let mut seen = std::collections::BTreeSet::new();
@@ -458,19 +602,25 @@ impl Cluster {
         // `compile_trace` emits).
         let mut pending: std::collections::VecDeque<usize> = (upfront..jobs.len()).collect();
 
-        // One session per device, seeds staggered by device index.
+        // One session per device, seeds staggered by device index, every
+        // observer attached to every session under its device index.
         let mut sessions: Vec<Session<'static>> = placed_jobs
             .into_iter()
             .enumerate()
             .map(|(d, dev_jobs)| {
                 let mut dev_cfg = cfg.clone();
                 dev_cfg.seed = cfg.seed.wrapping_add(d as u64);
-                Colocation::on(devices[d].clone())
+                let mut session = Colocation::on(devices[d].clone())
                     .clients(dev_jobs)
                     .system_boxed(system_factory(d))
                     .config(dev_cfg)
                     .intercept(intercept)
-                    .into_session()
+                    .into_session();
+                session.set_device_index(d);
+                for obs in &all_observers {
+                    session.add_observer(obs.clone());
+                }
+                session
             })
             .collect();
 
@@ -499,6 +649,7 @@ impl Cluster {
                     &jobs,
                     k,
                     now,
+                    &monitor,
                     &mut placements,
                     &mut locations,
                 );
@@ -532,12 +683,22 @@ impl Cluster {
                     &mut sessions,
                     &mut locations,
                     &jobs,
+                    now,
+                    &monitor,
+                    &all_observers,
                     &mut per_client_migrations,
                     &mut migrations_in,
                     &mut migrations_out,
                     &mut migrations,
                 );
-                if moved {
+                for obs in &all_observers {
+                    obs.borrow_mut().on_event(
+                        now,
+                        crate::events::FLEET_DEVICE,
+                        &Observation::Rebalance { moved },
+                    );
+                }
+                if moved > 0 {
                     for s in sessions.iter_mut() {
                         s.settle();
                     }
@@ -575,6 +736,7 @@ impl Cluster {
                 &jobs,
                 k,
                 final_now,
+                &monitor,
                 &mut placements,
                 &mut locations,
             );
@@ -631,7 +793,9 @@ impl Cluster {
     }
 }
 
-/// Load snapshot of a device from an iterator of resident jobs.
+/// Load snapshot of a device from an iterator of resident jobs. Runtime
+/// signals start at zero; [`fill_runtime_signals`] copies them in from the
+/// cluster's monitor.
 fn load_of<'j>(
     device: usize,
     spec: &GpuSpec,
@@ -644,6 +808,9 @@ fn load_of<'j>(
         high_priority: 0,
         best_effort: 0,
         demand: 0.0,
+        queue_depth: 0,
+        recent_occupancy: 0.0,
+        hp_pressure: 0.0,
     };
     for job in residents {
         load.clients += 1;
@@ -655,6 +822,14 @@ fn load_of<'j>(
         load.demand += job_demand(job, spec);
     }
     load
+}
+
+/// Copies the monitor's live signals into a [`DeviceLoad`] snapshot.
+fn fill_runtime_signals(load: &mut DeviceLoad, monitor: &Rc<RefCell<LoadMonitor>>, now: SimTime) {
+    let m = monitor.borrow();
+    load.queue_depth = m.queue_depth(load.device);
+    load.recent_occupancy = m.recent_occupancy(load.device, now);
+    load.hp_pressure = m.hp_pressure(load.device, now);
 }
 
 /// Places a trace client at its injection instant: snapshots the loads of
@@ -669,13 +844,18 @@ fn place_pending(
     jobs: &[JobSpec],
     k: usize,
     now: SimTime,
+    monitor: &Rc<RefCell<LoadMonitor>>,
     placements: &mut [Option<usize>],
     locations: &mut [Option<(usize, usize)>],
 ) {
     let loads: Vec<DeviceLoad> = devices
         .iter()
         .enumerate()
-        .map(|(dev, spec)| load_of(dev, spec, loadable_specs(&sessions[dev], now)))
+        .map(|(dev, spec)| {
+            let mut load = load_of(dev, spec, loadable_specs(&sessions[dev], now));
+            fill_runtime_signals(&mut load, monitor, now);
+            load
+        })
         .collect();
     let d = policy.place(&jobs[k], &loads);
     assert!(
@@ -693,7 +873,8 @@ fn place_pending(
 /// in fleet order, re-snapshotting loads after each move. Clients sitting
 /// in the gap between two scheduled windows (detached-by-schedule) are not
 /// candidates — they hold no device resources and resume where they left
-/// off. Returns whether anything moved.
+/// off. Every move is announced to the observers as
+/// [`Observation::ClientMigrated`]. Returns how many clients moved.
 #[allow(clippy::too_many_arguments)]
 fn rebalance_pass(
     policy: &mut dyn PlacementPolicy,
@@ -701,12 +882,15 @@ fn rebalance_pass(
     sessions: &mut [Session<'static>],
     locations: &mut [Option<(usize, usize)>],
     jobs: &[JobSpec],
+    now: SimTime,
+    monitor: &Rc<RefCell<LoadMonitor>>,
+    observers: &[SharedObserver],
     per_client_migrations: &mut [u32],
     migrations_in: &mut [u64],
     migrations_out: &mut [u64],
     migrations: &mut u64,
-) -> bool {
-    let mut moved = false;
+) -> u64 {
+    let mut moved = 0;
     for k in 0..jobs.len() {
         let Some((d, slot)) = locations[k] else {
             continue; // trace client not injected yet
@@ -717,7 +901,11 @@ fn rebalance_pass(
         let loads: Vec<DeviceLoad> = devices
             .iter()
             .enumerate()
-            .map(|(dev, spec)| load_of(dev, spec, active_specs(&sessions[dev])))
+            .map(|(dev, spec)| {
+                let mut load = load_of(dev, spec, active_specs(&sessions[dev]));
+                fill_runtime_signals(&mut load, monitor, now);
+                load
+            })
             .collect();
         let job = sessions[d].client_spec(slot).clone();
         let Some(target) = policy.migrate(&job, d, &loads) else {
@@ -739,7 +927,17 @@ fn rebalance_pass(
         migrations_out[d] += 1;
         migrations_in[target] += 1;
         *migrations += 1;
-        moved = true;
+        moved += 1;
+        let ev = Observation::ClientMigrated {
+            key: jobs[k].key().to_string(),
+            from: d,
+            to: target,
+            from_client: tally_gpu::ClientId(slot as u32),
+            to_client: new_id,
+        };
+        for obs in observers {
+            obs.borrow_mut().on_event(now, d, &ev);
+        }
     }
     moved
 }
@@ -1157,6 +1355,7 @@ mod tests {
                 depart(300, "a"),
                 arrive(500, "c"),
             ])
+            .expect("valid trace")
             .config(cfg(1))
             .run();
         let a = report.client("a").expect("a");
@@ -1179,6 +1378,7 @@ mod tests {
                 depart(300, "a"),
                 arrive(500, "c"),
             ])
+            .expect("valid trace")
             .config(cfg(1))
             .run();
         assert_eq!(format!("{report:?}"), format!("{again:?}"));
@@ -1196,6 +1396,7 @@ mod tests {
                     job: trainer("late", 1000, 0),
                 },
             )])
+            .expect("valid trace")
             .config(cfg(1))
             .run();
         let late = report.client("late").expect("late client reported");
@@ -1215,5 +1416,176 @@ mod tests {
         let keys: Vec<&str> = report.clients.iter().map(|c| c.key.as_str()).collect();
         assert_eq!(keys, vec!["t#0", "t#1", "tenant-42"]);
         assert!(report.client("tenant-42").is_some());
+    }
+
+    #[test]
+    fn invalid_trace_is_a_typed_error() {
+        let err = Cluster::new()
+            .device(GpuSpec::tiny())
+            .trace(vec![(
+                SimTime::ZERO,
+                SessionEvent::Depart { key: "a".into() },
+            )])
+            .expect_err("orphan depart must be rejected");
+        assert!(err.message.contains("unknown client"), "{err}");
+    }
+
+    /// A bursty high-priority service: `burst_ms`-long arrival bursts
+    /// (one request every `period_us`), alternating with equally long
+    /// quiet phases, with the first burst at `offset` phases.
+    fn phased_service(
+        name: &str,
+        kernel_us: u64,
+        period_us: u64,
+        burst_ms: u64,
+        offset: bool,
+        total_ms: u64,
+    ) -> JobSpec {
+        let mut arrivals = Vec::new();
+        let mut phase = u64::from(offset);
+        loop {
+            let start_ms = phase * burst_ms;
+            if start_ms >= total_ms {
+                break;
+            }
+            let mut t = start_ms * 1000;
+            while t < (start_ms + burst_ms).min(total_ms) * 1000 {
+                arrivals.push(SimTime::from_micros(t));
+                t += period_us;
+            }
+            phase += 2;
+        }
+        JobSpec::inference(name, vec![WorkloadOp::Kernel(kernel(kernel_us))], arrivals)
+    }
+
+    /// The phase-shift scenario: two services that burst in anti-phase
+    /// (identical static demand) plus two steady trainers.
+    fn phased_cluster(policy: Box<dyn PlacementPolicy>, rebalance: bool) -> ClusterReport {
+        let mut cluster = Cluster::new()
+            .devices(2, GpuSpec::tiny())
+            .client(phased_service("svc-even", 2000, 4000, 500, false, 2000))
+            .client(phased_service("svc-odd", 2000, 4000, 500, true, 2000))
+            .client(trainer("t0", 4000, 0))
+            .client(trainer("t1", 4000, 0))
+            .policy_boxed(policy)
+            .migrate_on_detach(false)
+            .monitor_window(SimSpan::from_millis(50))
+            .config(cfg(2));
+        if rebalance {
+            cluster = cluster.rebalance_every(SimSpan::from_millis(50));
+        }
+        cluster.run()
+    }
+
+    #[test]
+    fn load_aware_follows_phase_shifts_where_static_demand_is_blind() {
+        // The two services have identical static demand, so LeastLoaded
+        // sees permanently balanced devices and never moves anyone…
+        let ll = phased_cluster(Box::new(LeastLoaded), true);
+        assert_eq!(ll.migrations, 0, "static demand sees no imbalance");
+        // …while LoadAware reads the live hp pressure and shuttles the
+        // trainers away from whichever service is currently bursting.
+        let la = phased_cluster(Box::new(LoadAware::default()), true);
+        assert!(
+            la.migrations >= 2,
+            "load-aware must react to at least two phase flips, got {}",
+            la.migrations
+        );
+        // Evacuating the bursting device lowers the services' latency.
+        let pooled_mean = |r: &ClusterReport| {
+            let mut rec = LatencyRecorder::new();
+            for c in &r.clients {
+                if c.report.high_priority {
+                    for &l in c.report.latency.samples() {
+                        rec.record(l);
+                    }
+                }
+            }
+            rec.mean().expect("requests served").as_secs_f64()
+        };
+        let (m_ll, m_la) = (pooled_mean(&ll), pooled_mean(&la));
+        assert!(
+            m_la < m_ll,
+            "load-aware mean hp latency {m_la:.6}s must beat least-loaded {m_ll:.6}s"
+        );
+        // The trainers keep working through the shuttling.
+        assert!(la
+            .clients
+            .iter()
+            .filter(|c| !c.report.high_priority)
+            .all(|c| c.report.iterations > 0));
+        // Determinism: runtime signals are pure functions of the sim.
+        let again = phased_cluster(Box::new(LoadAware::default()), true);
+        assert_eq!(format!("{la:?}"), format!("{again:?}"));
+    }
+
+    /// Captures every load snapshot offered to `migrate`.
+    struct Probe {
+        seen: std::rc::Rc<std::cell::RefCell<Vec<DeviceLoad>>>,
+    }
+
+    impl PlacementPolicy for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+
+        fn place(&mut self, _job: &JobSpec, _devices: &[DeviceLoad]) -> usize {
+            0 // stack everyone on device 0; device 1 stays idle
+        }
+
+        fn migrate(
+            &mut self,
+            _job: &JobSpec,
+            _from: usize,
+            devices: &[DeviceLoad],
+        ) -> Option<usize> {
+            self.seen.borrow_mut().extend(devices.iter().cloned());
+            None
+        }
+    }
+
+    #[test]
+    fn runtime_signals_reach_placement_decisions() {
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        // A saturating service and a trainer, both stacked on device 0.
+        let svc = JobSpec::inference(
+            "svc",
+            vec![WorkloadOp::Kernel(kernel(2000))],
+            (0..500).map(|i| SimTime::from_micros(2000 * i)).collect(),
+        );
+        Cluster::new()
+            .devices(2, GpuSpec::tiny())
+            .client(svc)
+            .client(trainer("t", 2000, 0))
+            .policy(Probe { seen: seen.clone() })
+            .migrate_on_detach(false)
+            .rebalance_every(SimSpan::from_millis(200))
+            .monitor_window(SimSpan::from_millis(100))
+            .config(cfg(1))
+            .run();
+        let seen = seen.borrow();
+        assert!(!seen.is_empty(), "migrate was offered snapshots");
+        // Late snapshots of the busy device show live pressure…
+        let d0 = seen.iter().rev().find(|l| l.device == 0).expect("device 0");
+        assert!(
+            d0.queue_depth >= 1,
+            "busy device queue depth {}",
+            d0.queue_depth
+        );
+        assert!(
+            d0.recent_occupancy > 0.3,
+            "busy device occupancy {}",
+            d0.recent_occupancy
+        );
+        assert!(
+            d0.hp_pressure > 0.3,
+            "saturating service pressure {}",
+            d0.hp_pressure
+        );
+        // …while the idle device reads zero on every runtime signal.
+        let d1 = seen.iter().rev().find(|l| l.device == 1).expect("device 1");
+        assert_eq!(d1.queue_depth, 0);
+        assert!(d1.recent_occupancy < 0.01, "{}", d1.recent_occupancy);
+        assert!(d1.hp_pressure < 0.01, "{}", d1.hp_pressure);
     }
 }

@@ -46,6 +46,7 @@ use std::sync::Arc;
 use tally_gpu::{ClientId, Engine, GpuSpec, KernelDesc, Priority, SimSpan, SimTime, Step};
 
 use crate::api::{ClientStub, Transport};
+use crate::events::{ClientEvent, Observation, SharedObserver, TraceError};
 use crate::metrics::{ClientReport, LatencyRecorder, RunReport};
 use crate::system::{ClientMeta, Ctx, Passthrough, SharingSystem};
 
@@ -125,6 +126,12 @@ pub struct JobSpec {
     /// cross-device migration trackable. `None` means the client is only
     /// known by its session index.
     pub client_key: Option<String>,
+    /// Symbolic, serializable description of what this job runs (e.g. the
+    /// `tally_workloads` trace syntax `"train gpt2-large-train"`). Carried
+    /// into [`Observation::ClientAttached`] so an observer — notably a
+    /// trace recorder — can re-serialize the client without access to its
+    /// kernel stream. `None` for hand-built jobs.
+    pub descriptor: Option<String>,
 }
 
 impl JobSpec {
@@ -140,6 +147,7 @@ impl JobSpec {
             kind: JobKind::Inference { request, arrivals },
             windows: vec![ActivityWindow::ALWAYS],
             client_key: None,
+            descriptor: None,
         }
     }
 
@@ -151,6 +159,7 @@ impl JobSpec {
             kind: JobKind::Training { iteration },
             windows: vec![ActivityWindow::ALWAYS],
             client_key: None,
+            descriptor: None,
         }
     }
 
@@ -164,6 +173,13 @@ impl JobSpec {
     /// [`JobSpec::client_key`]).
     pub fn with_client_key(mut self, key: impl Into<String>) -> Self {
         self.client_key = Some(key.into());
+        self
+    }
+
+    /// Returns this job carrying a symbolic descriptor (see
+    /// [`JobSpec::descriptor`]).
+    pub fn with_descriptor(mut self, descriptor: impl Into<String>) -> Self {
+        self.descriptor = Some(descriptor.into());
         self
     }
 
@@ -262,53 +278,47 @@ impl JobSpec {
 /// construction (see [`Colocation::trace`] and
 /// [`Cluster::trace`](crate::cluster::Cluster::trace)).
 ///
-/// Event streams are replayed in timestamp order. A key that arrives,
-/// departs, and arrives again names *one* client that re-attaches: its
-/// metrics accumulate across attachments and its program is the one
-/// carried by the first arrival.
-#[derive(Clone, Debug)]
-pub enum SessionEvent {
-    /// A client keyed `key` arrives, running `job`'s program. On a repeat
-    /// arrival for a known key the carried job is ignored and the existing
-    /// client re-attaches.
-    Arrive {
-        /// Stable client identity.
-        key: String,
-        /// The program (windows are overridden by the event stream).
-        job: JobSpec,
-    },
-    /// The client keyed `key` departs (detaches).
-    Depart {
-        /// Stable client identity.
-        key: String,
-    },
-}
+/// This is the workspace-wide [`ClientEvent`]
+/// vocabulary instantiated with a concrete [`JobSpec`] payload (the
+/// windows of which are overridden by the event stream);
+/// `tally_workloads::trace` speaks the same vocabulary with symbolic job
+/// references and resolves them into this type for replay.
+pub type SessionEvent = ClientEvent<JobSpec>;
 
 /// Compiles a time-ordered arrive/depart event stream into one [`JobSpec`]
 /// per distinct key (first-arrival order) carrying the key's full window
 /// schedule.
 ///
-/// # Panics
-///
-/// Panics on an invalid stream: timestamps out of order, a key arriving
-/// while attached, departing while detached, or departing at/before its
-/// arrival instant.
+/// Returns a [`TraceError`] on an invalid stream: timestamps out of order,
+/// a key arriving while attached, departing while detached, or departing
+/// at/before its arrival instant.
 pub(crate) fn compile_trace(
     events: impl IntoIterator<Item = (SimTime, SessionEvent)>,
-) -> Vec<JobSpec> {
+) -> Result<Vec<JobSpec>, TraceError> {
     let mut jobs: Vec<JobSpec> = Vec::new();
     let mut index: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     let mut last = SimTime::ZERO;
     for (at, ev) in events {
-        assert!(at >= last, "trace events must be in timestamp order");
+        if at < last {
+            return Err(TraceError::semantic(format!(
+                "trace events must be in timestamp order (event at {at} after {last})"
+            )));
+        }
         last = at;
         match ev {
             SessionEvent::Arrive { key, job } => match index.get(&key) {
                 Some(&i) => {
                     let closed = jobs[i].windows.last().expect("window").until;
-                    let closed =
-                        closed.unwrap_or_else(|| panic!("client `{key}` arrived while attached"));
-                    assert!(closed <= at, "client `{key}` re-arrives before departing");
+                    let Some(closed) = closed else {
+                        return Err(TraceError::semantic(format!(
+                            "client `{key}` arrives while attached"
+                        )));
+                    };
+                    if closed > at {
+                        return Err(TraceError::semantic(format!(
+                            "client `{key}` re-arrives before departing"
+                        )));
+                    }
                     jobs[i].windows.push(ActivityWindow::new(at, None));
                 }
                 None => {
@@ -320,20 +330,27 @@ pub(crate) fn compile_trace(
                 }
             },
             SessionEvent::Depart { key } => {
-                let &i = index
-                    .get(&key)
-                    .unwrap_or_else(|| panic!("depart for unknown client `{key}`"));
+                let Some(&i) = index.get(&key) else {
+                    return Err(TraceError::semantic(format!(
+                        "depart for unknown client `{key}`"
+                    )));
+                };
                 let w = jobs[i].windows.last_mut().expect("window");
-                assert!(w.until.is_none(), "client `{key}` departed while detached");
-                assert!(
-                    w.from < at,
-                    "client `{key}` departs at or before its arrival"
-                );
+                if w.until.is_some() {
+                    return Err(TraceError::semantic(format!(
+                        "client `{key}` departs while detached"
+                    )));
+                }
+                if w.from >= at {
+                    return Err(TraceError::semantic(format!(
+                        "client `{key}` departs at or before its arrival"
+                    )));
+                }
                 w.until = Some(at);
             }
         }
     }
-    jobs
+    Ok(jobs)
 }
 
 /// Harness parameters.
@@ -408,6 +425,10 @@ pub(crate) struct Client {
     record_timelines: bool,
     timed_latencies: Vec<(SimTime, SimSpan)>,
     op_times: Vec<SimTime>,
+    /// Whether the session has observers: when set, completed requests are
+    /// buffered in `fresh_requests` for the observation stream.
+    observe: bool,
+    fresh_requests: Vec<(SimTime, SimSpan)>,
 }
 
 impl Client {
@@ -434,6 +455,8 @@ impl Client {
             record_timelines: false,
             timed_latencies: Vec::new(),
             op_times: Vec::new(),
+            observe: false,
+            fresh_requests: Vec::new(),
         }
     }
 
@@ -486,6 +509,10 @@ impl Client {
                 // Finished an iteration or request.
                 if let Some(arrival) = self.active_request.take() {
                     self.requests += 1;
+                    if self.observe {
+                        self.fresh_requests
+                            .push((arrival, now.saturating_since(arrival)));
+                    }
                     if self.record_timelines {
                         self.timed_latencies
                             .push((arrival, now.saturating_since(arrival)));
@@ -623,6 +650,7 @@ pub struct Colocation<'s> {
     system: Option<SystemSlot<'s>>,
     cfg: HarnessConfig,
     intercept: InterceptMode,
+    observers: Vec<SharedObserver>,
 }
 
 impl fmt::Debug for Colocation<'_> {
@@ -645,6 +673,7 @@ impl<'s> Colocation<'s> {
             system: None,
             cfg: HarnessConfig::default(),
             intercept: InterceptMode::Native,
+            observers: Vec::new(),
         }
     }
 
@@ -669,12 +698,25 @@ impl<'s> Colocation<'s> {
     /// each event. Equivalent to adding the same clients with hand-built
     /// window schedules — byte for byte.
     ///
-    /// # Panics
-    ///
-    /// Panics on an invalid stream (see [`SessionEvent`]): timestamps out
-    /// of order, arrivals while attached, or departures while detached.
-    pub fn trace(mut self, events: impl IntoIterator<Item = (SimTime, SessionEvent)>) -> Self {
-        self.jobs.extend(compile_trace(events));
+    /// Returns a [`TraceError`] on an invalid stream (see
+    /// [`SessionEvent`]): timestamps out of order, arrivals while
+    /// attached, or departures while detached.
+    pub fn trace(
+        mut self,
+        events: impl IntoIterator<Item = (SimTime, SessionEvent)>,
+    ) -> Result<Self, TraceError> {
+        self.jobs.extend(compile_trace(events)?);
+        Ok(self)
+    }
+
+    /// Registers an observer for the session's typed event stream (see
+    /// [`SessionObserver`](crate::events::SessionObserver)): lifecycle
+    /// edges, request completions, kernel dispatch/finish, and engine
+    /// counter samples. The handle is shared — keep a clone to read the
+    /// observer's state back after [`Colocation::run`]. May be called
+    /// several times; observers are notified in registration order.
+    pub fn observer(mut self, observer: SharedObserver) -> Self {
+        self.observers.push(observer);
         self
     }
 
@@ -742,9 +784,14 @@ impl<'s> Colocation<'s> {
             system,
             cfg,
             intercept,
+            observers,
         } = self;
         let system = system.unwrap_or_else(|| SystemSlot::Owned(Box::new(Passthrough::new())));
-        Session::new(&spec, jobs, system, &cfg, intercept)
+        let mut session = Session::new(&spec, jobs, system, &cfg, intercept);
+        for obs in observers {
+            session.add_observer(obs);
+        }
+        session
     }
 }
 
@@ -781,6 +828,14 @@ pub struct Session<'s> {
     // Window-close detaches seen so far (migrations excluded) — lets an
     // external driver notice departures and react (e.g. rebalance).
     departures: u64,
+    // The observer machinery: registered sinks, the device index stamped
+    // on every delivery (a cluster sets it), observations buffered during
+    // a settle (flushed at its end), and the instant of the last engine
+    // counter sample.
+    observers: Vec<SharedObserver>,
+    device: usize,
+    events_buf: Vec<(SimTime, Observation)>,
+    last_sample: Option<SimTime>,
 }
 
 impl fmt::Debug for Session<'_> {
@@ -830,7 +885,42 @@ impl<'s> Session<'s> {
             pending_completions: Vec::new(),
             in_transit: Vec::new(),
             departures: 0,
+            observers: Vec::new(),
+            device: 0,
+            events_buf: Vec::new(),
+            last_sample: None,
         }
+    }
+
+    /// Registers an observer for this session's typed event stream (see
+    /// [`Colocation::observer`]). External drivers that build sessions via
+    /// [`Colocation::into_session`] can attach observers afterwards — the
+    /// multi-GPU [`Cluster`](crate::cluster::Cluster) does exactly this.
+    pub fn add_observer(&mut self, observer: SharedObserver) {
+        self.observers.push(observer);
+        for c in &mut self.clients {
+            c.observe = true;
+        }
+    }
+
+    /// Sets the device index stamped on every observation this session
+    /// delivers (0 by default; a cluster assigns its per-GPU indices).
+    pub fn set_device_index(&mut self, device: usize) {
+        self.device = device;
+    }
+
+    /// Delivers the observations buffered during a settle, in order.
+    fn flush_events(&mut self) {
+        if self.events_buf.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.events_buf);
+        for (at, ev) in buf.drain(..) {
+            for obs in &self.observers {
+                obs.borrow_mut().on_event(at, self.device, &ev);
+            }
+        }
+        self.events_buf = buf;
     }
 
     /// Current simulated time of this session's engine.
@@ -852,8 +942,12 @@ impl<'s> Session<'s> {
     }
 
     /// Settles the current instant to a fixed point (see the module docs
-    /// for the settling discipline).
+    /// for the settling discipline). Observations produced while settling
+    /// (lifecycle edges, kernel dispatch/finish, request completions, an
+    /// engine counter sample when time advanced) are delivered to the
+    /// registered observers before this returns.
     pub fn settle(&mut self) {
+        let observing = !self.observers.is_empty();
         let system: &mut dyn SharingSystem = match &mut self.system {
             SystemSlot::Borrowed(s) => &mut **s,
             SystemSlot::Owned(b) => b.as_mut(),
@@ -869,6 +963,10 @@ impl<'s> Session<'s> {
                 client.waiting_kernel = false;
                 client.kernels += 1;
                 client.finish_op(now, self.warmup);
+                if observing {
+                    self.events_buf
+                        .push((now, Observation::KernelFinished { client: c }));
+                }
                 progressed = true;
             }
             let mut ctx = Ctx::new(&mut self.engine, &self.metas);
@@ -886,6 +984,18 @@ impl<'s> Session<'s> {
                     client.attached = true;
                     client.attachments += 1;
                     system.on_client_attach(&mut ctx, ClientId(i as u32));
+                    if observing {
+                        self.events_buf.push((
+                            now,
+                            Observation::ClientAttached {
+                                client: ClientId(i as u32),
+                                key: client.spec.key().to_string(),
+                                priority: client.spec.priority,
+                                descriptor: client.spec.descriptor.clone(),
+                                reattach: client.attachments > 1,
+                            },
+                        ));
+                    }
                     if let Some(stub) = client.stub.as_mut() {
                         // The API startup burst (fatbin registration,
                         // device discovery) delays the first launch —
@@ -908,6 +1018,15 @@ impl<'s> Session<'s> {
                     client.waiting_kernel = false;
                     client.gap_until = None;
                     system.on_client_detach(&mut ctx, ClientId(i as u32));
+                    if observing {
+                        self.events_buf.push((
+                            now,
+                            Observation::ClientDetached {
+                                client: ClientId(i as u32),
+                                key: client.spec.key().to_string(),
+                            },
+                        ));
+                    }
                     self.departures += 1;
                     progressed = true;
                 }
@@ -927,6 +1046,15 @@ impl<'s> Session<'s> {
                 }
             });
             for (c, k) in due {
+                if observing {
+                    self.events_buf.push((
+                        now,
+                        Observation::KernelDispatched {
+                            client: c,
+                            kernel: Arc::clone(&k),
+                        },
+                    ));
+                }
                 system.on_kernel_ready(&mut ctx, c, k);
                 progressed = true;
             }
@@ -936,7 +1064,20 @@ impl<'s> Session<'s> {
                     continue;
                 }
                 client.tick(now);
-                if let Some(kernel) = client.advance(now, self.warmup) {
+                let kernel = client.advance(now, self.warmup);
+                if observing {
+                    for (arrival, latency) in client.fresh_requests.drain(..) {
+                        self.events_buf.push((
+                            now,
+                            Observation::RequestCompleted {
+                                client: ClientId(i as u32),
+                                arrival,
+                                latency,
+                            },
+                        ));
+                    }
+                }
+                if let Some(kernel) = kernel {
                     progressed = true;
                     match client.stub.as_mut() {
                         Some(stub) => {
@@ -944,7 +1085,18 @@ impl<'s> Session<'s> {
                             self.in_transit
                                 .push((now + cost, ClientId(i as u32), kernel));
                         }
-                        None => system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel),
+                        None => {
+                            if observing {
+                                self.events_buf.push((
+                                    now,
+                                    Observation::KernelDispatched {
+                                        client: ClientId(i as u32),
+                                        kernel: Arc::clone(&kernel),
+                                    },
+                                ));
+                            }
+                            system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel)
+                        }
                     }
                 }
             }
@@ -953,6 +1105,20 @@ impl<'s> Session<'s> {
             if !progressed && self.pending_completions.is_empty() {
                 break;
             }
+        }
+        if observing {
+            let now = self.engine.now();
+            if self.last_sample != Some(now) {
+                self.last_sample = Some(now);
+                self.events_buf.push((
+                    now,
+                    Observation::EngineSample {
+                        busy_thread_ns: self.engine.busy_thread_ns(),
+                        total_thread_slots: self.engine.spec().total_thread_slots(),
+                    },
+                ));
+            }
+            self.flush_events();
         }
     }
 
@@ -1143,6 +1309,7 @@ impl<'s> Session<'s> {
             }
         }
         client.record_timelines = self.record_timelines;
+        client.observe = !self.observers.is_empty();
         self.clients.push(client);
         id
     }
@@ -1156,6 +1323,7 @@ impl<'s> Session<'s> {
         self.metas.push(meta_of(&job));
         let mut client = Client::new(job);
         client.record_timelines = self.record_timelines;
+        client.observe = !self.observers.is_empty();
         if let InterceptMode::Virtualized(transport) = self.intercept {
             client.stub = Some(ClientStub::new(transport));
         }
@@ -1546,6 +1714,7 @@ mod tests {
         ];
         let via_trace = Colocation::on(GpuSpec::tiny())
             .trace(events)
+            .expect("valid trace")
             .config(cfg(1))
             .run();
         let via_schedule = Colocation::on(GpuSpec::tiny())
@@ -1561,10 +1730,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arrived while attached")]
     fn trace_rejects_double_arrival() {
         let job = JobSpec::training("t", vec![]);
-        let _ = compile_trace(vec![
+        let err = compile_trace(vec![
             (
                 SimTime::ZERO,
                 SessionEvent::Arrive {
@@ -1579,25 +1747,27 @@ mod tests {
                     job,
                 },
             ),
-        ]);
+        ])
+        .expect_err("double arrival must be rejected");
+        assert!(err.message.contains("arrives while attached"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "unknown client")]
     fn trace_rejects_orphan_departure() {
-        let _ = compile_trace(vec![(
+        let err = compile_trace(vec![(
             SimTime::ZERO,
             SessionEvent::Depart {
                 key: "ghost".into(),
             },
-        )]);
+        )])
+        .expect_err("orphan departure must be rejected");
+        assert!(err.message.contains("unknown client"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "timestamp order")]
     fn trace_rejects_unordered_events() {
         let job = JobSpec::training("t", vec![]);
-        let _ = compile_trace(vec![
+        let err = compile_trace(vec![
             (
                 SimTime::from_millis(5),
                 SessionEvent::Arrive {
@@ -1612,7 +1782,140 @@ mod tests {
                     job,
                 },
             ),
-        ]);
+        ])
+        .expect_err("unordered events must be rejected");
+        assert!(err.message.contains("timestamp order"), "{err}");
+    }
+
+    #[test]
+    fn trace_rejects_depart_at_arrival_instant() {
+        let job = JobSpec::training("t", vec![]);
+        let err = compile_trace(vec![
+            (
+                SimTime::from_millis(3),
+                SessionEvent::Arrive {
+                    key: "t".into(),
+                    job,
+                },
+            ),
+            (
+                SimTime::from_millis(3),
+                SessionEvent::Depart { key: "t".into() },
+            ),
+        ])
+        .expect_err("zero-length window must be rejected");
+        assert!(err.message.contains("departs at or before"), "{err}");
+    }
+
+    /// Collects every observation with its timestamp.
+    #[derive(Default)]
+    struct Collector(Vec<(SimTime, usize, Observation)>);
+
+    impl crate::events::SessionObserver for Collector {
+        fn on_event(&mut self, at: SimTime, device: usize, event: &Observation) {
+            self.0.push((at, device, event.clone()));
+        }
+    }
+
+    #[test]
+    fn observer_sees_lifecycle_kernels_and_requests() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let collector = Rc::new(RefCell::new(Collector::default()));
+        let arrivals: Vec<SimTime> = (0..20).map(|i| SimTime::from_millis(10 * i)).collect();
+        let svc = JobSpec::inference("svc", vec![WorkloadOp::Kernel(kernel(1000))], arrivals)
+            .active_window(SimTime::ZERO, SimTime::from_millis(300))
+            .also_active(SimTime::from_millis(500), None)
+            .with_descriptor("infer test-model load=0.5 seed=1");
+        let report = Colocation::on(GpuSpec::tiny())
+            .client(svc)
+            .observer(collector.clone())
+            .config(cfg(1))
+            .run();
+        let events = &collector.borrow().0;
+        let c = &report.clients[0];
+
+        // Timestamps are non-decreasing and stamped with device 0.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(events.iter().all(|e| e.1 == 0));
+
+        // Lifecycle edges mirror the schedule: attach, detach, re-attach.
+        let lifecycle: Vec<&Observation> = events
+            .iter()
+            .map(|(_, _, e)| e)
+            .filter(|e| {
+                matches!(
+                    e,
+                    Observation::ClientAttached { .. } | Observation::ClientDetached { .. }
+                )
+            })
+            .collect();
+        assert_eq!(lifecycle.len(), 3, "attach, detach, re-attach");
+        let Observation::ClientAttached {
+            key,
+            descriptor,
+            reattach,
+            ..
+        } = lifecycle[0]
+        else {
+            panic!("first lifecycle event is the attach");
+        };
+        assert_eq!(key, "svc");
+        assert_eq!(
+            descriptor.as_deref(),
+            Some("infer test-model load=0.5 seed=1")
+        );
+        assert!(!reattach);
+        assert!(matches!(lifecycle[1], Observation::ClientDetached { .. }));
+        let Observation::ClientAttached { reattach, .. } = lifecycle[2] else {
+            panic!("third lifecycle event is the re-attach");
+        };
+        assert!(*reattach, "second window is a re-attach");
+
+        // Kernel dispatches, finishes, and request completions match the
+        // report's counters exactly.
+        let count =
+            |f: fn(&Observation) -> bool| events.iter().filter(|(_, _, e)| f(e)).count() as u64;
+        assert_eq!(
+            count(|e| matches!(e, Observation::KernelFinished { .. })),
+            c.kernels
+        );
+        assert_eq!(
+            count(|e| matches!(e, Observation::KernelDispatched { .. })),
+            c.kernels,
+            "every finished kernel was dispatched exactly once"
+        );
+        assert_eq!(
+            count(|e| matches!(e, Observation::RequestCompleted { .. })),
+            c.requests
+        );
+        assert!(
+            count(|e| matches!(e, Observation::EngineSample { .. })) > 0,
+            "engine counter samples flow"
+        );
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_run() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mk = |observe: bool| {
+            let hp = JobSpec::inference(
+                "hp",
+                vec![WorkloadOp::Kernel(kernel(100))],
+                (0..100).map(|i| SimTime::from_millis(7 * i)).collect(),
+            );
+            let be = JobSpec::training("be", vec![WorkloadOp::Kernel(kernel(700))]);
+            let mut session = Colocation::on(GpuSpec::tiny())
+                .client(hp)
+                .client(be)
+                .config(cfg(1));
+            if observe {
+                session = session.observer(Rc::new(RefCell::new(Collector::default())));
+            }
+            session.run()
+        };
+        assert_eq!(format!("{:?}", mk(false)), format!("{:?}", mk(true)));
     }
 
     #[test]

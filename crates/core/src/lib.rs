@@ -18,6 +18,7 @@
 //! | co-location experiment harness + metrics (§5.1) | [`harness`], [`metrics`] |
 //! | the `SharingSystem` interface baselines implement | [`system`] |
 //! | multi-GPU placement, lockstep drive, migration (beyond the paper) | [`cluster`] |
+//! | typed event stream, observers, runtime load signals (beyond the paper) | [`events`] |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@
 
 pub mod api;
 pub mod cluster;
+pub mod events;
 pub mod harness;
 pub mod metrics;
 pub mod profiler;
@@ -76,12 +78,17 @@ pub mod transform;
 pub use api::{ApiCall, ClientStub, InterceptStats, Transport};
 pub use cluster::{
     BestEffortPacking, Cluster, ClusterClientReport, ClusterReport, DeviceLoad, DeviceReport,
-    LeastLoaded, PlacementPolicy, RoundRobin,
+    LeastLoaded, LoadAware, PlacementPolicy, RoundRobin,
+};
+pub use events::{
+    ClientEvent, LoadMonitor, Observation, SessionObserver, SharedObserver, TraceError,
+    FLEET_DEVICE,
 };
 #[allow(deprecated)]
 pub use harness::run_colocation;
 pub use harness::{
-    run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, WorkloadOp,
+    run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, SessionEvent,
+    WorkloadOp,
 };
 pub use metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
 pub use scheduler::{TallyConfig, TallySystem};

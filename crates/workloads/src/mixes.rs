@@ -8,7 +8,7 @@
 //! so reports can be matched back to copies.
 
 use tally_core::harness::JobSpec;
-use tally_gpu::{GpuSpec, SimSpan};
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
 use crate::maf2::{arrivals, Maf2Config};
 use crate::{InferModel, TrainModel};
@@ -80,6 +80,58 @@ pub fn skewed(spec: &GpuSpec, pairs: usize) -> Vec<JobSpec> {
     jobs
 }
 
+/// A phase-shifted two-device mix that *static* demand estimates cannot
+/// place well: two BERT inference services whose request bursts alternate
+/// in anti-phase (service `even` is loaded during even `phase`-long
+/// windows, service `odd` during odd ones — identical arrival counts and
+/// request templates, so their
+/// [`job_demand`](tally_core::cluster::job_demand) estimates differ only
+/// by a span-normalization artifact, never enough for a demand-based
+/// policy to act on), plus two steady Whisper-V3 trainers whose
+/// multi-millisecond kernels badly stretch any co-located service's tail.
+///
+/// A demand-based policy sees two permanently balanced devices and leaves
+/// the trainers where they are; a runtime-signal policy
+/// ([`LoadAware`](tally_core::cluster::LoadAware)) sees which service is
+/// bursting *right now* and shuttles the trainers to the quiet device at
+/// every phase flip. Within a burst, requests arrive every
+/// `paper_latency / load`.
+pub fn phase_shifted(spec: &GpuSpec, phase: SimSpan, duration: SimSpan, load: f64) -> Vec<JobSpec> {
+    assert!(load > 0.0 && load < 1.0, "load must be in (0, 1)");
+    let infer = InferModel::Bert;
+    let period = infer.paper_latency().mul_f64(1.0 / load);
+    let bursts = |offset: bool| -> Vec<SimTime> {
+        let mut reqs = Vec::new();
+        let mut k = u64::from(offset);
+        loop {
+            let start = SimTime::ZERO + phase * k;
+            let until = (start + phase).min(SimTime::ZERO + duration);
+            if start >= SimTime::ZERO + duration {
+                break;
+            }
+            let mut t = start;
+            while t < until {
+                reqs.push(t);
+                t += period;
+            }
+            k += 2;
+        }
+        reqs
+    };
+    let mut jobs = Vec::new();
+    for (offset, tag) in [(false, "even"), (true, "odd")] {
+        let mut svc = infer.job(spec, bursts(offset));
+        svc.client_key = Some(format!("{}/{tag}", svc.name));
+        jobs.push(svc);
+    }
+    for i in 0..2 {
+        let mut trainer = TrainModel::WhisperV3.job(spec);
+        trainer.client_key = Some(format!("{}/t{i}", trainer.name));
+        jobs.push(trainer);
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +173,35 @@ mod tests {
                 jobs[n + i].key()
             );
         }
+    }
+
+    #[test]
+    fn phase_shifted_services_have_equal_static_demand() {
+        let spec = GpuSpec::a100();
+        let jobs = phase_shifted(&spec, SimSpan::from_secs(3), SimSpan::from_secs(12), 0.8);
+        assert_eq!(jobs.len(), 4);
+        let (even, odd) = (&jobs[0], &jobs[1]);
+        assert!(even.priority.is_high() && odd.priority.is_high());
+        // Same arrival count, same request template: nothing a
+        // demand-based policy can act on separates the two services (the
+        // estimates differ only by the span normalization, well under the
+        // imbalance the default migrate rule requires)…
+        let arrivals_of = |j: &JobSpec| match &j.kind {
+            tally_core::harness::JobKind::Inference { arrivals, .. } => arrivals.clone(),
+            _ => panic!("service"),
+        };
+        assert_eq!(arrivals_of(even).len(), arrivals_of(odd).len());
+        let (de, do_) = (job_demand(even, &spec), job_demand(odd, &spec));
+        assert!(
+            (de - do_).abs() < 0.5 * de.max(do_),
+            "static demands must stay comparable: {de} vs {do_}"
+        );
+        // …even though their bursts never overlap.
+        let in_even_phase = |t: &SimTime| (t.as_nanos() / 3_000_000_000).is_multiple_of(2);
+        assert!(arrivals_of(even).iter().all(in_even_phase));
+        assert!(!arrivals_of(odd).iter().any(in_even_phase));
+        let keys: HashSet<&str> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(keys.len(), 4, "client keys must be unique");
     }
 
     #[test]

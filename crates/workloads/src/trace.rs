@@ -20,7 +20,10 @@
 //!   [`ArrivalTrace::session_events`] resolves the symbolic [`TraceJob`]s
 //!   into concrete [`JobSpec`]s and feeds
 //!   [`Colocation::trace`](tally_core::harness::Colocation::trace) or
-//!   [`Cluster::trace`](tally_core::cluster::Cluster::trace).
+//!   [`Cluster::trace`](tally_core::cluster::Cluster::trace);
+//! * **recorded** from a live run ([`TraceRecorder`]): a session observer
+//!   that captures the client lifecycle edges as they happen, so a real
+//!   experiment can be saved, minimized, and replayed byte-identically.
 //!
 //! ```
 //! use tally_gpu::{GpuSpec, SimSpan};
@@ -39,6 +42,7 @@
 //! let spec = GpuSpec::a100();
 //! let report = Colocation::on(spec.clone())
 //!     .trace(trace.session_events(&spec, SimSpan::from_secs(4)))
+//!     .unwrap()
 //!     .config(HarnessConfig {
 //!         duration: SimSpan::from_secs(4),
 //!         warmup: SimSpan::ZERO,
@@ -48,14 +52,21 @@
 //! assert_eq!(report.clients.len(), trace.keys().count());
 //! ```
 
-use std::fmt;
+use std::cell::RefCell;
+use std::rc::Rc;
 
+use tally_core::events::{Observation, SessionObserver};
 use tally_core::harness::{ActivityWindow, JobSpec, SessionEvent};
 use tally_gpu::rng::SmallRng;
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
 use crate::maf2::{arrivals, Maf2Config};
 use crate::{InferModel, TrainModel};
+
+/// Why a trace failed to validate or parse — the workspace-wide typed
+/// trace error, shared with `tally_core` (see
+/// [`tally_core::events::TraceError`]).
+pub use tally_core::events::TraceError;
 
 /// A symbolic, serializable job reference: which Table 2 model a trace
 /// client runs, without baking in kernel streams or request arrivals.
@@ -92,6 +103,65 @@ impl TraceJob {
         }
     }
 
+    /// The job's symbolic descriptor — the exact byte sequence the
+    /// plain-text trace format uses after the client key (`train <model>`
+    /// or `infer <model> load=<f64> seed=<u64>`). Stamped onto every
+    /// resolved [`JobSpec`] (as [`JobSpec::descriptor`]) so a
+    /// [`TraceRecorder`] observing a live run can re-serialize the client;
+    /// [`TraceJob::from_descriptor`] inverts it.
+    pub fn descriptor(&self) -> String {
+        match self {
+            TraceJob::Train(m) => format!("train {}", m.name()),
+            TraceJob::Infer { model, load, seed } => {
+                format!("infer {} load={load} seed={seed}", model.name())
+            }
+        }
+    }
+
+    /// Parses a symbolic descriptor (see [`TraceJob::descriptor`]).
+    pub fn from_descriptor(s: &str) -> Result<TraceJob, TraceError> {
+        let mut tok = s.split(' ');
+        let kind = tok
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| TraceError::semantic("missing job kind"))?;
+        let model = tok
+            .next()
+            .ok_or_else(|| TraceError::semantic("missing model name"))?;
+        let job = match kind {
+            "train" => TraceJob::Train(TrainModel::from_name(model).ok_or_else(|| {
+                TraceError::semantic(format!("unknown training model `{model}`"))
+            })?),
+            "infer" => {
+                let m = InferModel::from_name(model).ok_or_else(|| {
+                    TraceError::semantic(format!("unknown inference model `{model}`"))
+                })?;
+                let load = tok
+                    .next()
+                    .and_then(|t| t.strip_prefix("load="))
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .ok_or_else(|| TraceError::semantic("expected `load=<f64>`"))?;
+                let seed = tok
+                    .next()
+                    .and_then(|t| t.strip_prefix("seed="))
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .ok_or_else(|| TraceError::semantic("expected `seed=<u64>`"))?;
+                TraceJob::Infer {
+                    model: m,
+                    load,
+                    seed,
+                }
+            }
+            other => {
+                return Err(TraceError::semantic(format!("unknown job kind `{other}`")));
+            }
+        };
+        if tok.next().is_some() {
+            return Err(TraceError::semantic("trailing tokens after the job"));
+        }
+        Ok(job)
+    }
+
     /// Resolves the symbolic job into a concrete [`JobSpec`] active over
     /// `windows` (open-ended windows run to `duration`).
     fn resolve(&self, spec: &GpuSpec, windows: &[ActivityWindow], duration: SimSpan) -> JobSpec {
@@ -118,35 +188,18 @@ impl TraceJob {
             }
         };
         job.with_schedule(windows.to_vec())
+            .with_descriptor(self.descriptor())
     }
 }
 
-/// One client lifecycle event of an [`ArrivalTrace`].
-#[derive(Clone, Debug, PartialEq)]
-pub enum ClientEvent {
-    /// The client keyed `key` arrives running `job`. A repeat arrival for
-    /// a departed key *re-attaches* the same client.
-    Arrive {
-        /// Stable client identity (no whitespace).
-        key: String,
-        /// What the client runs.
-        job: TraceJob,
-    },
-    /// The client keyed `key` departs.
-    Depart {
-        /// Stable client identity.
-        key: String,
-    },
-}
-
-impl ClientEvent {
-    /// The event's client key.
-    pub fn key(&self) -> &str {
-        match self {
-            ClientEvent::Arrive { key, .. } | ClientEvent::Depart { key } => key,
-        }
-    }
-}
+/// One client lifecycle event of an [`ArrivalTrace`]: the workspace-wide
+/// [`ClientEvent`](tally_core::events::ClientEvent) vocabulary carrying a
+/// symbolic [`TraceJob`] payload (keys must contain no whitespace). The
+/// harness speaks the same vocabulary with resolved
+/// [`JobSpec`] payloads — see
+/// [`tally_core::harness::SessionEvent`] — and
+/// [`ArrivalTrace::session_events`] converts one into the other.
+pub type ClientEvent = tally_core::events::ClientEvent<TraceJob>;
 
 /// A timestamped [`ClientEvent`].
 #[derive(Clone, Debug, PartialEq)]
@@ -157,32 +210,8 @@ pub struct TraceEvent {
     pub event: ClientEvent,
 }
 
-/// Why a trace failed to validate or parse.
-#[derive(Clone, Debug, PartialEq)]
-pub struct TraceError {
-    /// 1-based line number for parse errors, 0 for semantic errors.
-    pub line: usize,
-    /// Human-readable explanation.
-    pub message: String,
-}
-
-impl fmt::Display for TraceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
-            write!(f, "trace line {}: {}", self.line, self.message)
-        } else {
-            write!(f, "invalid trace: {}", self.message)
-        }
-    }
-}
-
-impl std::error::Error for TraceError {}
-
 fn err(line: usize, message: impl Into<String>) -> TraceError {
-    TraceError {
-        line,
-        message: message.into(),
-    }
+    TraceError::at_line(line, message)
 }
 
 /// Header line of the plain-text format (versioned so future extensions
@@ -316,17 +345,8 @@ impl ArrivalTrace {
                 ClientEvent::Arrive { key, job } => {
                     out.push_str(" arrive ");
                     out.push_str(key);
-                    match job {
-                        TraceJob::Train(m) => {
-                            out.push_str(" train ");
-                            out.push_str(m.name());
-                        }
-                        TraceJob::Infer { model, load, seed } => {
-                            out.push_str(" infer ");
-                            out.push_str(model.name());
-                            out.push_str(&format!(" load={load} seed={seed}"));
-                        }
-                    }
+                    out.push(' ');
+                    out.push_str(&job.descriptor());
                 }
                 ClientEvent::Depart { key } => {
                     out.push_str(" depart ");
@@ -375,41 +395,9 @@ impl ArrivalTrace {
                     trace.depart(at, key);
                 }
                 "arrive" => {
-                    let kind = tok.next().ok_or_else(|| err(lineno, "missing job kind"))?;
-                    let model = tok
-                        .next()
-                        .ok_or_else(|| err(lineno, "missing model name"))?;
-                    let job = match kind {
-                        "train" => {
-                            TraceJob::Train(TrainModel::from_name(model).ok_or_else(|| {
-                                err(lineno, format!("unknown training model `{model}`"))
-                            })?)
-                        }
-                        "infer" => {
-                            let m = InferModel::from_name(model).ok_or_else(|| {
-                                err(lineno, format!("unknown inference model `{model}`"))
-                            })?;
-                            let load = tok
-                                .next()
-                                .and_then(|t| t.strip_prefix("load="))
-                                .and_then(|t| t.parse::<f64>().ok())
-                                .ok_or_else(|| err(lineno, "expected `load=<f64>`"))?;
-                            let seed = tok
-                                .next()
-                                .and_then(|t| t.strip_prefix("seed="))
-                                .and_then(|t| t.parse::<u64>().ok())
-                                .ok_or_else(|| err(lineno, "expected `seed=<u64>`"))?;
-                            TraceJob::Infer {
-                                model: m,
-                                load,
-                                seed,
-                            }
-                        }
-                        other => return Err(err(lineno, format!("unknown job kind `{other}`"))),
-                    };
-                    if tok.next().is_some() {
-                        return Err(err(lineno, "trailing tokens after arrive"));
-                    }
+                    let descriptor = tok.collect::<Vec<&str>>().join(" ");
+                    let job = TraceJob::from_descriptor(&descriptor)
+                        .map_err(|e| err(lineno, e.message))?;
                     trace.arrive(at, key, job);
                 }
                 other => return Err(err(lineno, format!("unknown verb `{other}`"))),
@@ -635,6 +623,153 @@ impl TraceGen {
                     mean_gap: SimSpan::from_secs(3),
                 },
             ],
+        }
+    }
+}
+
+/// A built-in [`SessionObserver`] that captures a replayable
+/// [`ArrivalTrace`] from a live run.
+///
+/// The recorder listens to the client lifecycle edges of the observation
+/// stream: every attach becomes an `arrive` event, every detach a
+/// `depart`, at the exact simulated instants they happened. Clients must
+/// carry a symbolic descriptor
+/// ([`JobSpec::descriptor`](tally_core::harness::JobSpec::descriptor) in
+/// the [`TraceJob::descriptor`] syntax) — which every job resolved through
+/// [`ArrivalTrace::session_events`] does — so the captured trace can be
+/// serialized with [`ArrivalTrace::to_text`], checked in, parsed back,
+/// and replayed: the replay reproduces the original client schedule, and
+/// therefore the original reports, byte for byte.
+///
+/// Cross-device migrations are *not* lifecycle edges and are not
+/// recorded: a migrated client's schedule is unchanged, and replaying the
+/// trace under the same cluster configuration reproduces the same
+/// migrations. (Caveat: two *distinct* clients whose first arrivals share
+/// the exact same nanosecond on different devices are recorded in device
+/// order, which may differ from the source trace's within-instant order.)
+///
+/// ```
+/// use tally_gpu::{GpuSpec, SimSpan, SimTime};
+/// use tally_workloads::trace::{ArrivalTrace, TraceJob, TraceRecorder};
+/// use tally_workloads::TrainModel;
+/// use tally_core::harness::{Colocation, HarnessConfig};
+///
+/// let spec = GpuSpec::a100();
+/// let duration = SimSpan::from_secs(1);
+/// let cfg = HarnessConfig {
+///     duration,
+///     warmup: SimSpan::ZERO,
+///     ..Default::default()
+/// };
+/// let mut original = ArrivalTrace::new();
+/// original.arrive(SimTime::ZERO, "gpt2", TraceJob::Train(TrainModel::Gpt2Large));
+/// original.depart(SimTime::from_millis(700), "gpt2");
+///
+/// // Record a live run…
+/// let recorder = TraceRecorder::shared();
+/// let live = Colocation::on(spec.clone())
+///     .trace(original.session_events(&spec, duration))
+///     .unwrap()
+///     .observer(recorder.clone())
+///     .config(cfg.clone())
+///     .run();
+/// // …and the captured trace replays to the identical report.
+/// let captured = recorder.borrow().trace().unwrap();
+/// assert_eq!(captured, original);
+/// let replay = Colocation::on(spec.clone())
+///     .trace(captured.session_events(&spec, duration))
+///     .unwrap()
+///     .config(cfg)
+///     .run();
+/// assert_eq!(format!("{live:?}"), format!("{replay:?}"));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    error: Option<TraceError>,
+}
+
+impl TraceRecorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle to a fresh recorder, ready to pass to
+    /// `Colocation::observer` / `Cluster::observer` (keep a clone to read
+    /// the trace back after the run).
+    pub fn shared() -> Rc<RefCell<TraceRecorder>> {
+        Rc::new(RefCell::new(TraceRecorder::new()))
+    }
+
+    /// Lifecycle events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The captured trace, validated.
+    ///
+    /// Returns a [`TraceError`] if an observed client carried no parsable
+    /// symbolic descriptor (a hand-built [`JobSpec`] rather than a
+    /// trace-resolved one), or if the captured stream does not validate.
+    pub fn trace(&self) -> Result<ArrivalTrace, TraceError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        let trace = ArrivalTrace { events };
+        trace.validate()?;
+        Ok(trace)
+    }
+}
+
+impl SessionObserver for TraceRecorder {
+    fn on_event(&mut self, at: SimTime, _device: usize, event: &Observation) {
+        if self.error.is_some() {
+            return;
+        }
+        match event {
+            Observation::ClientAttached {
+                key, descriptor, ..
+            } => {
+                let Some(descriptor) = descriptor else {
+                    self.error = Some(TraceError::semantic(format!(
+                        "client `{key}` carries no symbolic descriptor; \
+                         only trace-resolved jobs can be recorded"
+                    )));
+                    return;
+                };
+                match TraceJob::from_descriptor(descriptor) {
+                    Ok(job) => {
+                        self.events.push(TraceEvent {
+                            at,
+                            event: ClientEvent::Arrive {
+                                key: key.clone(),
+                                job,
+                            },
+                        });
+                    }
+                    Err(e) => {
+                        self.error = Some(TraceError::semantic(format!(
+                            "client `{key}` descriptor `{descriptor}`: {}",
+                            e.message
+                        )));
+                    }
+                }
+            }
+            Observation::ClientDetached { key, .. } => {
+                self.events.push(TraceEvent {
+                    at,
+                    event: ClientEvent::Depart { key: key.clone() },
+                });
+            }
+            _ => {}
         }
     }
 }

@@ -69,6 +69,7 @@ fn main() {
     let mut tally = TallySystem::new(TallyConfig::paper_default());
     let report = Colocation::on(spec.clone())
         .trace(reloaded.session_events(&spec, duration))
+        .expect("valid trace")
         .system(&mut tally)
         .config(cfg.clone())
         .transport(Transport::SharedMemory)
@@ -93,6 +94,7 @@ fn main() {
         .devices(2, spec.clone())
         .policy(LeastLoaded)
         .trace(reloaded.session_events(&spec, duration))
+        .expect("valid trace")
         .config(cfg)
         .run();
     println!("\n=== two-GPU fleet replay ({}) ===", cluster.policy);

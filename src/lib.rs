@@ -58,7 +58,10 @@ pub mod prelude {
     pub use tally_core::api::{ApiCall, ClientStub, InterceptStats, Transport};
     pub use tally_core::cluster::{
         BestEffortPacking, Cluster, ClusterClientReport, ClusterReport, DeviceLoad, DeviceReport,
-        LeastLoaded, PlacementPolicy, RoundRobin,
+        LeastLoaded, LoadAware, PlacementPolicy, RoundRobin,
+    };
+    pub use tally_core::events::{
+        LoadMonitor, Observation, SessionObserver, SharedObserver, TraceError, FLEET_DEVICE,
     };
     pub use tally_core::harness::{
         run_solo, ActivityWindow, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec,
@@ -72,6 +75,8 @@ pub mod prelude {
         Priority, SimSpan, SimTime, Step,
     };
     pub use tally_workloads::maf2::{arrivals, Maf2Config};
-    pub use tally_workloads::trace::{ArrivalTrace, ClientEvent, TraceGen, TraceJob, TraceMix};
+    pub use tally_workloads::trace::{
+        ArrivalTrace, ClientEvent, TraceGen, TraceJob, TraceMix, TraceRecorder,
+    };
     pub use tally_workloads::{InferModel, TrainModel};
 }

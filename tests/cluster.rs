@@ -267,3 +267,133 @@ fn heterogeneous_devices_are_supported() {
     assert_eq!(a.clients.len(), 2);
     assert!(a.clients.iter().all(|cl| cl.report.iterations > 0));
 }
+
+// ---- job_demand degenerate-trace properties ---------------------------
+//
+// The `span` clamp in `job_demand` (an inference trace's span is at least
+// one request's busy time) was previously only covered indirectly through
+// placement outcomes; these seeded property loops pin down its contract.
+
+/// The GPU-busy seconds one request of `svc` asks for, recovered through
+/// the estimator itself using a single-arrival trace (whose span clamps
+/// to exactly one serial request, i.e. demand 1.0 times busy/busy).
+fn one_request_busy(spec: &GpuSpec, request: &[WorkloadOp]) -> f64 {
+    request
+        .iter()
+        .map(|op| match op {
+            WorkloadOp::Kernel(k) => k.solo_latency(spec).as_secs_f64(),
+            WorkloadOp::CpuGap(_) => 0.0,
+        })
+        .sum()
+}
+
+#[test]
+fn job_demand_degenerate_inference_traces() {
+    use tally_core::cluster::job_demand;
+    let spec = GpuSpec::a100();
+    let k = KernelDesc::builder("req")
+        .grid(64)
+        .block(128)
+        .block_cost(SimSpan::from_micros(500))
+        .build_arc();
+    let request = vec![WorkloadOp::Kernel(k)];
+    let svc = |arrivals: Vec<SimTime>| JobSpec::inference("svc", request.clone(), arrivals);
+
+    // Empty arrivals: no work, no demand.
+    assert_eq!(job_demand(&svc(Vec::new()), &spec), 0.0);
+
+    // A single arrival: the span clamps to at least the request's own
+    // busy time, so a lone request at t=0 reads "one saturated serial
+    // stream" (exactly 1.0) and a later lone request reads busy/at.
+    let busy = one_request_busy(&spec, &request);
+    assert!(busy > 0.0);
+    for at in [SimTime::ZERO, SimTime::from_millis(3)] {
+        let d = job_demand(&svc(vec![at]), &spec);
+        let span = at.saturating_since(SimTime::ZERO).as_secs_f64().max(busy);
+        let expected = busy / span;
+        assert!(
+            (d - expected).abs() < 1e-9,
+            "single arrival at {at}: demand {d}, expected {expected}"
+        );
+    }
+
+    // A burst of n requests all at t=0: the clamp normalizes over one
+    // request's busy time, so the estimate reads n serial streams — large
+    // but finite, never a division blow-up.
+    for n in [2usize, 10, 1000] {
+        let d = job_demand(&svc(vec![SimTime::ZERO; n]), &spec);
+        assert!(d.is_finite(), "burst demand must stay finite");
+        assert!(
+            (d - n as f64).abs() < 1e-6,
+            "burst of {n} at t=0 reads {n} serial streams, got {d}"
+        );
+    }
+}
+
+#[test]
+fn job_demand_random_traces_stay_bounded() {
+    use tally_core::cluster::job_demand;
+    let spec = GpuSpec::a100();
+    // A seeded deterministic loop over random arrival traces, including
+    // heavy duplicate timestamps (bursts) and a random request mix.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for case in 0..200 {
+        let kernel_us = 1 + next() % 5_000;
+        let k = KernelDesc::builder("req")
+            .grid(1 + (next() % 512) as u32)
+            .block(32 + (next() % 8) as u32 * 32)
+            .block_cost(SimSpan::from_micros(kernel_us))
+            .build_arc();
+        let request = vec![
+            WorkloadOp::Kernel(k),
+            WorkloadOp::CpuGap(SimSpan::from_micros(next() % 2_000)),
+        ];
+        let n = (next() % 40) as usize;
+        let mut arrivals: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_micros(next() % 2_000_000))
+            .collect();
+        arrivals.sort_unstable();
+        if next() % 3 == 0 {
+            // Degenerate variant: collapse everything into a t=0 burst.
+            arrivals = vec![SimTime::ZERO; n];
+        }
+        let job = JobSpec::inference("svc", request.clone(), arrivals.clone());
+        let d = job_demand(&job, &spec);
+        assert!(d.is_finite() && d >= 0.0, "case {case}: demand {d}");
+        if arrivals.is_empty() {
+            assert_eq!(d, 0.0, "case {case}: empty trace has no demand");
+        } else {
+            // The span clamp guarantees span >= busy, so the estimate is
+            // bounded by the arrival count (n serial streams at worst).
+            assert!(
+                d <= arrivals.len() as f64 + 1e-9,
+                "case {case}: demand {d} exceeds {} serial streams",
+                arrivals.len()
+            );
+        }
+        // Scale invariance under the clamp: doubling every arrival's
+        // timestamp (halving the rate) must not increase the estimate.
+        if let Some(&last) = arrivals.last() {
+            if last > SimTime::ZERO {
+                let stretched: Vec<SimTime> = arrivals
+                    .iter()
+                    .map(|t| SimTime::ZERO + t.saturating_since(SimTime::ZERO) * 2)
+                    .collect();
+                let slower = job_demand(
+                    &JobSpec::inference("svc", request.clone(), stretched),
+                    &spec,
+                );
+                assert!(
+                    slower <= d + 1e-9,
+                    "case {case}: halving the rate raised demand ({slower} > {d})"
+                );
+            }
+        }
+    }
+}

@@ -87,6 +87,7 @@ fn hand_built(spec: &GpuSpec) -> Vec<JobSpec> {
 fn run_trace(spec: &GpuSpec, system: &str) -> RunReport {
     let mut session = Colocation::on(spec.clone())
         .trace(scenario().session_events(spec, DURATION))
+        .expect("valid trace")
         .system_boxed(make_system(system))
         .config(cfg());
     if is_tally_variant(system) {
@@ -153,10 +154,12 @@ fn text_round_trip_preserves_the_replay() {
     let reloaded = ArrivalTrace::parse(&original.to_text()).expect("canonical text parses");
     let a = Colocation::on(spec.clone())
         .trace(original.session_events(&spec, DURATION))
+        .expect("valid trace")
         .config(cfg())
         .run();
     let b = Colocation::on(spec.clone())
         .trace(reloaded.session_events(&spec, DURATION))
+        .expect("valid trace")
         .config(cfg())
         .run();
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
@@ -171,6 +174,7 @@ fn generated_trace_drives_a_cluster_deterministically() {
             .devices(2, spec.clone())
             .policy(LeastLoaded)
             .trace(trace.session_events(&spec, DURATION))
+            .expect("valid trace")
             .config(cfg())
             .run()
     };
