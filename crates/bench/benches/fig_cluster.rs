@@ -21,7 +21,7 @@
 //! Pass `--json PATH` to record the measurements (`BENCH_cluster.json` in
 //! the perf trajectory).
 
-use tally_bench::{banner, make_system, ms, JsonSink};
+use tally_bench::{banner, bench_threads, make_system, ms, with_bench_threads, JsonSink};
 use tally_core::cluster::{
     BestEffortPacking, Cluster, ClusterReport, LeastLoaded, LoadAware, PlacementPolicy, RoundRobin,
 };
@@ -83,8 +83,79 @@ impl SoloTable {
     }
 }
 
+/// `TALLY_FLEET_SMOKE=1`: drive a 128-device fleet through the barrier
+/// loop end to end and assert it fits a generous wall-clock budget — a
+/// scale canary for the cluster subsystem, not a measurement (so it never
+/// touches the JSON trajectory). One best-effort trainer per device plus
+/// a retiring one to exercise departure forecasting at scale.
+fn fleet_smoke() {
+    const DEVICES: usize = 128;
+    const BUDGET_SECS: u64 = 60;
+    banner("Fleet smoke: 128 devices through the barrier loop");
+    let spec = GpuSpec::a100();
+    let cfg = HarnessConfig {
+        duration: SimSpan::from_millis(500),
+        warmup: SimSpan::ZERO,
+        seed: 3,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    let mut jobs: Vec<JobSpec> = (0..DEVICES)
+        .map(|i| {
+            let mut j = mixes::standard(&spec, LOAD, cfg.duration).remove(1);
+            j.client_key = Some(format!("t{i}"));
+            j
+        })
+        .collect();
+    jobs[0] = jobs[0].clone().active_until(SimTime::from_millis(250));
+    let start = std::time::Instant::now();
+    let report = with_bench_threads(
+        Cluster::new()
+            .devices(DEVICES, spec)
+            .clients(jobs)
+            .rebalance_every(SimSpan::from_millis(100))
+            .config(cfg),
+    )
+    .run();
+    let wall = start.elapsed();
+    assert_eq!(report.devices.len(), DEVICES);
+    // t0 retires at 250ms — before a single GPT2-Large iteration fits —
+    // so it only exercises departure forecasting; everyone else must
+    // actually make progress.
+    assert!(
+        report
+            .clients
+            .iter()
+            .filter(|c| c.key != "t0")
+            .all(|c| c.report.iterations > 0),
+        "every non-retiring trainer must make progress"
+    );
+    println!(
+        "128-device fleet: {} barriers, {} events, {:.2}s wall ({} threads)",
+        report.host.barriers,
+        report.host.events,
+        wall.as_secs_f64(),
+        report.host.threads,
+    );
+    assert!(
+        wall.as_secs() < BUDGET_SECS,
+        "128-device smoke took {:.1}s, budget {BUDGET_SECS}s",
+        wall.as_secs_f64()
+    );
+}
+
 fn main() {
+    if std::env::var("TALLY_FLEET_SMOKE").as_deref() == Ok("1") {
+        fleet_smoke();
+        return;
+    }
     let mut sink = JsonSink::from_args("fig_cluster");
+    // The pinned worker-thread count (if any), as trajectory metadata.
+    sink.record(
+        "host_threads",
+        bench_threads().map_or(-1.0, |n| n as f64),
+        &[],
+    );
     let spec = GpuSpec::a100();
 
     // ---- 1. linear scaling of the replicated standard mix ------------
@@ -106,14 +177,16 @@ fn main() {
     for n in [1usize, 2, 4, 8] {
         for policy in ["round-robin", "least-loaded", "best-effort-packing"] {
             let jobs = mixes::replicated(&spec, n, LOAD, cfg.duration);
-            let report = Cluster::new()
-                .devices(n, spec.clone())
-                .clients(jobs)
-                .policy_boxed(policy_by_name(policy))
-                .systems_with(|_| make_system("tally"))
-                .transport(tally_core::api::Transport::SharedMemory)
-                .config(cfg.clone())
-                .run();
+            let report = with_bench_threads(
+                Cluster::new()
+                    .devices(n, spec.clone())
+                    .clients(jobs)
+                    .policy_boxed(policy_by_name(policy))
+                    .systems_with(|_| make_system("tally"))
+                    .transport(tally_core::api::Transport::SharedMemory)
+                    .config(cfg.clone()),
+            )
+            .run();
             let norm = solo.normalized_fleet(&report);
             let single = *single_gpu_norm.get_or_insert(norm);
             let scaling = norm / single;
@@ -161,12 +234,14 @@ fn main() {
     banner("Skewed trainer mix on 2 GPUs: worst-client normalized throughput");
     let mut worst_norms = Vec::new();
     for policy in ["round-robin", "least-loaded"] {
-        let report = Cluster::new()
-            .devices(2, spec.clone())
-            .clients(skew_jobs.clone())
-            .policy_boxed(policy_by_name(policy))
-            .config(skew_cfg.clone())
-            .run();
+        let report = with_bench_threads(
+            Cluster::new()
+                .devices(2, spec.clone())
+                .clients(skew_jobs.clone())
+                .policy_boxed(policy_by_name(policy))
+                .config(skew_cfg.clone()),
+        )
+        .run();
         let placements: Vec<usize> = report.clients.iter().map(|c| c.initial_device).collect();
         let norms: Vec<f64> = report
             .clients
@@ -221,13 +296,15 @@ fn main() {
         churn_jobs.push(trainer);
     }
     for migrate in [false, true] {
-        let report = Cluster::new()
-            .devices(2, spec.clone())
-            .clients(churn_jobs.clone())
-            .policy(BestEffortPacking)
-            .migrate_on_detach(migrate)
-            .config(mig_cfg.clone())
-            .run();
+        let report = with_bench_threads(
+            Cluster::new()
+                .devices(2, spec.clone())
+                .clients(churn_jobs.clone())
+                .policy(BestEffortPacking)
+                .migrate_on_detach(migrate)
+                .config(mig_cfg.clone()),
+        )
+        .run();
         let trainer_thr: f64 = report
             .clients
             .iter()
@@ -270,15 +347,17 @@ fn main() {
     };
     let phase_jobs = mixes::phase_shifted(&spec, phase, phase_cfg.duration, 0.8);
     let run_phased = |policy: &str| -> ClusterReport {
-        Cluster::new()
-            .devices(2, spec.clone())
-            .clients(phase_jobs.clone())
-            .policy_boxed(policy_by_name(policy))
-            .migrate_on_detach(false)
-            .rebalance_every(SimSpan::from_millis(100))
-            .monitor_window(SimSpan::from_millis(100))
-            .config(phase_cfg.clone())
-            .run()
+        with_bench_threads(
+            Cluster::new()
+                .devices(2, spec.clone())
+                .clients(phase_jobs.clone())
+                .policy_boxed(policy_by_name(policy))
+                .migrate_on_detach(false)
+                .rebalance_every(SimSpan::from_millis(100))
+                .monitor_window(SimSpan::from_millis(100))
+                .config(phase_cfg.clone()),
+        )
+        .run()
     };
     let pooled_hp = |report: &ClusterReport| -> LatencyRecorder {
         let mut rec = LatencyRecorder::new();

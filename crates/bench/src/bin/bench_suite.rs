@@ -17,6 +17,10 @@
 //! of silently truncating the trajectory. `--profile quick` exports
 //! `TALLY_BENCH_PROFILE=quick` to every child: the reduced-duration
 //! profile CI runs (and the committed documents are generated with).
+//! `--threads N` exports `TALLY_BENCH_THREADS=N`, pinning the cluster
+//! worker-thread count in every child (CI pins 1 so recorded `host_*`
+//! wall-clock rows are comparable across runners); benches that honor the
+//! pin record it as a `host_threads` row in their JSON document.
 //!
 //! `--diff OLD_DIR NEW_DIR [--threshold F]` compares two trajectory
 //! directories (see [`tally_bench::diff`]) and exits non-zero when a
@@ -27,7 +31,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use tally_bench::diff::{diff_dirs, print_report, DEFAULT_THRESHOLD};
-use tally_bench::PROFILE_ENV;
+use tally_bench::{PROFILE_ENV, THREADS_ENV};
 
 /// Every JSON-emitting bench target and its trajectory file.
 const BENCHES: &[(&str, &str)] = &[
@@ -61,6 +65,7 @@ fn main() {
 
     let mut all = false;
     let mut quick = false;
+    let mut threads: Option<usize> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -72,6 +77,16 @@ fn main() {
                 Some("full") => quick = false,
                 other => panic!("--profile expects `quick` or `full`, got {other:?}"),
             },
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--threads requires a count"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad --threads {v}: {e}"));
+                assert!(n > 0, "--threads must be positive");
+                threads = Some(n);
+            }
             "--out-dir" => {
                 out_dir =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| {
@@ -132,6 +147,14 @@ fn main() {
             cmd.env(PROFILE_ENV, "quick");
         } else {
             cmd.env_remove(PROFILE_ENV);
+        }
+        match threads {
+            Some(n) => {
+                cmd.env(THREADS_ENV, n.to_string());
+            }
+            None => {
+                cmd.env_remove(THREADS_ENV);
+            }
         }
         let status = cmd
             .status()

@@ -35,6 +35,39 @@ pub const FIG5_SYSTEMS: [&str; 5] = ["time-slicing", "mps", "mps-priority", "tgs
 /// Name of the environment variable selecting the bench profile.
 pub const PROFILE_ENV: &str = "TALLY_BENCH_PROFILE";
 
+/// Name of the environment variable pinning the cluster worker-thread
+/// count for bench runs (`bench_suite --threads N` exports it to every
+/// child bench). Unset: each [`Cluster`](tally_core::cluster::Cluster)
+/// defaults to the host's available parallelism.
+pub const THREADS_ENV: &str = "TALLY_BENCH_THREADS";
+
+/// The pinned cluster worker-thread count, when [`THREADS_ENV`] is set.
+///
+/// CI pins `--threads 1` for its bench-trajectory run so the recorded
+/// `host_*` wall-clock metrics are comparable across runners; simulated
+/// metrics are thread-count-invariant either way.
+///
+/// # Panics
+///
+/// Panics on an unparsable or zero value — a pinned thread count must
+/// never be silently ignored.
+pub fn bench_threads() -> Option<usize> {
+    let v = std::env::var(THREADS_ENV).ok()?;
+    let n: usize = v
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {THREADS_ENV}={v}: {e}"));
+    assert!(n > 0, "{THREADS_ENV} must be positive, got {v}");
+    Some(n)
+}
+
+/// Applies the [`bench_threads`] pin to a cluster builder, when set.
+pub fn with_bench_threads(cluster: tally_core::cluster::Cluster) -> tally_core::cluster::Cluster {
+    match bench_threads() {
+        Some(n) => cluster.threads(n),
+        None => cluster,
+    }
+}
+
 /// Whether the reduced-duration profile is active
 /// (`TALLY_BENCH_PROFILE=quick`, which `bench_suite --profile quick`
 /// exports to every child bench). The CI perf-trajectory gate runs — and

@@ -1,17 +1,49 @@
 //! Multi-GPU scheduling: place clients across a fleet of per-GPU
-//! co-location sessions, advance them in lockstep, and migrate best-effort
-//! clients between devices.
+//! co-location sessions, advance them in parallel between deterministic
+//! barriers, and migrate best-effort clients between devices.
 //!
 //! The paper evaluates priority isolation per device; a production server
 //! places many clients across many GPUs. The [`Cluster`] builder constructs
 //! one [`Session`] per GPU (heterogeneous [`GpuSpec`]s allowed), routes
 //! every [`JobSpec`] to a device through a pluggable [`PlacementPolicy`],
-//! and drives all engines on a shared simulated clock: settle every
-//! session at the current instant, advance every engine to the minimum of
-//! their wake instants, repeat. Within a device the existing sharing
-//! systems run completely unmodified — a migration is just a detach on the
-//! source device and an attach on the destination, through the same
-//! [`SharingSystem`] hooks the dynamic client lifecycle already uses.
+//! and drives all engines on a shared simulated clock. Within a device the
+//! existing sharing systems run completely unmodified — a migration is
+//! just a detach on the source device and an attach on the destination,
+//! through the same [`SharingSystem`] hooks the dynamic client lifecycle
+//! already uses.
+//!
+//! ## The barrier loop
+//!
+//! Sessions only interact through the cluster: a placement decision, a
+//! migration pass, or a trace-driven injection reads the fleet's state
+//! and mutates several sessions at once. Everything else — kernel
+//! execution, request arrivals, window edges — is device-local. The drive
+//! loop exploits that: it computes the next **interaction point**, the
+//! earliest instant at which any cross-device action can occur, and
+//! advances every session to it independently. The interaction points
+//! are:
+//!
+//! * the first arrival of the next pending trace client (an injection
+//!   consults live fleet loads);
+//! * the next periodic rebalance tick ([`Cluster::rebalance_every`]);
+//! * the next client departure anywhere in the fleet, *when*
+//!   [`Cluster::migrate_on_detach`] is on (a departure triggers a
+//!   migration pass) — forecast by a fleet-level
+//!   [`TimerWheel`] that re-scans a device
+//!   only when its client lifecycle actually changed;
+//! * the end of the run.
+//!
+//! Between barriers the sessions are advanced concurrently on a scoped
+//! thread pool ([`Cluster::threads`]). Determinism is preserved by
+//! construction, not by luck: each session's evolution between barriers
+//! depends only on its own state, every cross-device effect is applied
+//! at a barrier in **fixed device-index order** on the driving thread
+//! (settles, migration passes, observer deliveries), and the per-barrier
+//! wall-clock measurements are kept out of the deterministic report
+//! surface (see [`HostStats`]). Reports and
+//! observer streams are therefore byte-identical for any thread count —
+//! `threads(1)` reproduces the historical single-threaded drive exactly,
+//! and `tests/parallel_determinism.rs` asserts it.
 //!
 //! Four placement policies ship:
 //!
@@ -62,8 +94,9 @@ use crate::harness::{
     compile_trace, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session,
     SessionEvent,
 };
-use crate::metrics::{ClientReport, LatencyRecorder};
+use crate::metrics::{ClientReport, HostStats, LatencyRecorder};
 use crate::system::{Passthrough, SharingSystem};
+use crate::timewheel::{TimerId, TimerWheel};
 
 /// Load snapshot of one device, handed to [`PlacementPolicy`] decisions.
 ///
@@ -363,6 +396,7 @@ pub struct Cluster {
     rebalance_every: Option<SimSpan>,
     observers: Vec<SharedObserver>,
     monitor_window: SimSpan,
+    threads: Option<usize>,
 }
 
 impl fmt::Debug for Cluster {
@@ -374,6 +408,7 @@ impl fmt::Debug for Cluster {
             .field("cfg", &self.cfg)
             .field("migrate_on_detach", &self.migrate_on_detach)
             .field("rebalance_every", &self.rebalance_every)
+            .field("threads", &self.threads)
             .finish_non_exhaustive()
     }
 }
@@ -400,6 +435,7 @@ impl Cluster {
             rebalance_every: None,
             observers: Vec::new(),
             monitor_window: SimSpan::from_millis(100),
+            threads: None,
         }
     }
 
@@ -527,6 +563,21 @@ impl Cluster {
         self
     }
 
+    /// Worker threads for advancing sessions between barriers (default:
+    /// the host's available parallelism). `1` runs the historical
+    /// single-threaded drive. The report is byte-identical for every
+    /// value — see the [module docs](self) on the barrier loop — so this
+    /// only trades host wall-clock for cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "at least one worker thread required");
+        self.threads = Some(n);
+        self
+    }
+
     /// Executes the cluster run and returns the aggregated report.
     ///
     /// # Panics
@@ -548,9 +599,13 @@ impl Cluster {
             rebalance_every,
             observers,
             monitor_window,
+            threads,
         } = self;
         assert!(!devices.is_empty(), "at least one device required");
         let n = devices.len();
+        let threads = threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
 
         // The built-in load monitor feeds the runtime DeviceLoad signals;
         // user observers ride the same per-session streams.
@@ -631,10 +686,22 @@ impl Cluster {
         let mut per_client_migrations = vec![0u32; jobs.len()];
         let mut migrations_in = vec![0u64; n];
         let mut migrations_out = vec![0u64; n];
+        let mut host = HostStats {
+            threads,
+            ..HostStats::default()
+        };
+        // Fleet-level departure forecast: one timer per device holding its
+        // session's next window-close. A device's forecast is recomputed
+        // only when its lifecycle epoch changed, so idle devices are never
+        // re-scanned (see `HostStats::departure_scans`).
+        let mut fleet_wheel: TimerWheel<usize> = TimerWheel::new();
+        let mut dep_timers: Vec<Option<TimerId>> = vec![None; n];
+        let mut dep_epochs: Vec<Option<u64>> = vec![None; n];
 
-        // Lockstep drive: inject trace clients whose first arrival is due,
-        // settle everyone, migrate if triggered, advance every engine to
-        // the global minimum wake instant.
+        // Barrier drive: inject trace clients whose first arrival is due,
+        // settle everyone, migrate if triggered — all in device-index
+        // order on this thread — then advance every session to the next
+        // interaction point on the worker pool (see the module docs).
         loop {
             let now = sessions[0].now();
             while let Some(&k) = pending.front() {
@@ -708,19 +775,55 @@ impl Cluster {
             if sessions.iter().all(Session::is_done) {
                 break;
             }
-            let mut wake = sessions
-                .iter()
-                .map(Session::next_wake)
-                .min()
-                .expect("at least one session");
+
+            // The next interaction point. Session-local wake-ups (kernel
+            // finishes, arrivals, window edges) deliberately do NOT bound
+            // it — each worker handles its own between barriers.
+            let mut barrier = end;
             if let Some(t) = next_rebalance {
-                wake = wake.min(t);
+                barrier = barrier.min(t);
             }
             if let Some(&k) = pending.front() {
-                wake = wake.min(jobs[k].first_active());
+                barrier = barrier.min(jobs[k].first_active());
             }
+            if migrate_on_detach {
+                // Departures trigger migration passes, so the next one
+                // anywhere in the fleet is an interaction point. Refresh
+                // only the devices whose lifecycle changed.
+                fleet_wheel.advance_to(now);
+                for (d, s) in sessions.iter().enumerate() {
+                    let epoch = Some(s.lifecycle_epoch());
+                    if dep_epochs[d] == epoch {
+                        continue;
+                    }
+                    dep_epochs[d] = epoch;
+                    if let Some(tid) = dep_timers[d].take() {
+                        fleet_wheel.cancel(tid);
+                    }
+                    let at = s.next_departure();
+                    if at < SimTime::MAX {
+                        dep_timers[d] = Some(fleet_wheel.insert(at, d));
+                    }
+                }
+                if let Some(t) = fleet_wheel.peek() {
+                    barrier = barrier.min(t);
+                }
+            }
+            debug_assert!(
+                barrier > now || barrier >= end,
+                "barrier must make progress: {barrier:?} at {now:?}"
+            );
+
+            // Advance all sessions to the barrier on the worker pool,
+            // then deliver the observations they buffered in device order.
+            let start = std::time::Instant::now();
+            advance_fleet(&mut sessions, barrier, threads);
+            let spent = start.elapsed().as_nanos() as u64;
+            host.barriers += 1;
+            host.advance_ns += spent;
+            host.max_barrier_ns = host.max_barrier_ns.max(spent);
             for s in sessions.iter_mut() {
-                s.advance_to(wake);
+                s.flush_events();
             }
         }
 
@@ -783,14 +886,49 @@ impl Cluster {
                 }
             })
             .collect();
+        for s in &sessions {
+            let (events, notifications, departure_scans) = s.host_counters();
+            host.events += events;
+            host.notifications += notifications;
+            host.departure_scans += departure_scans;
+        }
         ClusterReport {
             policy: policy.name().to_string(),
             duration: cfg.duration,
             devices: device_reports,
             clients,
             migrations,
+            host,
         }
     }
+}
+
+/// Advances every session to `barrier` on up to `threads` scoped worker
+/// threads. Workers pull [`SessionCore`](crate::harness)s off a shared
+/// queue — sessions are independent between barriers, so assignment order
+/// cannot influence results, and `threads == 1` short-circuits to a plain
+/// in-order loop (bit-for-bit the historical single-threaded drive).
+fn advance_fleet(sessions: &mut [Session<'static>], barrier: SimTime, threads: usize) {
+    let workers = threads.min(sessions.len());
+    if workers <= 1 {
+        for s in sessions.iter_mut() {
+            s.core_mut().run_until(barrier);
+        }
+        return;
+    }
+    let cores: Vec<_> = sessions.iter_mut().map(|s| s.core_mut()).collect();
+    let queue = std::sync::Mutex::new(cores.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let core = queue.lock().expect("queue lock").next();
+                match core {
+                    Some(core) => core.run_until(barrier),
+                    None => break,
+                }
+            });
+        }
+    });
 }
 
 /// Load snapshot of a device from an iterator of resident jobs. Runtime
@@ -964,7 +1102,7 @@ fn loadable_specs<'a, 's>(
 }
 
 /// Outcome of one cluster run.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ClusterReport {
     /// Name of the placement policy that routed the clients.
     pub policy: String,
@@ -977,6 +1115,24 @@ pub struct ClusterReport {
     pub clients: Vec<ClusterClientReport>,
     /// Total client migrations performed.
     pub migrations: u64,
+    /// Host-side execution counters (barriers, wall-clock, work volume).
+    pub host: HostStats,
+}
+
+// Hand-written so `host` stays out: tests and the record/replay example
+// use the report's debug string as a byte-identical determinism
+// fingerprint, and the wall-clock half of `HostStats` varies by machine,
+// load, and thread count. Read host stats via the `host` field.
+impl fmt::Debug for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterReport")
+            .field("policy", &self.policy)
+            .field("duration", &self.duration)
+            .field("devices", &self.devices)
+            .field("clients", &self.clients)
+            .field("migrations", &self.migrations)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ClusterReport {

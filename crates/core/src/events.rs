@@ -191,6 +191,10 @@ pub enum Observation {
         busy_thread_ns: u128,
         /// The device's total resident-thread capacity.
         total_thread_slots: u64,
+        /// Engine lifetime event count (launches submitted + completed +
+        /// preempted + wave rounds) — a deterministic work measure that
+        /// lets observers relate host wall-clock to simulation effort.
+        events_processed: u64,
     },
     /// Cluster only: a best-effort client moved between devices. The
     /// reconnect on the destination is part of the migration, not a
@@ -491,6 +495,7 @@ impl SessionObserver for LoadMonitor {
             Observation::EngineSample {
                 busy_thread_ns,
                 total_thread_slots,
+                ..
             } => {
                 d.thread_slots = *total_thread_slots;
                 d.occ_samples.push_back((at, *busy_thread_ns));
@@ -625,6 +630,7 @@ mod tests {
                 &Observation::EngineSample {
                     busy_thread_ns: (10 * i * 1_000_000 / 2) as u128 * 1000,
                     total_thread_slots: 1000,
+                    events_processed: 0,
                 },
             );
         }

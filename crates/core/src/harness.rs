@@ -39,6 +39,7 @@
 //! the system decides whether the GPU is idle enough to resume best-effort
 //! work.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -49,6 +50,7 @@ use crate::api::{ClientStub, Transport};
 use crate::events::{ClientEvent, Observation, SharedObserver, TraceError};
 use crate::metrics::{ClientReport, LatencyRecorder, RunReport};
 use crate::system::{ClientMeta, Ctx, Passthrough, SharingSystem};
+use crate::timewheel::{TimerId, TimerWheel};
 
 /// One step of a client's program.
 #[derive(Clone, Debug)]
@@ -429,6 +431,23 @@ pub(crate) struct Client {
     /// buffered in `fresh_requests` for the observation stream.
     observe: bool,
     fresh_requests: Vec<(SimTime, SimSpan)>,
+    /// Wake-up timers currently registered for this client in the
+    /// session's wheel. Cleared on migration (timer ids are per-wheel).
+    timers: ClientTimers,
+    /// Set when a wake-relevant field changed during a settle pass; the
+    /// end-of-settle sync re-registers this client's timers.
+    timer_dirty: bool,
+}
+
+/// The per-client wake-up timers a session keeps registered in its
+/// [`TimerWheel`]: the next activity-window edge (open when detached,
+/// close when attached), the next request arrival, and the CPU-gap /
+/// interception-burst expiry.
+#[derive(Clone, Copy, Default)]
+struct ClientTimers {
+    window: Option<TimerId>,
+    arrival: Option<TimerId>,
+    gap: Option<TimerId>,
 }
 
 impl Client {
@@ -457,6 +476,8 @@ impl Client {
             op_times: Vec::new(),
             observe: false,
             fresh_requests: Vec::new(),
+            timers: ClientTimers::default(),
+            timer_dirty: false,
         }
     }
 
@@ -810,9 +831,31 @@ impl<'s> Colocation<'s> {
 ///
 /// Keeping several sessions in lockstep means settling all of them,
 /// advancing every engine to the *minimum* of their wake instants, and
-/// repeating — which is exactly what the multi-GPU
-/// [`Cluster`](crate::cluster::Cluster) does.
+/// repeating. The multi-GPU [`Cluster`](crate::cluster::Cluster) goes one
+/// step further: between its barriers it advances each session's
+/// `SessionCore` on a worker thread and delivers the buffered
+/// observations afterwards in device order.
 pub struct Session<'s> {
+    core: SessionCore<'s>,
+    // The observer sinks live outside the core: they are `Rc`-shared (not
+    // `Send`), so the core can cross threads while delivery stays on the
+    // driving thread.
+    observers: Vec<SharedObserver>,
+    // Observations delivered to observers so far (a deterministic count).
+    events_delivered: u64,
+}
+
+/// Everything a session needs to *advance* — the engine, clients, sharing
+/// system, and timer bookkeeping — but none of the observer machinery.
+///
+/// The split is what makes barrier-parallel cluster advancement possible:
+/// `SessionCore` is `Send` (checked at compile time below), so a
+/// [`Cluster`](crate::cluster::Cluster) can farm cores out to a scoped
+/// thread pool between barriers, while [`SharedObserver`]s — which are
+/// deliberately `Rc`-shared single-threaded sinks — only ever run on the
+/// driving thread, fed from each core's buffered events in fixed device
+/// order.
+pub(crate) struct SessionCore<'s> {
     engine: Engine,
     metas: Vec<ClientMeta>,
     clients: Vec<Client>,
@@ -823,32 +866,67 @@ pub struct Session<'s> {
     record_timelines: bool,
     intercept: InterceptMode,
     pending_completions: Vec<ClientId>,
-    // Kernels held in the interception layer until their stub cost elapses.
-    in_transit: Vec<(SimTime, ClientId, Arc<KernelDesc>)>,
+    // Kernels held in the interception layer until their stub cost
+    // elapses, with the wheel timer that tracks each delivery instant.
+    in_transit: Vec<(SimTime, ClientId, Arc<KernelDesc>, TimerId)>,
     // Window-close detaches seen so far (migrations excluded) — lets an
     // external driver notice departures and react (e.g. rebalance).
     departures: u64,
-    // The observer machinery: registered sinks, the device index stamped
-    // on every delivery (a cluster sets it), observations buffered during
-    // a settle (flushed at its end), and the instant of the last engine
-    // counter sample.
-    observers: Vec<SharedObserver>,
+    // Observation plumbing: whether any observer is registered (clients
+    // buffer extra detail only when true), the device index stamped on
+    // every delivery, the buffered observations themselves, and the
+    // instant of the last engine counter sample.
+    observing: bool,
     device: usize,
     events_buf: Vec<(SimTime, Observation)>,
     last_sample: Option<SimTime>,
+    // Wake-up bookkeeping: every client window edge / arrival / gap and
+    // every in-transit launch registers a timer here, so `next_wake` is a
+    // `peek` instead of a linear scan. `dirty` lists clients whose timers
+    // must be re-synced at the end of the current settle.
+    wheel: TimerWheel<Wake>,
+    dirty: Vec<usize>,
+    // Bumped whenever the set of clients or their attachment changes —
+    // the cluster uses it to cache per-session departure forecasts.
+    lifecycle_epoch: u64,
+    // Host-observability counters (see `HostStats`).
+    notifications: u64,
+    departure_scans: Cell<u64>,
+    // Stride counter for the debug-build wheel-vs-scan cross-check.
+    #[cfg(debug_assertions)]
+    wake_queries: Cell<u64>,
+}
+
+/// What a wheel timer wakes the session for.
+#[derive(Copy, Clone, Debug)]
+enum Wake {
+    /// A client's window edge, arrival, or gap expiry; the payload is the
+    /// client index. Which of the three fired is irrelevant — the sync
+    /// pass recomputes all of a dirty client's timers.
+    Client(u32),
+    /// An in-transit (intercepted) launch reaching the system.
+    Launch,
+}
+
+// The whole point of the core/observer split: cores must be free to cross
+// thread boundaries. (`fn` taking it by value proves `Send` structurally;
+// a non-`Send` field would fail to compile here.)
+#[allow(dead_code)]
+fn _session_core_is_send(core: SessionCore<'static>) -> impl Send {
+    core
 }
 
 impl fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Session")
-            .field("now", &self.engine.now())
-            .field("end", &self.end)
-            .field("clients", &self.clients.len())
+            .field("now", &self.core.engine.now())
+            .field("end", &self.core.end)
+            .field("clients", &self.core.clients.len())
             .finish_non_exhaustive()
     }
 }
 
-impl<'s> Session<'s> {
+impl<'s> SessionCore<'s> {
     fn new(
         spec: &GpuSpec,
         jobs: Vec<JobSpec>,
@@ -872,7 +950,7 @@ impl<'s> Session<'s> {
                 c.stub = Some(ClientStub::new(transport));
             }
         }
-        Session {
+        let mut core = SessionCore {
             engine,
             metas,
             clients,
@@ -885,56 +963,25 @@ impl<'s> Session<'s> {
             pending_completions: Vec::new(),
             in_transit: Vec::new(),
             departures: 0,
-            observers: Vec::new(),
+            observing: false,
             device: 0,
             events_buf: Vec::new(),
             last_sample: None,
+            wheel: TimerWheel::new(),
+            dirty: Vec::new(),
+            lifecycle_epoch: 0,
+            notifications: 0,
+            departure_scans: Cell::new(0),
+            #[cfg(debug_assertions)]
+            wake_queries: Cell::new(0),
+        };
+        for i in 0..core.clients.len() {
+            core.sync_client_timers(i);
         }
+        core
     }
 
-    /// Registers an observer for this session's typed event stream (see
-    /// [`Colocation::observer`]). External drivers that build sessions via
-    /// [`Colocation::into_session`] can attach observers afterwards — the
-    /// multi-GPU [`Cluster`](crate::cluster::Cluster) does exactly this.
-    pub fn add_observer(&mut self, observer: SharedObserver) {
-        self.observers.push(observer);
-        for c in &mut self.clients {
-            c.observe = true;
-        }
-    }
-
-    /// Sets the device index stamped on every observation this session
-    /// delivers (0 by default; a cluster assigns its per-GPU indices).
-    pub fn set_device_index(&mut self, device: usize) {
-        self.device = device;
-    }
-
-    /// Delivers the observations buffered during a settle, in order.
-    fn flush_events(&mut self) {
-        if self.events_buf.is_empty() {
-            return;
-        }
-        let mut buf = std::mem::take(&mut self.events_buf);
-        for (at, ev) in buf.drain(..) {
-            for obs in &self.observers {
-                obs.borrow_mut().on_event(at, self.device, &ev);
-            }
-        }
-        self.events_buf = buf;
-    }
-
-    /// Current simulated time of this session's engine.
-    pub fn now(&self) -> SimTime {
-        self.engine.now()
-    }
-
-    /// Whether simulated time has reached the configured duration.
-    pub fn is_done(&self) -> bool {
-        self.engine.now() >= self.end
-    }
-
-    /// Name of the sharing system driving this session.
-    pub fn system_name(&self) -> &str {
+    fn system_name(&self) -> &str {
         match &self.system {
             SystemSlot::Borrowed(s) => s.name(),
             SystemSlot::Owned(b) => b.name(),
@@ -943,11 +990,10 @@ impl<'s> Session<'s> {
 
     /// Settles the current instant to a fixed point (see the module docs
     /// for the settling discipline). Observations produced while settling
-    /// (lifecycle edges, kernel dispatch/finish, request completions, an
-    /// engine counter sample when time advanced) are delivered to the
-    /// registered observers before this returns.
-    pub fn settle(&mut self) {
-        let observing = !self.observers.is_empty();
+    /// are *buffered* in `events_buf`; [`Session::settle`] (or the cluster
+    /// barrier loop) delivers them on the driving thread.
+    pub(crate) fn settle(&mut self) {
+        let observing = self.observing;
         let system: &mut dyn SharingSystem = match &mut self.system {
             SystemSlot::Borrowed(s) => &mut **s,
             SystemSlot::Owned(b) => b.as_mut(),
@@ -1005,6 +1051,11 @@ impl<'s> Session<'s> {
                             client.gap_until = Some(now + cost);
                         }
                     }
+                    if !client.timer_dirty {
+                        client.timer_dirty = true;
+                        self.dirty.push(i);
+                    }
+                    self.lifecycle_epoch += 1;
                     progressed = true;
                 }
                 if client.attached
@@ -1028,17 +1079,30 @@ impl<'s> Session<'s> {
                         ));
                     }
                     self.departures += 1;
+                    if !client.timer_dirty {
+                        client.timer_dirty = true;
+                        self.dirty.push(i);
+                    }
+                    self.lifecycle_epoch += 1;
                     progressed = true;
                 }
             }
             let clients = &self.clients;
-            self.in_transit
-                .retain(|&(_, c, _)| clients[c.0 as usize].attached);
+            let wheel = &mut self.wheel;
+            self.in_transit.retain(|&(_, c, _, tid)| {
+                if clients[c.0 as usize].attached {
+                    true
+                } else {
+                    wheel.cancel(tid);
+                    false
+                }
+            });
 
             // Launches whose interception cost has elapsed reach the system.
             let mut due = Vec::new();
-            self.in_transit.retain(|&(t, c, ref k)| {
+            self.in_transit.retain(|&(t, c, ref k, tid)| {
                 if t <= now {
+                    wheel.cancel(tid);
                     due.push((c, Arc::clone(k)));
                     false
                 } else {
@@ -1063,8 +1127,13 @@ impl<'s> Session<'s> {
                 if !client.attached {
                     continue;
                 }
+                let wake_inputs = (client.next_arrival, client.gap_until);
                 client.tick(now);
                 let kernel = client.advance(now, self.warmup);
+                if wake_inputs != (client.next_arrival, client.gap_until) && !client.timer_dirty {
+                    client.timer_dirty = true;
+                    self.dirty.push(i);
+                }
                 if observing {
                     for (arrival, latency) in client.fresh_requests.drain(..) {
                         self.events_buf.push((
@@ -1082,8 +1151,9 @@ impl<'s> Session<'s> {
                     match client.stub.as_mut() {
                         Some(stub) => {
                             let cost = stub.launch_burst();
+                            let tid = self.wheel.insert(now + cost, Wake::Launch);
                             self.in_transit
-                                .push((now + cost, ClientId(i as u32), kernel));
+                                .push((now + cost, ClientId(i as u32), kernel, tid));
                         }
                         None => {
                             if observing {
@@ -1110,22 +1180,123 @@ impl<'s> Session<'s> {
             let now = self.engine.now();
             if self.last_sample != Some(now) {
                 self.last_sample = Some(now);
+                let stats = self.engine.stats();
                 self.events_buf.push((
                     now,
                     Observation::EngineSample {
                         busy_thread_ns: self.engine.busy_thread_ns(),
                         total_thread_slots: self.engine.spec().total_thread_slots(),
+                        events_processed: stats.submitted
+                            + stats.completed
+                            + stats.preempted
+                            + stats.groups,
                     },
                 ));
             }
-            self.flush_events();
+        }
+        self.sync_timers();
+    }
+
+    /// Re-registers the wheel timers of every client whose wake-relevant
+    /// state changed during the settle, after advancing the wheel to the
+    /// current instant (timers that fired correspond to state the settle
+    /// just processed; re-syncing is what retires them).
+    fn sync_timers(&mut self) {
+        let now = self.engine.now();
+        for (_, wake) in self.wheel.advance_to(now) {
+            // Launch timers are cancelled when their kernel is delivered,
+            // so a due one only appears if its client detached first — in
+            // which case the launch was already dropped with it. A due
+            // client timer marks its owner for re-sync (normally a no-op:
+            // the edge that fired also marked it dirty).
+            if let Wake::Client(i) = wake {
+                let i = i as usize;
+                if !self.clients[i].timer_dirty {
+                    self.clients[i].timer_dirty = true;
+                    self.dirty.push(i);
+                }
+            }
+        }
+        while let Some(i) = self.dirty.pop() {
+            self.sync_client_timers(i);
         }
     }
 
-    /// The next instant anything interesting happens: an engine event, a
-    /// client lifecycle edge, a request arrival, a CPU gap or interception
-    /// cost expiring, or a system timer — capped at the end of the run.
-    pub fn next_wake(&self) -> SimTime {
+    /// Cancels and re-registers client `i`'s wake timers from its current
+    /// state: the next window edge when detached, the window close /
+    /// arrival / gap expiry when attached, nothing when retired.
+    fn sync_client_timers(&mut self, i: usize) {
+        let old = {
+            let c = &mut self.clients[i];
+            c.timer_dirty = false;
+            std::mem::take(&mut c.timers)
+        };
+        for id in [old.window, old.arrival, old.gap].into_iter().flatten() {
+            self.wheel.cancel(id);
+        }
+        let c = &self.clients[i];
+        if c.retired() {
+            return;
+        }
+        let (window, arrival, gap) = if c.attached {
+            (
+                c.window().and_then(|w| w.until),
+                c.next_arrival_time(),
+                c.gap_until,
+            )
+        } else {
+            (c.window().map(|w| w.from), None, None)
+        };
+        let wake = Wake::Client(i as u32);
+        self.clients[i].timers = ClientTimers {
+            window: window.map(|t| self.wheel.insert(t, wake)),
+            arrival: arrival.map(|t| self.wheel.insert(t, wake)),
+            gap: gap.map(|t| self.wheel.insert(t, wake)),
+        };
+    }
+
+    /// The next wake-up instant, answered by the timer wheel: the earliest
+    /// of the engine's next event, the wheel's next timer, a system timer,
+    /// and the end of the run. In debug builds the answer is cross-checked
+    /// against [`Self::next_wake_scan`].
+    pub(crate) fn next_wake(&self) -> SimTime {
+        let mut wake = self.end;
+        if let Some(t) = self.engine.next_event_time() {
+            wake = wake.min(t);
+        }
+        if let Some(t) = self.wheel.peek() {
+            wake = wake.min(t);
+        }
+        let timer = match &self.system {
+            SystemSlot::Borrowed(s) => s.next_timer(),
+            SystemSlot::Owned(b) => b.next_timer(),
+        };
+        if let Some(t) = timer {
+            wake = wake.min(t.max(self.engine.now()));
+        }
+        // Cross-check the wheel against the linear scan — every query at
+        // first, then on a stride: the scan is O(clients) per call, which
+        // turns big debug-build integration runs quadratic if done always.
+        #[cfg(debug_assertions)]
+        {
+            let n = self.wake_queries.get();
+            self.wake_queries.set(n.wrapping_add(1));
+            if n < 4096 || n.is_multiple_of(61) {
+                assert_eq!(
+                    wake,
+                    self.next_wake_scan(),
+                    "timer wheel and linear scan disagree on the next wake-up"
+                );
+            }
+        }
+        wake
+    }
+
+    /// The next wake-up instant, rediscovered by a linear scan over every
+    /// client and in-transit launch — the pre-wheel implementation, kept
+    /// as the reference the wheel is cross-checked against (and as the
+    /// baseline the `micro` bench compares the wheel to).
+    pub(crate) fn next_wake_scan(&self) -> SimTime {
         let mut wake = self.end;
         if let Some(t) = self.engine.next_event_time() {
             wake = wake.min(t);
@@ -1150,7 +1321,7 @@ impl<'s> Session<'s> {
                 wake = wake.min(t);
             }
         }
-        for &(t, _, _) in &self.in_transit {
+        for &(t, _, _, _) in &self.in_transit {
             wake = wake.min(t);
         }
         let timer = match &self.system {
@@ -1164,11 +1335,11 @@ impl<'s> Session<'s> {
     }
 
     /// Advances simulated time to at most `limit`, delivering any engine
-    /// notifications that fire to the system. Follow with
-    /// [`Session::settle`].
-    pub fn advance_to(&mut self, limit: SimTime) {
+    /// notifications that fire to the system. Follow with a settle.
+    pub(crate) fn advance_to(&mut self, limit: SimTime) {
         match self.engine.advance(limit) {
             Step::Notified(notes) => {
+                self.notifications += notes.len() as u64;
                 let system: &mut dyn SharingSystem = match &mut self.system {
                     SystemSlot::Borrowed(s) => &mut **s,
                     SystemSlot::Owned(b) => b.as_mut(),
@@ -1183,42 +1354,45 @@ impl<'s> Session<'s> {
         }
     }
 
-    /// Drives the session to the end of its configured duration.
-    pub fn run_to_end(&mut self) {
+    /// Advances the session to exactly `barrier` (settle → wake → advance,
+    /// repeated), buffering observations along the way. This is the
+    /// per-worker step of the cluster's barrier loop: sessions are
+    /// independent between barriers, so any number of cores can run this
+    /// concurrently.
+    pub(crate) fn run_until(&mut self, barrier: SimTime) {
         loop {
             self.settle();
-            if self.is_done() {
+            if self.engine.now() >= barrier {
                 break;
             }
-            let wake = self.next_wake();
+            let wake = self.next_wake().min(barrier);
             self.advance_to(wake);
         }
     }
 
-    /// Consumes the session and produces the run report. Slots vacated by
-    /// cross-device migration are omitted (the client reports from the
-    /// session it migrated to).
-    pub fn into_report(self) -> RunReport {
-        RunReport {
-            system: self.system_name().to_string(),
-            duration: self.duration,
-            clients: self
-                .clients
-                .iter()
-                .filter(|c| !c.migrated_away)
-                .map(|c| c.report(self.warmup, self.end))
-                .collect(),
+    /// When the next client departs (its open — or next-to-open — window
+    /// closes), or `SimTime::MAX` if none ever will. A linear scan; the
+    /// cluster caches the answer per `lifecycle_epoch` so idle devices are
+    /// never re-scanned.
+    pub(crate) fn next_departure(&self) -> SimTime {
+        self.departure_scans.set(self.departure_scans.get() + 1);
+        let mut t = SimTime::MAX;
+        for c in &self.clients {
+            if c.retired() {
+                continue;
+            }
+            if let Some(until) = c.window().and_then(|w| w.until) {
+                t = t.min(until);
+            }
         }
+        t
     }
 
-    /// Window-close detaches seen so far (migrations excluded).
-    pub fn departures(&self) -> u64 {
-        self.departures
+    pub(crate) fn lifecycle_epoch(&self) -> u64 {
+        self.lifecycle_epoch
     }
 
-    // ---- cluster-internal surface (crate-private) --------------------
-
-    pub(crate) fn client_len(&self) -> usize {
+    fn client_len(&self) -> usize {
         self.clients.len()
     }
 
@@ -1266,7 +1440,15 @@ impl<'s> Session<'s> {
             self.pending_completions.extend(ctx.take_completions());
         }
         self.pending_completions.retain(|&c| c != id);
-        self.in_transit.retain(|&(_, c, _)| c != id);
+        let wheel = &mut self.wheel;
+        self.in_transit.retain(|&(_, c, _, tid)| {
+            if c == id {
+                wheel.cancel(tid);
+                false
+            } else {
+                true
+            }
+        });
         let mut tombstone = Client::new(JobSpec::training(
             self.clients[i].spec.name.clone(),
             Vec::new(),
@@ -1274,6 +1456,17 @@ impl<'s> Session<'s> {
         tombstone.window_idx = tombstone.spec.windows.len();
         tombstone.migrated_away = true;
         let mut client = std::mem::replace(&mut self.clients[i], tombstone);
+        // Timer ids are meaningless outside this session's wheel: cancel
+        // them here so the destination session registers fresh ones.
+        let timers = std::mem::take(&mut client.timers);
+        for tid in [timers.window, timers.arrival, timers.gap]
+            .into_iter()
+            .flatten()
+        {
+            self.wheel.cancel(tid);
+        }
+        client.timer_dirty = false;
+        self.lifecycle_epoch += 1;
         // The kernel that was in flight (if any) was preempted with the
         // detach; the client re-issues it on the destination device.
         client.waiting_kernel = false;
@@ -1309,8 +1502,10 @@ impl<'s> Session<'s> {
             }
         }
         client.record_timelines = self.record_timelines;
-        client.observe = !self.observers.is_empty();
+        client.observe = self.observing;
         self.clients.push(client);
+        self.lifecycle_epoch += 1;
+        self.sync_client_timers(id.0 as usize);
         id
     }
 
@@ -1323,12 +1518,212 @@ impl<'s> Session<'s> {
         self.metas.push(meta_of(&job));
         let mut client = Client::new(job);
         client.record_timelines = self.record_timelines;
-        client.observe = !self.observers.is_empty();
+        client.observe = self.observing;
         if let InterceptMode::Virtualized(transport) = self.intercept {
             client.stub = Some(ClientStub::new(transport));
         }
         self.clients.push(client);
+        self.lifecycle_epoch += 1;
+        self.sync_client_timers(id.0 as usize);
         id
+    }
+}
+
+impl<'s> Session<'s> {
+    fn new(
+        spec: &GpuSpec,
+        jobs: Vec<JobSpec>,
+        system: SystemSlot<'s>,
+        cfg: &HarnessConfig,
+        intercept: InterceptMode,
+    ) -> Self {
+        Session {
+            core: SessionCore::new(spec, jobs, system, cfg, intercept),
+            observers: Vec::new(),
+            events_delivered: 0,
+        }
+    }
+
+    /// Registers an observer for this session's typed event stream (see
+    /// [`Colocation::observer`]). External drivers that build sessions via
+    /// [`Colocation::into_session`] can attach observers afterwards — the
+    /// multi-GPU [`Cluster`](crate::cluster::Cluster) does exactly this.
+    pub fn add_observer(&mut self, observer: SharedObserver) {
+        self.observers.push(observer);
+        self.core.observing = true;
+        for c in &mut self.core.clients {
+            c.observe = true;
+        }
+    }
+
+    /// Sets the device index stamped on every observation this session
+    /// delivers (0 by default; a cluster assigns its per-GPU indices).
+    pub fn set_device_index(&mut self, device: usize) {
+        self.core.device = device;
+    }
+
+    /// Delivers the observations the core buffered, in order. The cluster
+    /// calls this after every barrier, in device-index order, so observer
+    /// streams are identical no matter how many threads advanced the
+    /// cores.
+    pub(crate) fn flush_events(&mut self) {
+        if self.core.events_buf.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.core.events_buf);
+        self.events_delivered += buf.len() as u64;
+        for (at, ev) in buf.drain(..) {
+            for obs in &self.observers {
+                obs.borrow_mut().on_event(at, self.core.device, &ev);
+            }
+        }
+        self.core.events_buf = buf;
+    }
+
+    /// Mutable access to the advanceable ([`Send`]) part of the session —
+    /// what the cluster hands to its worker threads between barriers.
+    pub(crate) fn core_mut(&mut self) -> &mut SessionCore<'s> {
+        &mut self.core
+    }
+
+    /// Current simulated time of this session's engine.
+    pub fn now(&self) -> SimTime {
+        self.core.engine.now()
+    }
+
+    /// Whether simulated time has reached the configured duration.
+    pub fn is_done(&self) -> bool {
+        self.core.engine.now() >= self.core.end
+    }
+
+    /// Name of the sharing system driving this session.
+    pub fn system_name(&self) -> &str {
+        self.core.system_name()
+    }
+
+    /// Settles the current instant to a fixed point (see the module docs
+    /// for the settling discipline). Observations produced while settling
+    /// (lifecycle edges, kernel dispatch/finish, request completions, an
+    /// engine counter sample when time advanced) are delivered to the
+    /// registered observers before this returns.
+    pub fn settle(&mut self) {
+        self.core.settle();
+        self.flush_events();
+    }
+
+    /// The next instant anything interesting happens: an engine event, a
+    /// client lifecycle edge, a request arrival, a CPU gap or interception
+    /// cost expiring, or a system timer — capped at the end of the run.
+    ///
+    /// Answered in O(wheel levels) by the session's [`TimerWheel`]; debug
+    /// builds cross-check against [`Session::next_wake_scan`].
+    pub fn next_wake(&self) -> SimTime {
+        self.core.next_wake()
+    }
+
+    /// The linear-scan reference implementation of [`Session::next_wake`]:
+    /// O(clients) per call, kept as the debug-assert cross-check for the
+    /// timer wheel (and as the baseline the `micro` bench measures the
+    /// wheel against).
+    pub fn next_wake_scan(&self) -> SimTime {
+        self.core.next_wake_scan()
+    }
+
+    /// Advances simulated time to at most `limit`, delivering any engine
+    /// notifications that fire to the system. Follow with
+    /// [`Session::settle`].
+    pub fn advance_to(&mut self, limit: SimTime) {
+        self.core.advance_to(limit);
+    }
+
+    /// Drives the session to the end of its configured duration.
+    pub fn run_to_end(&mut self) {
+        loop {
+            self.settle();
+            if self.is_done() {
+                break;
+            }
+            let wake = self.next_wake();
+            self.advance_to(wake);
+        }
+    }
+
+    /// Consumes the session and produces the run report. Slots vacated by
+    /// cross-device migration are omitted (the client reports from the
+    /// session it migrated to).
+    pub fn into_report(self) -> RunReport {
+        let core = self.core;
+        RunReport {
+            system: core.system_name().to_string(),
+            duration: core.duration,
+            clients: core
+                .clients
+                .iter()
+                .filter(|c| !c.migrated_away)
+                .map(|c| c.report(core.warmup, core.end))
+                .collect(),
+        }
+    }
+
+    /// Window-close detaches seen so far (migrations excluded).
+    pub fn departures(&self) -> u64 {
+        self.core.departures
+    }
+
+    // ---- cluster-internal surface (crate-private) --------------------
+
+    pub(crate) fn client_len(&self) -> usize {
+        self.core.client_len()
+    }
+
+    pub(crate) fn client_active(&self, i: usize) -> bool {
+        self.core.client_active(i)
+    }
+
+    pub(crate) fn client_loadable(&self, i: usize, now: SimTime) -> bool {
+        self.core.client_loadable(i, now)
+    }
+
+    pub(crate) fn client_spec(&self, i: usize) -> &JobSpec {
+        self.core.client_spec(i)
+    }
+
+    pub(crate) fn client_is_tombstone(&self, i: usize) -> bool {
+        self.core.client_is_tombstone(i)
+    }
+
+    pub(crate) fn client_report_at(&self, i: usize) -> ClientReport {
+        self.core.client_report_at(i)
+    }
+
+    pub(crate) fn extract_client(&mut self, i: usize) -> (ClientMeta, Client) {
+        self.core.extract_client(i)
+    }
+
+    pub(crate) fn inject_client(&mut self, meta: ClientMeta, client: Client) -> ClientId {
+        self.core.inject_client(meta, client)
+    }
+
+    pub(crate) fn admit_job(&mut self, job: JobSpec) -> ClientId {
+        self.core.admit_job(job)
+    }
+
+    pub(crate) fn lifecycle_epoch(&self) -> u64 {
+        self.core.lifecycle_epoch()
+    }
+
+    pub(crate) fn next_departure(&self) -> SimTime {
+        self.core.next_departure()
+    }
+
+    /// This session's contribution to the fleet's host counters:
+    /// `(events delivered, notifications, departure scans)`.
+    pub(crate) fn host_counters(&self) -> (u64, u64, u64) {
+        (
+            self.events_delivered,
+            self.core.notifications,
+            self.core.departure_scans.get(),
+        )
     }
 }
 

@@ -17,8 +17,9 @@
 //! | priority-aware scheduler (Figure 4) | [`scheduler`] |
 //! | co-location experiment harness + metrics (§5.1) | [`harness`], [`metrics`] |
 //! | the `SharingSystem` interface baselines implement | [`system`] |
-//! | multi-GPU placement, lockstep drive, migration (beyond the paper) | [`cluster`] |
+//! | multi-GPU placement, barrier-parallel drive, migration (beyond the paper) | [`cluster`] |
 //! | typed event stream, observers, runtime load signals (beyond the paper) | [`events`] |
+//! | hierarchical timer wheel behind `Session::next_wake` (beyond the paper) | [`timewheel`] |
 //!
 //! ## Quickstart
 //!
@@ -73,6 +74,7 @@ pub mod metrics;
 pub mod profiler;
 pub mod scheduler;
 pub mod system;
+pub mod timewheel;
 pub mod transform;
 
 pub use api::{ApiCall, ClientStub, InterceptStats, Transport};
@@ -90,6 +92,7 @@ pub use harness::{
     run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, SessionEvent,
     WorkloadOp,
 };
-pub use metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
+pub use metrics::{ClientReport, HostStats, LatencyRecorder, RunReport, Windowed};
 pub use scheduler::{TallyConfig, TallySystem};
 pub use system::{ClientMeta, Ctx, Passthrough, SharingSystem};
+pub use timewheel::{TimerId, TimerWheel};

@@ -265,6 +265,41 @@ impl RunReport {
     }
 }
 
+/// Host-side (wall-clock) execution counters for a cluster run.
+///
+/// These describe how the *simulator itself* performed, not the simulated
+/// GPUs: how many barriers the parallel drive executed, how long the
+/// advancement phases took on the host, and how much simulation work was
+/// processed. They surface in benches as `host_*` metrics — tracked in
+/// the trajectory, never gated, because wall-clock varies by machine.
+///
+/// All fields except the `*_ns` wall-clock timings are deterministic
+/// functions of the workload; the timings depend on the machine and the
+/// thread count. `HostStats` is deliberately excluded from
+/// [`ClusterReport`](crate::cluster::ClusterReport)'s `Debug` output so
+/// that the report's debug string stays a byte-identical determinism
+/// fingerprint across thread counts and hosts.
+#[derive(Clone, Debug, Default)]
+pub struct HostStats {
+    /// Worker threads used for device advancement.
+    pub threads: usize,
+    /// Barriers executed by the cluster drive loop.
+    pub barriers: u64,
+    /// Total wall-clock nanoseconds spent in parallel advancement phases.
+    pub advance_ns: u64,
+    /// Longest single advancement phase, wall-clock nanoseconds.
+    pub max_barrier_ns: u64,
+    /// Observations delivered to observers, fleet-wide (deterministic).
+    pub events: u64,
+    /// Engine→system notifications delivered, fleet-wide (deterministic).
+    pub notifications: u64,
+    /// Linear next-departure scans performed, fleet-wide (deterministic).
+    /// The fleet wheel re-scans a device only when its client lifecycle
+    /// changed, so this stays near O(devices + lifecycle edges) instead
+    /// of O(barriers × devices).
+    pub departure_scans: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

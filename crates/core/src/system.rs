@@ -98,7 +98,13 @@ impl<'a> Ctx<'a> {
 /// * [`SharingSystem::poll`] runs after each batch of deliveries and
 ///   client-program advances, and at every [`SharingSystem::next_timer`]
 ///   expiry — all scheduling decisions can be confined there.
-pub trait SharingSystem {
+///
+/// Systems must be [`Send`]: a multi-GPU
+/// [`Cluster`](crate::cluster::Cluster) advances each device's session on
+/// a worker thread between barriers, carrying the system with it. A
+/// system is never *shared* between threads (no `Sync` needed) — it just
+/// has to be movable, so keep `Rc`/`RefCell` out of system state.
+pub trait SharingSystem: Send {
     /// Short system name (used in reports, e.g. `"tally"`, `"mps"`).
     fn name(&self) -> &str;
 

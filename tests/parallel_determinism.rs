@@ -1,0 +1,258 @@
+//! Parallel-advancement determinism suite: a [`Cluster`] report — and the
+//! full fleet-wide observer stream behind it — must be byte-identical for
+//! every worker-thread count, on every placement policy, for both a
+//! statically placed mix and a churny arrival-driven trace.
+//!
+//! The barrier loop (see `tally_core::cluster` module docs) buys this by
+//! construction: threads only parallelize the *within-barrier* device
+//! advancement, and every cross-device effect is applied in device-index
+//! order on the driving thread. These tests are the contract's teeth.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tally::prelude::*;
+use tally::workloads::mixes;
+
+/// Captures every fleet observation as a rendered line, preserving
+/// delivery order — the strictest cheap fingerprint of the event stream.
+///
+/// `KernelId` values are masked out: they come from a process-global
+/// allocator, so two runs in the same process see different offsets even
+/// though the streams are otherwise identical.
+#[derive(Default)]
+struct Collector(Vec<String>);
+
+fn mask_kernel_ids(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(pos) = rest.find("KernelId(") {
+        let tail = &rest[pos + "KernelId(".len()..];
+        let close = tail.find(')').expect("unclosed KernelId");
+        out.push_str(&rest[..pos]);
+        out.push_str("KernelId(#)");
+        rest = &tail[close + 1..];
+    }
+    out.push_str(rest);
+    out
+}
+
+impl SessionObserver for Collector {
+    fn on_event(&mut self, at: SimTime, device: usize, event: &Observation) {
+        self.0
+            .push(mask_kernel_ids(&format!("{at} d{device} {event:?}")));
+    }
+}
+
+fn cfg(secs: u64) -> HarnessConfig {
+    HarnessConfig {
+        duration: SimSpan::from_secs(secs),
+        warmup: SimSpan::from_millis(200),
+        seed: 11,
+        jitter: 0.0,
+        record_timelines: false,
+    }
+}
+
+const POLICIES: [&str; 3] = ["round-robin", "least-loaded", "load-aware"];
+
+fn with_policy(cluster: Cluster, policy: &str) -> Cluster {
+    match policy {
+        "round-robin" => cluster.policy(RoundRobin::default()),
+        "least-loaded" => cluster.policy(LeastLoaded),
+        "load-aware" => cluster.policy(LoadAware::default()),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// Report debug string + full observer stream for the phase-shifted mix.
+fn run_phase_shifted(policy: &str, threads: usize) -> (String, Vec<String>) {
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let events = Rc::new(RefCell::new(Collector::default()));
+    let jobs = mixes::phase_shifted(&spec, SimSpan::from_millis(500), c.duration, 0.5);
+    let report = with_policy(
+        Cluster::new()
+            .devices(2, spec)
+            .clients(jobs)
+            .rebalance_every(SimSpan::from_millis(250))
+            .observer(events.clone())
+            .threads(threads)
+            .config(c),
+        policy,
+    )
+    .run();
+    let stream = events.borrow().0.clone();
+    (format!("{report:?}"), stream)
+}
+
+/// Report debug string + observer stream for a generated churn trace with
+/// 200+ distinct clients arriving mid-run. Short stays and light models
+/// keep the *resident* population modest while every client still runs
+/// through the attach → work → depart lifecycle.
+fn run_churn_trace(policy: &str, threads: usize) -> (String, Vec<String>) {
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let gen = TraceGen {
+        duration: c.duration,
+        seed: 23,
+        rate: 60.0,
+        burstiness: 0.3,
+        window: SimSpan::from_millis(500),
+        mix: vec![
+            TraceMix {
+                job: TraceJob::Train(TrainModel::WhisperV3),
+                weight: 0.7,
+                mean_service: SimSpan::from_millis(120),
+                rearrive: 0.2,
+                mean_gap: SimSpan::from_secs(1),
+            },
+            TraceMix {
+                job: TraceJob::Infer {
+                    model: InferModel::Bert,
+                    load: 0.2,
+                    seed: 29,
+                },
+                weight: 0.3,
+                mean_service: SimSpan::from_millis(150),
+                rearrive: 0.1,
+                mean_gap: SimSpan::from_secs(1),
+            },
+        ],
+    };
+    let trace = ArrivalTrace::generate(&gen);
+    assert!(
+        trace.keys().count() >= 200,
+        "scenario needs a 200-client trace, got {}",
+        trace.keys().count()
+    );
+    let events = Rc::new(RefCell::new(Collector::default()));
+    let report = with_policy(
+        Cluster::new()
+            .devices(4, spec.clone())
+            .trace(trace.session_events(&spec, c.duration))
+            .expect("valid trace")
+            .observer(events.clone())
+            .threads(threads)
+            .config(c),
+        policy,
+    )
+    .run();
+    let stream = events.borrow().0.clone();
+    (format!("{report:?}"), stream)
+}
+
+#[test]
+fn phase_shifted_reports_are_identical_for_any_thread_count() {
+    for policy in POLICIES {
+        let (baseline, baseline_events) = run_phase_shifted(policy, 1);
+        for threads in [2usize, 4] {
+            let (report, events) = run_phase_shifted(policy, threads);
+            assert_eq!(
+                baseline, report,
+                "{policy}: report diverged between threads=1 and threads={threads}"
+            );
+            assert_eq!(
+                baseline_events, events,
+                "{policy}: observer stream diverged between threads=1 and threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_shifted_scenario_actually_migrates() {
+    // The determinism claim must cover migrations: the load-aware policy
+    // shuttles trainers at every phase flip on this mix.
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let jobs = mixes::phase_shifted(&spec, SimSpan::from_millis(500), c.duration, 0.5);
+    let report = Cluster::new()
+        .devices(2, spec)
+        .clients(jobs)
+        .rebalance_every(SimSpan::from_millis(250))
+        .policy(LoadAware::default())
+        .threads(2)
+        .config(c)
+        .run();
+    assert!(report.migrations > 0, "scenario must exercise migration");
+}
+
+#[test]
+fn churn_trace_reports_are_identical_for_any_thread_count() {
+    for policy in POLICIES {
+        let (baseline, baseline_events) = run_churn_trace(policy, 1);
+        for threads in [2usize, 4] {
+            let (report, events) = run_churn_trace(policy, threads);
+            assert_eq!(
+                baseline, report,
+                "{policy}: report diverged between threads=1 and threads={threads}"
+            );
+            assert_eq!(
+                baseline_events, events,
+                "{policy}: observer stream diverged between threads=1 and threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn idle_devices_never_force_full_fleet_departure_scans() {
+    // One client cycles through 20 activity windows on its device while
+    // seven single-trainer devices sit in steady state. Forecasting the
+    // fleet's next departure by folding over every device at every barrier
+    // would cost barriers x devices scans; the epoch-gated fleet timer
+    // wheel re-scans a session only when its client lifecycle actually
+    // changed, so idle devices contribute O(1) scans for the whole run.
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let mut windows = Vec::new();
+    for w in 0..20u64 {
+        let from = SimTime::from_millis(100 + 200 * w);
+        windows.push(ActivityWindow::new(
+            from,
+            Some(from + SimSpan::from_millis(100)),
+        ));
+    }
+    let mut jobs = vec![TrainModel::PointNet
+        .job(&spec)
+        .with_client_key("churner")
+        .with_schedule(windows)];
+    for i in 0..7 {
+        jobs.push(
+            TrainModel::Bert
+                .job(&spec)
+                .with_client_key(format!("steady-{i}")),
+        );
+    }
+    let report = Cluster::new()
+        .devices(8, spec)
+        .clients(jobs)
+        .policy(RoundRobin::default())
+        .threads(1)
+        .config(c)
+        .run();
+    let host = &report.host;
+    // Every one of the 20 window closes is a departure the loop must
+    // barrier on (attach edges replay inside the session, no barrier).
+    assert!(
+        host.barriers >= 20,
+        "expected a barrier per window close, got {}",
+        host.barriers
+    );
+    // The naive fold costs one scan per device per barrier.
+    let naive = host.barriers * report.devices.len() as u64;
+    assert!(
+        host.departure_scans * 4 <= naive,
+        "departure scans ({}) scale like the naive barriers x devices fold ({naive})",
+        host.departure_scans
+    );
+    // And in absolute terms: the churner's ~40 lifecycle edges (plus its
+    // post-detach migration passes) dominate; each steady device is
+    // scanned O(1) times, not once per barrier.
+    assert!(
+        host.departure_scans <= 200,
+        "idle devices are being re-scanned: {} departure scans",
+        host.departure_scans
+    );
+}
