@@ -36,6 +36,7 @@ use tally_bench::{PROFILE_ENV, THREADS_ENV};
 /// Every JSON-emitting bench target and its trajectory file.
 const BENCHES: &[(&str, &str)] = &[
     ("fig_cluster", "BENCH_cluster.json"),
+    ("fig_saturation", "BENCH_saturation.json"),
     ("fig_turnaround", "BENCH_turnaround.json"),
     ("fig5_end_to_end", "BENCH_fig5.json"),
     ("fig6a_load_sensitivity", "BENCH_fig6a.json"),

@@ -83,13 +83,13 @@
 //! assert_ne!(report.clients[0].device, report.clients[1].device);
 //! ```
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
-use crate::events::{LoadMonitor, Observation, SharedObserver, TraceError};
+use crate::admission::AdmissionPolicy;
+use crate::events::{LoadMonitor, Observation, SharedObserver, SharedSyncObserver, TraceError};
 use crate::harness::{
     compile_trace, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session,
     SessionEvent,
@@ -395,9 +395,15 @@ pub struct Cluster {
     migrate_on_detach: bool,
     rebalance_every: Option<SimSpan>,
     observers: Vec<SharedObserver>,
+    sync_observers: Vec<SharedSyncObserver>,
+    admission_factory: Option<AdmissionFactory>,
     monitor_window: SimSpan,
     threads: Option<usize>,
 }
+
+/// Per-device constructor for [`AdmissionPolicy`] instances, as installed
+/// by [`Cluster::admission_with`].
+type AdmissionFactory = Box<dyn Fn(usize) -> Box<dyn AdmissionPolicy>>;
 
 impl fmt::Debug for Cluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -434,6 +440,8 @@ impl Cluster {
             migrate_on_detach: true,
             rebalance_every: None,
             observers: Vec::new(),
+            sync_observers: Vec::new(),
+            admission_factory: None,
             monitor_window: SimSpan::from_millis(100),
             threads: None,
         }
@@ -493,6 +501,32 @@ impl Cluster {
     /// clone to read the observer's state back after [`Cluster::run`].
     pub fn observer(mut self, observer: SharedObserver) -> Self {
         self.observers.push(observer);
+        self
+    }
+
+    /// Registers a thread-safe observer for the fleet-wide event stream
+    /// (see [`SharedSyncObserver`]). Unlike [`Cluster::observer`], sync
+    /// observers are delivered to *directly from the worker threads* as
+    /// sessions settle — no per-barrier ordered flush on the driving
+    /// thread. Per-device event order is still exact; the interleaving
+    /// *across* devices follows worker execution order, so only
+    /// per-device (or commutative) state is deterministic. Registering
+    /// any `Rc` observer switches everyone back to the ordered flush.
+    pub fn sync_observer(mut self, observer: SharedSyncObserver) -> Self {
+        self.sync_observers.push(observer);
+        self
+    }
+
+    /// Installs an admission policy on every device, built from its
+    /// device index (see [`AdmissionPolicy`]). Each session feeds its
+    /// policy the device-local observation stream and consults it before
+    /// enqueuing each best-effort request; shed/deferred counts surface
+    /// in the per-client reports ([`ClusterReport::shed`]).
+    pub fn admission_with(
+        mut self,
+        factory: impl Fn(usize) -> Box<dyn AdmissionPolicy> + 'static,
+    ) -> Self {
+        self.admission_factory = Some(Box::new(factory));
         self
     }
 
@@ -598,6 +632,8 @@ impl Cluster {
             migrate_on_detach,
             rebalance_every,
             observers,
+            sync_observers,
+            admission_factory,
             monitor_window,
             threads,
         } = self;
@@ -607,11 +643,15 @@ impl Cluster {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
 
-        // The built-in load monitor feeds the runtime DeviceLoad signals;
-        // user observers ride the same per-session streams.
-        let monitor = LoadMonitor::shared(monitor_window);
-        let mut all_observers: Vec<SharedObserver> = vec![monitor.clone()];
-        all_observers.extend(observers);
+        // The built-in load monitor feeds the runtime DeviceLoad signals.
+        // It is a *sync* observer: its state is partitioned per device, so
+        // worker threads can feed it directly as they settle — the ordered
+        // per-barrier flush only switches on when an `Rc` observer needs
+        // it. User observers of either kind ride the same streams.
+        let monitor = LoadMonitor::shared_sync(monitor_window);
+        let all_observers: Vec<SharedObserver> = observers;
+        let mut all_sync: Vec<SharedSyncObserver> = vec![monitor.clone()];
+        all_sync.extend(sync_observers);
 
         // Give every explicitly added client a stable key (jobs may repeat
         // a name); trace clients carry their event key.
@@ -675,6 +715,12 @@ impl Cluster {
                 for obs in &all_observers {
                     session.add_observer(obs.clone());
                 }
+                for obs in &all_sync {
+                    session.add_sync_observer(obs.clone());
+                }
+                if let Some(factory) = &admission_factory {
+                    session.set_admission(factory(d));
+                }
                 session
             })
             .collect();
@@ -690,13 +736,18 @@ impl Cluster {
             threads,
             ..HostStats::default()
         };
-        // Fleet-level departure forecast: one timer per device holding its
-        // session's next window-close. A device's forecast is recomputed
+        // Fleet-level wake forecast, all in one wheel: one departure timer
+        // per device holding its session's next window-close (recomputed
         // only when its lifecycle epoch changed, so idle devices are never
-        // re-scanned (see `HostStats::departure_scans`).
-        let mut fleet_wheel: TimerWheel<usize> = TimerWheel::new();
+        // re-scanned — see `HostStats::departure_scans`), plus the next
+        // rebalance tick and the next pending-trace-client injection. The
+        // barrier is then `end.min(wheel.peek())` instead of re-min-folding
+        // every source on every iteration.
+        let mut fleet_wheel: TimerWheel<FleetWake> = TimerWheel::new();
         let mut dep_timers: Vec<Option<TimerId>> = vec![None; n];
         let mut dep_epochs: Vec<Option<u64>> = vec![None; n];
+        let mut reb_timer: Option<(SimTime, TimerId)> = None;
+        let mut inj_timer: Option<(SimTime, TimerId)> = None;
 
         // Barrier drive: inject trace clients whose first arrival is due,
         // settle everyone, migrate if triggered — all in device-index
@@ -753,18 +804,19 @@ impl Cluster {
                     now,
                     &monitor,
                     &all_observers,
+                    &all_sync,
                     &mut per_client_migrations,
                     &mut migrations_in,
                     &mut migrations_out,
                     &mut migrations,
                 );
-                for obs in &all_observers {
-                    obs.borrow_mut().on_event(
-                        now,
-                        crate::events::FLEET_DEVICE,
-                        &Observation::Rebalance { moved },
-                    );
-                }
+                fleet_emit(
+                    &all_observers,
+                    &all_sync,
+                    now,
+                    crate::events::FLEET_DEVICE,
+                    &Observation::Rebalance { moved },
+                );
                 if moved > 0 {
                     for s in sessions.iter_mut() {
                         s.settle();
@@ -778,19 +830,20 @@ impl Cluster {
 
             // The next interaction point. Session-local wake-ups (kernel
             // finishes, arrivals, window edges) deliberately do NOT bound
-            // it — each worker handles its own between barriers.
-            let mut barrier = end;
-            if let Some(t) = next_rebalance {
-                barrier = barrier.min(t);
-            }
-            if let Some(&k) = pending.front() {
-                barrier = barrier.min(jobs[k].first_active());
+            // it — each worker handles its own between barriers. Fired
+            // timers clear their registration slot so the re-registration
+            // checks below see them as gone.
+            for (_, wake) in fleet_wheel.advance_to(now) {
+                match wake {
+                    FleetWake::Departure(d) => dep_timers[d] = None,
+                    FleetWake::Rebalance => reb_timer = None,
+                    FleetWake::Inject => inj_timer = None,
+                }
             }
             if migrate_on_detach {
                 // Departures trigger migration passes, so the next one
                 // anywhere in the fleet is an interaction point. Refresh
                 // only the devices whose lifecycle changed.
-                fleet_wheel.advance_to(now);
                 for (d, s) in sessions.iter().enumerate() {
                     let epoch = Some(s.lifecycle_epoch());
                     if dep_epochs[d] == epoch {
@@ -802,12 +855,30 @@ impl Cluster {
                     }
                     let at = s.next_departure();
                     if at < SimTime::MAX {
-                        dep_timers[d] = Some(fleet_wheel.insert(at, d));
+                        dep_timers[d] = Some(fleet_wheel.insert(at, FleetWake::Departure(d)));
                     }
                 }
-                if let Some(t) = fleet_wheel.peek() {
-                    barrier = barrier.min(t);
+            }
+            if reb_timer.map(|(t, _)| t) != next_rebalance {
+                if let Some((_, tid)) = reb_timer.take() {
+                    fleet_wheel.cancel(tid);
                 }
+                if let Some(t) = next_rebalance {
+                    reb_timer = Some((t, fleet_wheel.insert(t, FleetWake::Rebalance)));
+                }
+            }
+            let next_injection = pending.front().map(|&k| jobs[k].first_active());
+            if inj_timer.map(|(t, _)| t) != next_injection {
+                if let Some((_, tid)) = inj_timer.take() {
+                    fleet_wheel.cancel(tid);
+                }
+                if let Some(t) = next_injection {
+                    inj_timer = Some((t, fleet_wheel.insert(t, FleetWake::Inject)));
+                }
+            }
+            let mut barrier = end;
+            if let Some(t) = fleet_wheel.peek() {
+                barrier = barrier.min(t);
             }
             debug_assert!(
                 barrier > now || barrier >= end,
@@ -931,6 +1002,38 @@ fn advance_fleet(sessions: &mut [Session<'static>], barrier: SimTime, threads: u
     });
 }
 
+/// Payload of a fleet-level wake timer: which registration slot the
+/// fired timer should clear so the barrier loop re-registers it.
+#[derive(Clone, Copy)]
+enum FleetWake {
+    /// Device's next client departure (window close).
+    Departure(usize),
+    /// The next periodic rebalance tick.
+    Rebalance,
+    /// The next pending trace client's first arrival.
+    Inject,
+}
+
+/// Delivers a fleet-level observation (stamped `device`) to both observer
+/// kinds — these are produced on the driving thread between barriers, so
+/// sync observers see them in the same deterministic order `Rc` ones do.
+fn fleet_emit(
+    observers: &[SharedObserver],
+    sync: &[SharedSyncObserver],
+    at: SimTime,
+    device: usize,
+    ev: &Observation,
+) {
+    for obs in observers {
+        obs.borrow_mut().on_event(at, device, ev);
+    }
+    for obs in sync {
+        obs.lock()
+            .expect("sync observer poisoned")
+            .on_event(at, device, ev);
+    }
+}
+
 /// Load snapshot of a device from an iterator of resident jobs. Runtime
 /// signals start at zero; [`fill_runtime_signals`] copies them in from the
 /// cluster's monitor.
@@ -963,8 +1066,8 @@ fn load_of<'j>(
 }
 
 /// Copies the monitor's live signals into a [`DeviceLoad`] snapshot.
-fn fill_runtime_signals(load: &mut DeviceLoad, monitor: &Rc<RefCell<LoadMonitor>>, now: SimTime) {
-    let m = monitor.borrow();
+fn fill_runtime_signals(load: &mut DeviceLoad, monitor: &Arc<Mutex<LoadMonitor>>, now: SimTime) {
+    let m = monitor.lock().expect("load monitor poisoned");
     load.queue_depth = m.queue_depth(load.device);
     load.recent_occupancy = m.recent_occupancy(load.device, now);
     load.hp_pressure = m.hp_pressure(load.device, now);
@@ -982,7 +1085,7 @@ fn place_pending(
     jobs: &[JobSpec],
     k: usize,
     now: SimTime,
-    monitor: &Rc<RefCell<LoadMonitor>>,
+    monitor: &Arc<Mutex<LoadMonitor>>,
     placements: &mut [Option<usize>],
     locations: &mut [Option<(usize, usize)>],
 ) {
@@ -1021,8 +1124,9 @@ fn rebalance_pass(
     locations: &mut [Option<(usize, usize)>],
     jobs: &[JobSpec],
     now: SimTime,
-    monitor: &Rc<RefCell<LoadMonitor>>,
+    monitor: &Arc<Mutex<LoadMonitor>>,
     observers: &[SharedObserver],
+    sync: &[SharedSyncObserver],
     per_client_migrations: &mut [u32],
     migrations_in: &mut [u64],
     migrations_out: &mut [u64],
@@ -1073,9 +1177,7 @@ fn rebalance_pass(
             from_client: tally_gpu::ClientId(slot as u32),
             to_client: new_id,
         };
-        for obs in observers {
-            obs.borrow_mut().on_event(now, d, &ev);
-        }
+        fleet_emit(observers, sync, now, d, &ev);
     }
     moved
 }
@@ -1160,6 +1262,17 @@ impl ClusterReport {
     /// The report of the client with the given stable key.
     pub fn client(&self, key: &str) -> Option<&ClusterClientReport> {
         self.clients.iter().find(|c| c.key == key)
+    }
+
+    /// Total requests shed by admission policies across the fleet (see
+    /// [`Cluster::admission_with`]).
+    pub fn shed(&self) -> u64 {
+        self.clients.iter().map(|c| c.report.shed).sum()
+    }
+
+    /// Total intake pauses imposed by admission policies across the fleet.
+    pub fn deferred(&self) -> u64 {
+        self.clients.iter().map(|c| c.report.deferred).sum()
     }
 }
 

@@ -34,7 +34,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use tally_gpu::{ClientId, KernelDesc, Priority, SimSpan, SimTime};
 
@@ -169,6 +169,15 @@ pub enum Observation {
         /// Arrival-to-completion latency.
         latency: SimSpan,
     },
+    /// An [admission policy](crate::admission::AdmissionPolicy) rejected
+    /// an arriving request before it entered the client's queue. The
+    /// request is never served and never counts toward latency.
+    RequestShed {
+        /// Session-local client id.
+        client: ClientId,
+        /// When the rejected request arrived.
+        arrival: SimTime,
+    },
     /// A client's next logical kernel was handed to the sharing system.
     KernelDispatched {
         /// Session-local client id.
@@ -274,6 +283,19 @@ pub trait SessionObserver {
 /// A shared observer handle: the session holds one clone, the caller keeps
 /// another to read the observer's state back after the run.
 pub type SharedObserver = Rc<RefCell<dyn SessionObserver>>;
+
+/// A thread-safe shared observer handle.
+///
+/// Sync observers receive each device's observations in per-device
+/// order, but when a [`Cluster`](crate::cluster::Cluster) advances with
+/// multiple worker threads and *only* sync observers are registered,
+/// events are delivered directly from the workers — so the interleaving
+/// *across* devices is not deterministic. Observers whose state is
+/// partitioned per device (like [`LoadMonitor`]) see identical
+/// query-time state either way; order-sensitive observers should use the
+/// `Rc`-based [`SharedObserver`] path, which keeps the ordered
+/// device-index flush.
+pub type SharedSyncObserver = Arc<Mutex<dyn SessionObserver + Send>>;
 
 /// Per-device live load signals derived from the observation stream — the
 /// runtime half of [`DeviceLoad`](crate::cluster::DeviceLoad).
@@ -412,6 +434,15 @@ impl LoadMonitor {
         Rc::new(RefCell::new(LoadMonitor::new(window)))
     }
 
+    /// A thread-safe shared handle to a fresh monitor (see
+    /// [`SharedSyncObserver`]). The monitor's state is partitioned per
+    /// device and each device's events arrive in per-device order, so
+    /// direct worker-thread delivery yields the same query-time signals
+    /// as the ordered flush.
+    pub fn shared_sync(window: SimSpan) -> Arc<Mutex<LoadMonitor>> {
+        Arc::new(Mutex::new(LoadMonitor::new(window)))
+    }
+
     /// The averaging window.
     pub fn window(&self) -> SimSpan {
         self.window
@@ -513,7 +544,9 @@ impl SessionObserver for LoadMonitor {
                     src.set_outstanding(at, window, from_client.0, false);
                 }
             }
-            Observation::RequestCompleted { .. } | Observation::Rebalance { .. } => {}
+            Observation::RequestCompleted { .. }
+            | Observation::RequestShed { .. }
+            | Observation::Rebalance { .. } => {}
         }
     }
 }

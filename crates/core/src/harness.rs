@@ -46,8 +46,9 @@ use std::sync::Arc;
 
 use tally_gpu::{ClientId, Engine, GpuSpec, KernelDesc, Priority, SimSpan, SimTime, Step};
 
+use crate::admission::{AdmissionPolicy, AdmissionVerdict};
 use crate::api::{ClientStub, Transport};
-use crate::events::{ClientEvent, Observation, SharedObserver, TraceError};
+use crate::events::{ClientEvent, Observation, SharedObserver, SharedSyncObserver, TraceError};
 use crate::metrics::{ClientReport, LatencyRecorder, RunReport};
 use crate::system::{ClientMeta, Ctx, Passthrough, SharingSystem};
 use crate::timewheel::{TimerId, TimerWheel};
@@ -427,10 +428,19 @@ pub(crate) struct Client {
     record_timelines: bool,
     timed_latencies: Vec<(SimTime, SimSpan)>,
     op_times: Vec<SimTime>,
-    /// Whether the session has observers: when set, completed requests are
-    /// buffered in `fresh_requests` for the observation stream.
+    /// Whether the session has observers (or an admission policy): when
+    /// set, completed requests are buffered in `fresh_requests` for the
+    /// observation stream, and shed arrivals in `fresh_sheds`.
     observe: bool,
     fresh_requests: Vec<(SimTime, SimSpan)>,
+    fresh_sheds: Vec<SimTime>,
+    /// Best-effort requests rejected by the admission policy.
+    shed: u64,
+    /// Admission verdicts that paused this client's intake.
+    deferred: u64,
+    /// Intake paused until this instant (an [`AdmissionVerdict::Defer`]);
+    /// pending arrivals are re-offered once it expires.
+    intake_hold: Option<SimTime>,
     /// Wake-up timers currently registered for this client in the
     /// session's wheel. Cleared on migration (timer ids are per-wheel).
     timers: ClientTimers,
@@ -476,6 +486,10 @@ impl Client {
             op_times: Vec::new(),
             observe: false,
             fresh_requests: Vec::new(),
+            fresh_sheds: Vec::new(),
+            shed: 0,
+            deferred: 0,
+            intake_hold: None,
             timers: ClientTimers::default(),
             timer_dirty: false,
         }
@@ -488,19 +502,60 @@ impl Client {
         }
     }
 
+    /// When the next request can enter the queue: its arrival instant, or
+    /// the intake-hold expiry when an admission deferral pushed it later.
     fn next_arrival_time(&self) -> Option<SimTime> {
         match &self.spec.kind {
             JobKind::Training { .. } => None,
-            JobKind::Inference { arrivals, .. } => arrivals.get(self.next_arrival).copied(),
+            JobKind::Inference { arrivals, .. } => arrivals
+                .get(self.next_arrival)
+                .map(|&t| self.intake_hold.map_or(t, |h| t.max(h))),
         }
     }
 
-    /// Accepts due arrivals and releases an expired CPU gap.
-    fn tick(&mut self, now: SimTime) {
-        if let JobKind::Inference { arrivals, .. } = &self.spec.kind {
-            while arrivals.get(self.next_arrival).is_some_and(|&t| t <= now) {
-                self.queue.push_back(arrivals[self.next_arrival]);
-                self.next_arrival += 1;
+    /// Accepts due arrivals (consulting the admission policy for
+    /// best-effort requests) and releases an expired CPU gap or intake
+    /// hold.
+    fn tick(
+        &mut self,
+        now: SimTime,
+        mut admission: Option<&mut (dyn AdmissionPolicy + 'static)>,
+        id: ClientId,
+    ) {
+        if self.intake_hold.is_some_and(|h| h <= now) {
+            self.intake_hold = None;
+        }
+        let gate = !self.spec.priority.is_high();
+        if self.intake_hold.is_none() {
+            if let JobKind::Inference { arrivals, .. } = &self.spec.kind {
+                while arrivals.get(self.next_arrival).is_some_and(|&t| t <= now) {
+                    let arrival = arrivals[self.next_arrival];
+                    if gate {
+                        if let Some(policy) = admission.as_deref_mut() {
+                            match policy.admit(now, id, self.queue.len()) {
+                                AdmissionVerdict::Admit => {}
+                                AdmissionVerdict::Shed => {
+                                    self.shed += 1;
+                                    if self.observe {
+                                        self.fresh_sheds.push(arrival);
+                                    }
+                                    self.next_arrival += 1;
+                                    continue;
+                                }
+                                AdmissionVerdict::Defer(pause) => {
+                                    self.deferred += 1;
+                                    // A zero pause would re-offer at this
+                                    // same instant forever.
+                                    self.intake_hold =
+                                        Some(now + pause.max(SimSpan::from_nanos(1)));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    self.queue.push_back(arrival);
+                    self.next_arrival += 1;
+                }
             }
         }
         if self.gap_until.is_some_and(|t| t <= now) {
@@ -614,6 +669,8 @@ impl Client {
             iterations: self.iterations,
             kernels: self.kernels,
             attachments: self.attachments,
+            shed: self.shed,
+            deferred: self.deferred,
             latency: self.latency.clone(),
             throughput,
             intercept: self
@@ -672,6 +729,8 @@ pub struct Colocation<'s> {
     cfg: HarnessConfig,
     intercept: InterceptMode,
     observers: Vec<SharedObserver>,
+    sync_observers: Vec<SharedSyncObserver>,
+    admission: Option<Box<dyn AdmissionPolicy>>,
 }
 
 impl fmt::Debug for Colocation<'_> {
@@ -695,6 +754,8 @@ impl<'s> Colocation<'s> {
             cfg: HarnessConfig::default(),
             intercept: InterceptMode::Native,
             observers: Vec::new(),
+            sync_observers: Vec::new(),
+            admission: None,
         }
     }
 
@@ -738,6 +799,27 @@ impl<'s> Colocation<'s> {
     /// several times; observers are notified in registration order.
     pub fn observer(mut self, observer: SharedObserver) -> Self {
         self.observers.push(observer);
+        self
+    }
+
+    /// Registers a thread-safe observer (see
+    /// [`SharedSyncObserver`]). For a
+    /// single-GPU session this behaves exactly like
+    /// [`Colocation::observer`]; under a multi-threaded
+    /// [`Cluster`](crate::cluster::Cluster) sync observers can be fed
+    /// directly from worker threads.
+    pub fn sync_observer(mut self, observer: SharedSyncObserver) -> Self {
+        self.sync_observers.push(observer);
+        self
+    }
+
+    /// Installs an [admission policy](crate::admission::AdmissionPolicy)
+    /// that gates every *best-effort* request before it enters its
+    /// client's queue: shed requests never run, deferred ones pause the
+    /// client's intake. High-priority requests are never gated. The
+    /// policy receives the session's full observation stream.
+    pub fn admission(mut self, policy: Box<dyn AdmissionPolicy>) -> Self {
+        self.admission = Some(policy);
         self
     }
 
@@ -806,11 +888,19 @@ impl<'s> Colocation<'s> {
             cfg,
             intercept,
             observers,
+            sync_observers,
+            admission,
         } = self;
         let system = system.unwrap_or_else(|| SystemSlot::Owned(Box::new(Passthrough::new())));
         let mut session = Session::new(&spec, jobs, system, &cfg, intercept);
         for obs in observers {
             session.add_observer(obs);
+        }
+        for obs in sync_observers {
+            session.add_sync_observer(obs);
+        }
+        if let Some(policy) = admission {
+            session.set_admission(policy);
         }
         session
     }
@@ -872,14 +962,25 @@ pub(crate) struct SessionCore<'s> {
     // Window-close detaches seen so far (migrations excluded) — lets an
     // external driver notice departures and react (e.g. rebalance).
     departures: u64,
-    // Observation plumbing: whether any observer is registered (clients
-    // buffer extra detail only when true), the device index stamped on
-    // every delivery, the buffered observations themselves, and the
-    // instant of the last engine counter sample.
+    // Observation plumbing: whether any `Rc` observer is registered on
+    // the owning `Session` (clients buffer extra detail only when true),
+    // the device index stamped on every delivery, the buffered
+    // observations themselves, and the instant of the last engine
+    // counter sample.
     observing: bool,
     device: usize,
     events_buf: Vec<(SimTime, Observation)>,
     last_sample: Option<SimTime>,
+    // Thread-safe observers, delivered to directly from `settle` (i.e.
+    // from whichever worker thread advances this core) when no `Rc`
+    // observer needs the ordered flush.
+    sync_observers: Vec<SharedSyncObserver>,
+    // Observations delivered directly to sync observers (the counterpart
+    // of `Session::events_delivered`).
+    events_direct: u64,
+    // The admission policy gating best-effort request intake, fed the
+    // observation stream as it is produced.
+    admission: Option<Box<dyn AdmissionPolicy>>,
     // Wake-up bookkeeping: every client window edge / arrival / gap and
     // every in-transit launch registers a timer here, so `next_wake` is a
     // `peek` instead of a linear scan. `dirty` lists clients whose timers
@@ -967,6 +1068,9 @@ impl<'s> SessionCore<'s> {
             device: 0,
             events_buf: Vec::new(),
             last_sample: None,
+            sync_observers: Vec::new(),
+            events_direct: 0,
+            admission: None,
             wheel: TimerWheel::new(),
             dirty: Vec::new(),
             lifecycle_epoch: 0,
@@ -988,12 +1092,24 @@ impl<'s> SessionCore<'s> {
         }
     }
 
+    // Whether this core constructs observations at all: an admission
+    // policy consumes the stream inline even with no observer registered.
+    fn emitting(&self) -> bool {
+        self.observing || !self.sync_observers.is_empty() || self.admission.is_some()
+    }
+
     /// Settles the current instant to a fixed point (see the module docs
     /// for the settling discipline). Observations produced while settling
     /// are *buffered* in `events_buf`; [`Session::settle`] (or the cluster
     /// barrier loop) delivers them on the driving thread.
     pub(crate) fn settle(&mut self) {
-        let observing = self.observing;
+        // `buffering`: events go to `events_buf` for observer delivery.
+        // `emitting`: events are constructed at all — an admission policy
+        // consumes the stream inline even with no observer registered.
+        let buffering = self.observing || !self.sync_observers.is_empty();
+        let mut admission = self.admission.take();
+        let emitting = buffering || admission.is_some();
+        let device = self.device;
         let system: &mut dyn SharingSystem = match &mut self.system {
             SystemSlot::Borrowed(s) => &mut **s,
             SystemSlot::Owned(b) => b.as_mut(),
@@ -1009,9 +1125,14 @@ impl<'s> SessionCore<'s> {
                 client.waiting_kernel = false;
                 client.kernels += 1;
                 client.finish_op(now, self.warmup);
-                if observing {
-                    self.events_buf
-                        .push((now, Observation::KernelFinished { client: c }));
+                if emitting {
+                    let ev = Observation::KernelFinished { client: c };
+                    if let Some(p) = admission.as_deref_mut() {
+                        p.on_event(now, device, &ev);
+                    }
+                    if buffering {
+                        self.events_buf.push((now, ev));
+                    }
                 }
                 progressed = true;
             }
@@ -1030,17 +1151,20 @@ impl<'s> SessionCore<'s> {
                     client.attached = true;
                     client.attachments += 1;
                     system.on_client_attach(&mut ctx, ClientId(i as u32));
-                    if observing {
-                        self.events_buf.push((
-                            now,
-                            Observation::ClientAttached {
-                                client: ClientId(i as u32),
-                                key: client.spec.key().to_string(),
-                                priority: client.spec.priority,
-                                descriptor: client.spec.descriptor.clone(),
-                                reattach: client.attachments > 1,
-                            },
-                        ));
+                    if emitting {
+                        let ev = Observation::ClientAttached {
+                            client: ClientId(i as u32),
+                            key: client.spec.key().to_string(),
+                            priority: client.spec.priority,
+                            descriptor: client.spec.descriptor.clone(),
+                            reattach: client.attachments > 1,
+                        };
+                        if let Some(p) = admission.as_deref_mut() {
+                            p.on_event(now, device, &ev);
+                        }
+                        if buffering {
+                            self.events_buf.push((now, ev));
+                        }
                     }
                     if let Some(stub) = client.stub.as_mut() {
                         // The API startup burst (fatbin registration,
@@ -1069,14 +1193,17 @@ impl<'s> SessionCore<'s> {
                     client.waiting_kernel = false;
                     client.gap_until = None;
                     system.on_client_detach(&mut ctx, ClientId(i as u32));
-                    if observing {
-                        self.events_buf.push((
-                            now,
-                            Observation::ClientDetached {
-                                client: ClientId(i as u32),
-                                key: client.spec.key().to_string(),
-                            },
-                        ));
+                    if emitting {
+                        let ev = Observation::ClientDetached {
+                            client: ClientId(i as u32),
+                            key: client.spec.key().to_string(),
+                        };
+                        if let Some(p) = admission.as_deref_mut() {
+                            p.on_event(now, device, &ev);
+                        }
+                        if buffering {
+                            self.events_buf.push((now, ev));
+                        }
                     }
                     self.departures += 1;
                     if !client.timer_dirty {
@@ -1110,14 +1237,17 @@ impl<'s> SessionCore<'s> {
                 }
             });
             for (c, k) in due {
-                if observing {
-                    self.events_buf.push((
-                        now,
-                        Observation::KernelDispatched {
-                            client: c,
-                            kernel: Arc::clone(&k),
-                        },
-                    ));
+                if emitting {
+                    let ev = Observation::KernelDispatched {
+                        client: c,
+                        kernel: Arc::clone(&k),
+                    };
+                    if let Some(p) = admission.as_deref_mut() {
+                        p.on_event(now, device, &ev);
+                    }
+                    if buffering {
+                        self.events_buf.push((now, ev));
+                    }
                 }
                 system.on_kernel_ready(&mut ctx, c, k);
                 progressed = true;
@@ -1127,23 +1257,40 @@ impl<'s> SessionCore<'s> {
                 if !client.attached {
                     continue;
                 }
-                let wake_inputs = (client.next_arrival, client.gap_until);
-                client.tick(now);
+                let wake_inputs = (client.next_arrival, client.gap_until, client.intake_hold);
+                client.tick(now, admission.as_deref_mut(), ClientId(i as u32));
                 let kernel = client.advance(now, self.warmup);
-                if wake_inputs != (client.next_arrival, client.gap_until) && !client.timer_dirty {
+                if wake_inputs != (client.next_arrival, client.gap_until, client.intake_hold)
+                    && !client.timer_dirty
+                {
                     client.timer_dirty = true;
                     self.dirty.push(i);
                 }
-                if observing {
+                if emitting {
                     for (arrival, latency) in client.fresh_requests.drain(..) {
-                        self.events_buf.push((
-                            now,
-                            Observation::RequestCompleted {
-                                client: ClientId(i as u32),
-                                arrival,
-                                latency,
-                            },
-                        ));
+                        let ev = Observation::RequestCompleted {
+                            client: ClientId(i as u32),
+                            arrival,
+                            latency,
+                        };
+                        if let Some(p) = admission.as_deref_mut() {
+                            p.on_event(now, device, &ev);
+                        }
+                        if buffering {
+                            self.events_buf.push((now, ev));
+                        }
+                    }
+                    for arrival in client.fresh_sheds.drain(..) {
+                        let ev = Observation::RequestShed {
+                            client: ClientId(i as u32),
+                            arrival,
+                        };
+                        if let Some(p) = admission.as_deref_mut() {
+                            p.on_event(now, device, &ev);
+                        }
+                        if buffering {
+                            self.events_buf.push((now, ev));
+                        }
                     }
                 }
                 if let Some(kernel) = kernel {
@@ -1156,14 +1303,17 @@ impl<'s> SessionCore<'s> {
                                 .push((now + cost, ClientId(i as u32), kernel, tid));
                         }
                         None => {
-                            if observing {
-                                self.events_buf.push((
-                                    now,
-                                    Observation::KernelDispatched {
-                                        client: ClientId(i as u32),
-                                        kernel: Arc::clone(&kernel),
-                                    },
-                                ));
+                            if emitting {
+                                let ev = Observation::KernelDispatched {
+                                    client: ClientId(i as u32),
+                                    kernel: Arc::clone(&kernel),
+                                };
+                                if let Some(p) = admission.as_deref_mut() {
+                                    p.on_event(now, device, &ev);
+                                }
+                                if buffering {
+                                    self.events_buf.push((now, ev));
+                                }
                             }
                             system.on_kernel_ready(&mut ctx, ClientId(i as u32), kernel)
                         }
@@ -1176,23 +1326,48 @@ impl<'s> SessionCore<'s> {
                 break;
             }
         }
-        if observing {
+        if emitting {
             let now = self.engine.now();
             if self.last_sample != Some(now) {
                 self.last_sample = Some(now);
                 let stats = self.engine.stats();
-                self.events_buf.push((
-                    now,
-                    Observation::EngineSample {
-                        busy_thread_ns: self.engine.busy_thread_ns(),
-                        total_thread_slots: self.engine.spec().total_thread_slots(),
-                        events_processed: stats.submitted
-                            + stats.completed
-                            + stats.preempted
-                            + stats.groups,
-                    },
-                ));
+                let ev = Observation::EngineSample {
+                    busy_thread_ns: self.engine.busy_thread_ns(),
+                    total_thread_slots: self.engine.spec().total_thread_slots(),
+                    events_processed: stats.submitted
+                        + stats.completed
+                        + stats.preempted
+                        + stats.groups,
+                };
+                if let Some(p) = admission.as_deref_mut() {
+                    p.on_event(now, device, &ev);
+                }
+                if buffering {
+                    self.events_buf.push((now, ev));
+                }
             }
+        }
+        self.admission = admission;
+        // With only sync observers registered, deliver right here — on
+        // whichever worker thread is advancing this core — instead of
+        // waiting for the driving thread's ordered flush.
+        if !self.observing && !self.events_buf.is_empty() {
+            let buf = std::mem::take(&mut self.events_buf);
+            self.events_direct += buf.len() as u64;
+            let mut sinks: Vec<_> = self
+                .sync_observers
+                .iter()
+                .map(|o| o.lock().expect("sync observer poisoned"))
+                .collect();
+            for (at, ev) in &buf {
+                for sink in &mut sinks {
+                    sink.on_event(*at, device, ev);
+                }
+            }
+            drop(sinks);
+            let mut buf = buf;
+            buf.clear();
+            self.events_buf = buf;
         }
         self.sync_timers();
     }
@@ -1502,7 +1677,7 @@ impl<'s> SessionCore<'s> {
             }
         }
         client.record_timelines = self.record_timelines;
-        client.observe = self.observing;
+        client.observe = self.emitting();
         self.clients.push(client);
         self.lifecycle_epoch += 1;
         self.sync_client_timers(id.0 as usize);
@@ -1518,7 +1693,7 @@ impl<'s> SessionCore<'s> {
         self.metas.push(meta_of(&job));
         let mut client = Client::new(job);
         client.record_timelines = self.record_timelines;
-        client.observe = self.observing;
+        client.observe = self.emitting();
         if let InterceptMode::Virtualized(transport) = self.intercept {
             client.stub = Some(ClientStub::new(transport));
         }
@@ -1556,6 +1731,29 @@ impl<'s> Session<'s> {
         }
     }
 
+    /// Registers a thread-safe observer (see
+    /// [`SharedSyncObserver`]). When
+    /// *only* sync observers are registered, the core delivers to them
+    /// directly as it settles — from whichever worker thread is
+    /// advancing it under a multi-threaded cluster; once any `Rc`
+    /// observer is present, sync observers are fed from the ordered
+    /// driving-thread flush instead.
+    pub fn add_sync_observer(&mut self, observer: SharedSyncObserver) {
+        self.core.sync_observers.push(observer);
+        for c in &mut self.core.clients {
+            c.observe = true;
+        }
+    }
+
+    /// Installs the admission policy gating best-effort request intake
+    /// (see [`Colocation::admission`]).
+    pub fn set_admission(&mut self, policy: Box<dyn AdmissionPolicy>) {
+        self.core.admission = Some(policy);
+        for c in &mut self.core.clients {
+            c.observe = true;
+        }
+    }
+
     /// Sets the device index stamped on every observation this session
     /// delivers (0 by default; a cluster assigns its per-GPU indices).
     pub fn set_device_index(&mut self, device: usize) {
@@ -1565,7 +1763,8 @@ impl<'s> Session<'s> {
     /// Delivers the observations the core buffered, in order. The cluster
     /// calls this after every barrier, in device-index order, so observer
     /// streams are identical no matter how many threads advanced the
-    /// cores.
+    /// cores. (When only sync observers are registered the core delivers
+    /// directly from `settle` and this is a no-op.)
     pub(crate) fn flush_events(&mut self) {
         if self.core.events_buf.is_empty() {
             return;
@@ -1575,6 +1774,11 @@ impl<'s> Session<'s> {
         for (at, ev) in buf.drain(..) {
             for obs in &self.observers {
                 obs.borrow_mut().on_event(at, self.core.device, &ev);
+            }
+            for obs in &self.core.sync_observers {
+                obs.lock()
+                    .expect("sync observer poisoned")
+                    .on_event(at, self.core.device, &ev);
             }
         }
         self.core.events_buf = buf;
@@ -1720,7 +1924,7 @@ impl<'s> Session<'s> {
     /// `(events delivered, notifications, departure scans)`.
     pub(crate) fn host_counters(&self) -> (u64, u64, u64) {
         (
-            self.events_delivered,
+            self.events_delivered + self.core.events_direct,
             self.core.notifications,
             self.core.departure_scans.get(),
         )

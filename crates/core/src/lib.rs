@@ -19,6 +19,7 @@
 //! | the `SharingSystem` interface baselines implement | [`system`] |
 //! | multi-GPU placement, barrier-parallel drive, migration (beyond the paper) | [`cluster`] |
 //! | typed event stream, observers, runtime load signals (beyond the paper) | [`events`] |
+//! | observer-driven admission control for open-loop load (beyond the paper) | [`admission`] |
 //! | hierarchical timer wheel behind `Session::next_wake` (beyond the paper) | [`timewheel`] |
 //!
 //! ## Quickstart
@@ -66,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admission;
 pub mod api;
 pub mod cluster;
 pub mod events;
@@ -77,14 +79,15 @@ pub mod system;
 pub mod timewheel;
 pub mod transform;
 
+pub use admission::{AdmissionPolicy, AdmissionVerdict, QueueCap, RejectNever, SloGuard};
 pub use api::{ApiCall, ClientStub, InterceptStats, Transport};
 pub use cluster::{
     BestEffortPacking, Cluster, ClusterClientReport, ClusterReport, DeviceLoad, DeviceReport,
     LeastLoaded, LoadAware, PlacementPolicy, RoundRobin,
 };
 pub use events::{
-    ClientEvent, LoadMonitor, Observation, SessionObserver, SharedObserver, TraceError,
-    FLEET_DEVICE,
+    ClientEvent, LoadMonitor, Observation, SessionObserver, SharedObserver, SharedSyncObserver,
+    TraceError, FLEET_DEVICE,
 };
 #[allow(deprecated)]
 pub use harness::run_colocation;

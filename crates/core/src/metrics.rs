@@ -114,6 +114,14 @@ pub struct ClientReport {
     /// per cross-device migration reconnect. Metrics are cumulative across
     /// all attachments.
     pub attachments: u64,
+    /// Requests rejected outright by an
+    /// [`AdmissionPolicy`](crate::admission::AdmissionPolicy) (never
+    /// enqueued; excluded from latency and throughput).
+    pub shed: u64,
+    /// Times an admission policy paused this client's intake — each pause
+    /// delays every queued arrival behind it (sojourns still count from
+    /// the original arrival instant).
+    pub deferred: u64,
     /// Request latencies (inference jobs, post-warmup).
     pub latency: LatencyRecorder,
     /// Work units (requests or iterations) per second of simulated time,
@@ -181,7 +189,8 @@ impl ClientReport {
 /// use tally_gpu::{SimSpan, SimTime};
 /// # let report = ClientReport {
 /// #     name: "svc".into(), high_priority: true, requests: 2,
-/// #     iterations: 0, kernels: 2, attachments: 1, latency: LatencyRecorder::new(),
+/// #     iterations: 0, kernels: 2, attachments: 1, shed: 0, deferred: 0,
+/// #     latency: LatencyRecorder::new(),
 /// #     throughput: 0.0, intercept: InterceptStats::default(),
 /// #     timed_latencies: vec![
 /// #         (SimTime::ZERO, SimSpan::from_millis(1)),
@@ -344,6 +353,8 @@ mod tests {
             iterations: 0,
             kernels: 3,
             attachments: 1,
+            shed: 0,
+            deferred: 0,
             latency: LatencyRecorder::new(),
             throughput: 0.0,
             intercept: InterceptStats::default(),
@@ -383,6 +394,8 @@ mod tests {
             iterations: 2,
             kernels: 8,
             attachments: 1,
+            shed: 0,
+            deferred: 0,
             latency: LatencyRecorder::new(),
             throughput: 0.0,
             intercept: InterceptStats::default(),
@@ -408,6 +421,8 @@ mod tests {
                     iterations: 0,
                     kernels: 0,
                     attachments: 1,
+                    shed: 0,
+                    deferred: 0,
                     latency: LatencyRecorder::new(),
                     throughput: 50.0,
                     intercept: InterceptStats::default(),
@@ -421,6 +436,8 @@ mod tests {
                     iterations: 10,
                     kernels: 0,
                     attachments: 1,
+                    shed: 0,
+                    deferred: 0,
                     latency: LatencyRecorder::new(),
                     throughput: 5.0,
                     intercept: InterceptStats::default(),

@@ -3,7 +3,8 @@
 //! Builders for the twelve DL workloads of the paper's Table 2 (six
 //! PyTorch training jobs, six inference services) as deterministic
 //! kernel-trace generators calibrated against the published solo numbers,
-//! plus a synthetic MAF2-style bursty request-trace generator ([`maf2`])
+//! plus a synthetic MAF2-style bursty request-trace generator ([`maf2`]),
+//! open-loop target-QPS load shapes ([`openloop`]) for saturation sweeps,
 //! and an arrival-driven *client* trace subsystem ([`trace`]): serialize,
 //! validate, and replay who attaches, detaches, and re-attaches when.
 //!
@@ -33,6 +34,7 @@ pub mod gen;
 pub mod maf2;
 pub mod mixes;
 pub mod models;
+pub mod openloop;
 pub mod trace;
 
 pub use models::{InferModel, TrainModel};

@@ -1,0 +1,477 @@
+//! Open-loop request injection: target-QPS load shapes independent of
+//! completions.
+//!
+//! Everything else in this crate is *closed-loop-friendly*: MAF2 traces
+//! are scaled to a target **load** — a fraction of the service's solo
+//! capacity, necessarily `< 1` — so the simulated service always keeps
+//! up. That can never show the saturation knee real fleets live next
+//! to: what happens when offered load crosses capacity and the arrival
+//! queue grows without bound.
+//!
+//! A [`LoadProfile`] describes offered load in **absolute requests per
+//! second** with no upper bound. Arrivals are generated up front
+//! ([`LoadProfile::arrivals`]) from a seeded Poisson thinning process —
+//! deterministic per seed, byte-replayable through the trace format
+//! (`openloop` records, format v2) — and fed to a client whose harness
+//! queue accepts every arrival unconditionally. Per-request latency is
+//! the enqueue→completion *sojourn*, so past the knee p99 reflects
+//! queueing delay, not just service time.
+//!
+//! ```
+//! use tally_gpu::{SimSpan, SimTime};
+//! use tally_workloads::openloop::LoadProfile;
+//!
+//! // A 5x flash crowd between t=2s and t=3s on a 100 QPS baseline.
+//! let profile = LoadProfile::FlashCrowd {
+//!     base_qps: 100.0,
+//!     mult: 5.0,
+//!     at: SimSpan::from_secs(2),
+//!     len: SimSpan::from_secs(1),
+//! };
+//! let arrivals = profile.arrivals(SimSpan::from_secs(4), 7);
+//! assert_eq!(arrivals, profile.arrivals(SimSpan::from_secs(4), 7));
+//! // Offered load during the spike is ~5x the baseline windows.
+//! let in_spike = arrivals
+//!     .iter()
+//!     .filter(|t| (SimTime::from_secs(2)..SimTime::from_secs(3)).contains(t))
+//!     .count();
+//! let before = arrivals.iter().filter(|&&t| t < SimTime::from_secs(1)).count();
+//! assert!(in_spike > 3 * before);
+//! ```
+
+use tally_core::harness::JobSpec;
+use tally_gpu::rng::SmallRng;
+use tally_gpu::{GpuSpec, SimSpan, SimTime};
+
+use crate::InferModel;
+
+/// An open-loop offered-load shape, in absolute requests per second.
+///
+/// Unlike [`Maf2Config::load`](crate::maf2::Maf2Config), which is a
+/// fraction of solo capacity in `(0, 1)`, a profile's QPS is unbounded:
+/// offered load above capacity is exactly the regime the saturation
+/// sweeps exist to map. See the [module docs](self) for the full story
+/// and a doctest.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadProfile {
+    /// A flat `qps` for the whole duration.
+    Constant {
+        /// Offered requests per second.
+        qps: f64,
+    },
+    /// A diurnal swell: `base_qps * (1 + amplitude * sin(2πt / period))`,
+    /// clamped at zero.
+    Diurnal {
+        /// Mean offered requests per second.
+        base_qps: f64,
+        /// Relative swing (0.5 = ±50% around the base).
+        amplitude: f64,
+        /// Length of one full sine cycle.
+        period: SimSpan,
+    },
+    /// A flash crowd: `base_qps` everywhere except `[at, at + len)`,
+    /// where offered load jumps to `base_qps * mult`.
+    FlashCrowd {
+        /// Baseline offered requests per second.
+        base_qps: f64,
+        /// Spike multiplier (5.0 = a 5× flash crowd).
+        mult: f64,
+        /// When the spike starts, relative to the client's window start.
+        at: SimSpan,
+        /// How long the spike lasts.
+        len: SimSpan,
+    },
+    /// A linear ramp from `from_qps` at t=0 to `to_qps` at the end of
+    /// the duration — the canonical saturation-sweep shape.
+    Ramp {
+        /// Offered QPS at the start.
+        from_qps: f64,
+        /// Offered QPS at the end.
+        to_qps: f64,
+    },
+}
+
+impl LoadProfile {
+    /// Instantaneous offered rate (req/s) at `t` into a run of length
+    /// `duration`.
+    pub fn rate_at(&self, t: SimSpan, duration: SimSpan) -> f64 {
+        let ts = t.as_secs_f64();
+        match self {
+            LoadProfile::Constant { qps } => *qps,
+            LoadProfile::Diurnal {
+                base_qps,
+                amplitude,
+                period,
+            } => {
+                let p = period.as_secs_f64();
+                if p <= 0.0 {
+                    return *base_qps;
+                }
+                let phase = std::f64::consts::TAU * ts / p;
+                (base_qps * (1.0 + amplitude * phase.sin())).max(0.0)
+            }
+            LoadProfile::FlashCrowd {
+                base_qps,
+                mult,
+                at,
+                len,
+            } => {
+                let spike = ts >= at.as_secs_f64() && ts < (*at + *len).as_secs_f64();
+                if spike {
+                    base_qps * mult
+                } else {
+                    *base_qps
+                }
+            }
+            LoadProfile::Ramp { from_qps, to_qps } => {
+                let total = duration.as_secs_f64();
+                if total <= 0.0 {
+                    return *from_qps;
+                }
+                from_qps + (to_qps - from_qps) * (ts / total).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// An upper bound on [`LoadProfile::rate_at`] over the duration —
+    /// the homogeneous rate the thinning sampler proposes at.
+    pub fn peak_rate(&self, _duration: SimSpan) -> f64 {
+        match self {
+            LoadProfile::Constant { qps } => *qps,
+            LoadProfile::Diurnal {
+                base_qps,
+                amplitude,
+                ..
+            } => (base_qps * (1.0 + amplitude.abs())).max(0.0),
+            LoadProfile::FlashCrowd { base_qps, mult, .. } => base_qps * mult.max(1.0),
+            LoadProfile::Ramp { from_qps, to_qps } => from_qps.max(*to_qps),
+        }
+    }
+
+    /// Checks that the profile describes a finite, non-negative offered
+    /// load with something to offer (peak rate > 0).
+    pub fn validate(&self) -> Result<(), String> {
+        let finite = |v: f64, what: &str| -> Result<(), String> {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{what} must be finite, got {v}"))
+            }
+        };
+        match self {
+            LoadProfile::Constant { qps } => {
+                finite(*qps, "qps")?;
+                if *qps <= 0.0 {
+                    return Err(format!("qps must be positive, got {qps}"));
+                }
+            }
+            LoadProfile::Diurnal {
+                base_qps,
+                amplitude,
+                ..
+            } => {
+                finite(*base_qps, "base qps")?;
+                finite(*amplitude, "amplitude")?;
+                if *base_qps <= 0.0 {
+                    return Err(format!("base qps must be positive, got {base_qps}"));
+                }
+            }
+            LoadProfile::FlashCrowd { base_qps, mult, .. } => {
+                finite(*base_qps, "base qps")?;
+                finite(*mult, "spike multiplier")?;
+                if *base_qps <= 0.0 {
+                    return Err(format!("base qps must be positive, got {base_qps}"));
+                }
+                if *mult <= 0.0 {
+                    return Err(format!("spike multiplier must be positive, got {mult}"));
+                }
+            }
+            LoadProfile::Ramp { from_qps, to_qps } => {
+                finite(*from_qps, "ramp start qps")?;
+                finite(*to_qps, "ramp end qps")?;
+                if *from_qps < 0.0 || *to_qps < 0.0 {
+                    return Err("ramp qps must be non-negative".into());
+                }
+                if from_qps.max(*to_qps) <= 0.0 {
+                    return Err("ramp must offer some load".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates the arrival instants over `[0, duration)` by Poisson
+    /// thinning: propose homogeneous arrivals at [`peak_rate`]
+    /// (exponential gaps), accept each with probability
+    /// `rate_at(t) / peak_rate`. Deterministic per `(profile, duration,
+    /// seed)`; sorted; independent of any completion — this is what
+    /// makes the load open-loop.
+    ///
+    /// [`peak_rate`]: LoadProfile::peak_rate
+    pub fn arrivals(&self, duration: SimSpan, seed: u64) -> Vec<SimTime> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total_s = duration.as_secs_f64();
+        let peak = self.peak_rate(duration);
+        let mut out = Vec::new();
+        if !peak.is_finite() || peak <= 0.0 || total_s <= 0.0 {
+            return out;
+        }
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak;
+            if t >= total_s {
+                break;
+            }
+            let accept: f64 = rng.gen_range(0.0..1.0);
+            if accept * peak <= self.rate_at(SimSpan::from_secs_f64(t), duration) {
+                out.push(SimTime::from_nanos((t * 1e9) as u64));
+            }
+        }
+        out
+    }
+
+    /// The profile's symbolic descriptor tokens as used by the trace
+    /// format v2 (`openloop <model> <profile…> seed=<u64>`). `f64`
+    /// fields round-trip exactly through Rust's shortest-representation
+    /// `Display`; [`LoadProfile::from_descriptor`] inverts.
+    pub fn descriptor(&self) -> String {
+        match self {
+            LoadProfile::Constant { qps } => format!("const qps={qps}"),
+            LoadProfile::Diurnal {
+                base_qps,
+                amplitude,
+                period,
+            } => format!(
+                "diurnal qps={base_qps} amp={amplitude} period_ns={}",
+                period.as_nanos()
+            ),
+            LoadProfile::FlashCrowd {
+                base_qps,
+                mult,
+                at,
+                len,
+            } => format!(
+                "flash qps={base_qps} mult={mult} at_ns={} len_ns={}",
+                at.as_nanos(),
+                len.as_nanos()
+            ),
+            LoadProfile::Ramp { from_qps, to_qps } => {
+                format!("ramp from_qps={from_qps} to_qps={to_qps}")
+            }
+        }
+    }
+
+    /// Parses the descriptor tokens (see [`LoadProfile::descriptor`]).
+    pub fn from_descriptor(s: &str) -> Result<LoadProfile, String> {
+        let mut tok = s.split(' ');
+        fn field<T: std::str::FromStr>(
+            tok: &mut std::str::Split<'_, char>,
+            key: &str,
+        ) -> Result<T, String> {
+            tok.next()
+                .and_then(|t| t.strip_prefix(key))
+                .and_then(|t| t.strip_prefix('='))
+                .and_then(|t| t.parse::<T>().ok())
+                .ok_or_else(|| format!("expected `{key}=<value>`"))
+        }
+        let kind = tok
+            .next()
+            .filter(|t| !t.is_empty())
+            .ok_or_else(|| "missing profile kind".to_string())?;
+        let profile = match kind {
+            "const" => LoadProfile::Constant {
+                qps: field(&mut tok, "qps")?,
+            },
+            "diurnal" => LoadProfile::Diurnal {
+                base_qps: field(&mut tok, "qps")?,
+                amplitude: field(&mut tok, "amp")?,
+                period: SimSpan::from_nanos(field(&mut tok, "period_ns")?),
+            },
+            "flash" => LoadProfile::FlashCrowd {
+                base_qps: field(&mut tok, "qps")?,
+                mult: field(&mut tok, "mult")?,
+                at: SimSpan::from_nanos(field(&mut tok, "at_ns")?),
+                len: SimSpan::from_nanos(field(&mut tok, "len_ns")?),
+            },
+            "ramp" => LoadProfile::Ramp {
+                from_qps: field(&mut tok, "from_qps")?,
+                to_qps: field(&mut tok, "to_qps")?,
+            },
+            other => return Err(format!("unknown load profile `{other}`")),
+        };
+        if tok.next().is_some() {
+            return Err("trailing tokens after the profile".into());
+        }
+        Ok(profile)
+    }
+}
+
+/// The solo capacity of an inference service in requests per second —
+/// `1 / paper_latency` — the natural unit for choosing profile QPS
+/// relative to the saturation knee.
+pub fn solo_capacity_qps(model: InferModel) -> f64 {
+    1.0 / model.paper_latency().as_secs_f64()
+}
+
+/// Builds an open-loop inference service: `model` driven by `profile`
+/// arrivals over `duration`, seeded with `seed`. The returned job is
+/// high-priority by default like any inference [`JobSpec`]; demote with
+/// `.with_priority` for best-effort open-loop load.
+pub fn service(
+    spec: &GpuSpec,
+    model: InferModel,
+    profile: &LoadProfile,
+    duration: SimSpan,
+    seed: u64,
+) -> JobSpec {
+    model.job(spec, profile.arrivals(duration, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_sorted_and_bounded() {
+        let p = LoadProfile::Constant { qps: 200.0 };
+        let a = p.arrivals(SimSpan::from_secs(5), 3);
+        assert_eq!(a, p.arrivals(SimSpan::from_secs(5), 3));
+        assert_ne!(a, p.arrivals(SimSpan::from_secs(5), 4));
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.last().is_some_and(|&t| t < SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn constant_rate_is_respected() {
+        for qps in [50.0, 400.0] {
+            let a = LoadProfile::Constant { qps }.arrivals(SimSpan::from_secs(60), 9);
+            let expected = qps * 60.0;
+            let err = (a.len() as f64 - expected).abs() / expected;
+            assert!(err < 0.1, "qps {qps}: {} arrivals vs {expected}", a.len());
+        }
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_the_spike_window() {
+        let p = LoadProfile::FlashCrowd {
+            base_qps: 100.0,
+            mult: 5.0,
+            at: SimSpan::from_secs(10),
+            len: SimSpan::from_secs(10),
+        };
+        let a = p.arrivals(SimSpan::from_secs(30), 17);
+        let count = |from: u64, to: u64| {
+            a.iter()
+                .filter(|t| (SimTime::from_secs(from)..SimTime::from_secs(to)).contains(t))
+                .count() as f64
+        };
+        let before = count(0, 10);
+        let spike = count(10, 20);
+        let after = count(20, 30);
+        assert!(spike > 3.5 * before, "spike {spike} vs before {before}");
+        assert!(spike > 3.5 * after, "spike {spike} vs after {after}");
+    }
+
+    #[test]
+    fn diurnal_swings_around_the_base() {
+        let p = LoadProfile::Diurnal {
+            base_qps: 200.0,
+            amplitude: 0.8,
+            period: SimSpan::from_secs(20),
+        };
+        // First quarter-period peaks, third quarter-period troughs.
+        let a = p.arrivals(SimSpan::from_secs(20), 5);
+        let count = |from: u64, to: u64| {
+            a.iter()
+                .filter(|t| (SimTime::from_secs(from)..SimTime::from_secs(to)).contains(t))
+                .count() as f64
+        };
+        assert!(count(0, 10) > 2.0 * count(10, 20));
+    }
+
+    #[test]
+    fn ramp_grows_linearly() {
+        let p = LoadProfile::Ramp {
+            from_qps: 0.0,
+            to_qps: 400.0,
+        };
+        let a = p.arrivals(SimSpan::from_secs(40), 21);
+        let count = |from: u64, to: u64| {
+            a.iter()
+                .filter(|t| (SimTime::from_secs(from)..SimTime::from_secs(to)).contains(t))
+                .count() as f64
+        };
+        let first = count(0, 20);
+        let second = count(20, 40);
+        // Mean rate in the second half (300) is 3x the first half (100).
+        let ratio = second / first;
+        assert!((2.4..3.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn descriptors_round_trip() {
+        let profiles = [
+            LoadProfile::Constant { qps: 123.456 },
+            LoadProfile::Diurnal {
+                base_qps: 80.0,
+                amplitude: 0.5,
+                period: SimSpan::from_secs(30),
+            },
+            LoadProfile::FlashCrowd {
+                base_qps: 100.0,
+                mult: 5.0,
+                at: SimSpan::from_millis(1500),
+                len: SimSpan::from_millis(700),
+            },
+            LoadProfile::Ramp {
+                from_qps: 10.0,
+                to_qps: 990.5,
+            },
+        ];
+        for p in profiles {
+            let text = p.descriptor();
+            assert_eq!(LoadProfile::from_descriptor(&text).unwrap(), p, "{text}");
+        }
+        assert!(LoadProfile::from_descriptor("wave qps=1").is_err());
+        assert!(LoadProfile::from_descriptor("const qps=1 extra").is_err());
+        assert!(LoadProfile::from_descriptor("flash qps=1 mult=2").is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_profiles() {
+        assert!(LoadProfile::Constant { qps: 0.0 }.validate().is_err());
+        assert!(LoadProfile::Constant { qps: -1.0 }.validate().is_err());
+        assert!(LoadProfile::Constant { qps: f64::NAN }.validate().is_err());
+        assert!(LoadProfile::Ramp {
+            from_qps: 0.0,
+            to_qps: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LoadProfile::Constant { qps: 5.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn service_builds_an_open_loop_job() {
+        let spec = GpuSpec::a100();
+        let job = service(
+            &spec,
+            InferModel::Bert,
+            &LoadProfile::Constant { qps: 150.0 },
+            SimSpan::from_secs(2),
+            1,
+        );
+        let tally_core::harness::JobKind::Inference { arrivals, .. } = &job.kind else {
+            panic!("open-loop service must be an inference job");
+        };
+        assert!((250..350).contains(&arrivals.len()), "{}", arrivals.len());
+    }
+
+    #[test]
+    fn capacity_matches_paper_latency() {
+        let cap = solo_capacity_qps(InferModel::Bert);
+        let lat = InferModel::Bert.paper_latency().as_secs_f64();
+        assert!((cap * lat - 1.0).abs() < 1e-9);
+    }
+}

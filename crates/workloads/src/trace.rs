@@ -61,6 +61,7 @@ use tally_gpu::rng::SmallRng;
 use tally_gpu::{GpuSpec, SimSpan, SimTime};
 
 use crate::maf2::{arrivals, Maf2Config};
+use crate::openloop::LoadProfile;
 use crate::{InferModel, TrainModel};
 
 /// Why a trace failed to validate or parse — the workspace-wide typed
@@ -92,6 +93,21 @@ pub enum TraceJob {
         /// Request-trace RNG seed.
         seed: u64,
     },
+    /// An *open-loop* inference client: `model` driven at the absolute
+    /// QPS described by `profile`
+    /// ([`LoadProfile`]), independent of
+    /// completions — offered load may exceed capacity. Serialized as a
+    /// trace-format **v2** record kind (`openloop <model> <profile…>
+    /// seed=<u64>`); traces containing one are emitted under the v2
+    /// header, and the parser accepts both versions.
+    OpenLoop {
+        /// The model served.
+        model: InferModel,
+        /// The offered-load shape, in absolute requests per second.
+        profile: LoadProfile,
+        /// Arrival-stream RNG seed.
+        seed: u64,
+    },
 }
 
 impl TraceJob {
@@ -100,12 +116,14 @@ impl TraceJob {
         match self {
             TraceJob::Train(m) => m.name(),
             TraceJob::Infer { model, .. } => model.name(),
+            TraceJob::OpenLoop { model, .. } => model.name(),
         }
     }
 
     /// The job's symbolic descriptor — the exact byte sequence the
-    /// plain-text trace format uses after the client key (`train <model>`
-    /// or `infer <model> load=<f64> seed=<u64>`). Stamped onto every
+    /// plain-text trace format uses after the client key (`train <model>`,
+    /// `infer <model> load=<f64> seed=<u64>`, or
+    /// `openloop <model> <profile…> seed=<u64>`). Stamped onto every
     /// resolved [`JobSpec`] (as [`JobSpec::descriptor`]) so a
     /// [`TraceRecorder`] observing a live run can re-serialize the client;
     /// [`TraceJob::from_descriptor`] inverts it.
@@ -114,6 +132,17 @@ impl TraceJob {
             TraceJob::Train(m) => format!("train {}", m.name()),
             TraceJob::Infer { model, load, seed } => {
                 format!("infer {} load={load} seed={seed}", model.name())
+            }
+            TraceJob::OpenLoop {
+                model,
+                profile,
+                seed,
+            } => {
+                format!(
+                    "openloop {} {} seed={seed}",
+                    model.name(),
+                    profile.descriptor()
+                )
             }
         }
     }
@@ -152,6 +181,28 @@ impl TraceJob {
                     seed,
                 }
             }
+            "openloop" => {
+                let m = InferModel::from_name(model).ok_or_else(|| {
+                    TraceError::semantic(format!("unknown inference model `{model}`"))
+                })?;
+                // Everything between the model and the trailing
+                // `seed=<u64>` token is the profile descriptor.
+                let rest: Vec<&str> = tok.by_ref().collect();
+                let (&seed_tok, profile_toks) = rest
+                    .split_last()
+                    .ok_or_else(|| TraceError::semantic("missing load profile"))?;
+                let seed = seed_tok
+                    .strip_prefix("seed=")
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .ok_or_else(|| TraceError::semantic("expected trailing `seed=<u64>`"))?;
+                let profile = LoadProfile::from_descriptor(&profile_toks.join(" "))
+                    .map_err(TraceError::semantic)?;
+                TraceJob::OpenLoop {
+                    model: m,
+                    profile,
+                    seed,
+                }
+            }
             other => {
                 return Err(TraceError::semantic(format!("unknown job kind `{other}`")));
             }
@@ -186,6 +237,28 @@ impl TraceJob {
                 }
                 model.job(spec, reqs)
             }
+            TraceJob::OpenLoop {
+                model,
+                profile,
+                seed,
+            } => {
+                let end = SimTime::ZERO + duration;
+                let mut reqs: Vec<SimTime> = Vec::new();
+                for (w, win) in windows.iter().enumerate() {
+                    let until = win.until.unwrap_or(end).min(end);
+                    let span = until.saturating_since(win.from);
+                    if span.is_zero() {
+                        continue;
+                    }
+                    reqs.extend(
+                        profile
+                            .arrivals(span, seed.wrapping_add(w as u64))
+                            .into_iter()
+                            .map(|t| win.from + t.saturating_since(SimTime::ZERO)),
+                    );
+                }
+                model.job(spec, reqs)
+            }
         };
         job.with_schedule(windows.to_vec())
             .with_descriptor(self.descriptor())
@@ -214,9 +287,14 @@ fn err(line: usize, message: impl Into<String>) -> TraceError {
     TraceError::at_line(line, message)
 }
 
-/// Header line of the plain-text format (versioned so future extensions
-/// can stay readable).
+/// Header line of the original plain-text format (versioned so future
+/// extensions can stay readable).
 const HEADER: &str = "# tally-arrival-trace v1";
+
+/// Header line of format v2, which adds the `openloop` record kind.
+/// Traces without open-loop records keep serializing under v1 so
+/// existing checked-in traces stay byte-stable; the parser accepts both.
+const HEADER_V2: &str = "# tally-arrival-trace v2";
 
 /// A time-ordered stream of client arrive/depart events.
 ///
@@ -301,10 +379,18 @@ impl ArrivalTrace {
             }
             match &e.event {
                 ClientEvent::Arrive { job, .. } => {
-                    if let TraceJob::Infer { load, .. } = job {
-                        if !(*load > 0.0 && *load < 1.0) {
-                            return Err(err(0, format!("`{key}` load {load} outside (0, 1)")));
+                    match job {
+                        TraceJob::Infer { load, .. } => {
+                            if !(*load > 0.0 && *load < 1.0) {
+                                return Err(err(0, format!("`{key}` load {load} outside (0, 1)")));
+                            }
                         }
+                        TraceJob::OpenLoop { profile, .. } => {
+                            if let Err(e) = profile.validate() {
+                                return Err(err(0, format!("`{key}` profile: {e}")));
+                            }
+                        }
+                        TraceJob::Train(_) => {}
                     }
                     match state.get(key) {
                         Some((true, _)) => {
@@ -329,14 +415,25 @@ impl ArrivalTrace {
         Ok(())
     }
 
-    /// Serializes to the canonical plain-text form: a header line, then
-    /// one event per line (`@<nanos> arrive <key> train <model>`,
-    /// `@<nanos> arrive <key> infer <model> load=<f64> seed=<u64>`, or
+    /// Serializes to the canonical plain-text form: a header line (v1,
+    /// or v2 when an open-loop record is present), then one event per
+    /// line (`@<nanos> arrive <key> train <model>`,
+    /// `@<nanos> arrive <key> infer <model> load=<f64> seed=<u64>`,
+    /// `@<nanos> arrive <key> openloop <model> <profile…> seed=<u64>`, or
     /// `@<nanos> depart <key>`). [`ArrivalTrace::parse`] inverts this
     /// byte-identically: `to_text(parse(s)) == s` for canonical `s`, and
     /// `parse(to_text(t)) == t` for any valid trace `t`.
     pub fn to_text(&self) -> String {
-        let mut out = String::from(HEADER);
+        let v2 = self.events.iter().any(|e| {
+            matches!(
+                &e.event,
+                ClientEvent::Arrive {
+                    job: TraceJob::OpenLoop { .. },
+                    ..
+                }
+            )
+        });
+        let mut out = String::from(if v2 { HEADER_V2 } else { HEADER });
         out.push('\n');
         for e in &self.events {
             out.push('@');
@@ -365,8 +462,8 @@ impl ArrivalTrace {
     pub fn parse(text: &str) -> Result<ArrivalTrace, TraceError> {
         let mut lines = text.lines().enumerate();
         match lines.next() {
-            Some((_, first)) if first.trim_end() == HEADER => {}
-            _ => return Err(err(1, format!("missing header `{HEADER}`"))),
+            Some((_, first)) if first.trim_end() == HEADER || first.trim_end() == HEADER_V2 => {}
+            _ => return Err(err(1, format!("missing header `{HEADER}` (or v2)"))),
         }
         let mut trace = ArrivalTrace::new();
         for (idx, line) in lines {
@@ -903,6 +1000,85 @@ mod tests {
             arrivals_per_key.values().any(|&n| n > 1),
             "churn mix re-arrives some clients"
         );
+    }
+
+    #[test]
+    fn openloop_records_round_trip_under_the_v2_header() {
+        let mut t = ArrivalTrace::new();
+        t.arrive(
+            SimTime::ZERO,
+            "surge",
+            TraceJob::OpenLoop {
+                model: InferModel::Bert,
+                profile: LoadProfile::FlashCrowd {
+                    base_qps: 100.0,
+                    mult: 5.0,
+                    at: SimSpan::from_secs(1),
+                    len: SimSpan::from_millis(500),
+                },
+                seed: 31,
+            },
+        );
+        t.depart(SimTime::from_secs(2), "surge");
+        t.validate().unwrap();
+        let text = t.to_text();
+        assert!(text.starts_with("# tally-arrival-trace v2\n"), "{text}");
+        let parsed = ArrivalTrace::parse(&text).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.to_text(), text, "v2 text is a fixed point");
+        // Plain traces keep the v1 header byte-for-byte.
+        assert!(sample().to_text().starts_with("# tally-arrival-trace v1\n"));
+    }
+
+    #[test]
+    fn openloop_parse_rejects_malformed_records() {
+        let bad = [
+            // No profile.
+            "# tally-arrival-trace v2\n@0 arrive a openloop bert-infer seed=1",
+            // Unknown profile kind.
+            "# tally-arrival-trace v2\n@0 arrive a openloop bert-infer wave qps=1 seed=1",
+            // Missing seed.
+            "# tally-arrival-trace v2\n@0 arrive a openloop bert-infer const qps=1",
+            // Degenerate rate.
+            "# tally-arrival-trace v2\n@0 arrive a openloop bert-infer const qps=0 seed=1",
+        ];
+        for text in bad {
+            assert!(ArrivalTrace::parse(text).is_err(), "accepted: {text:?}");
+        }
+    }
+
+    #[test]
+    fn openloop_records_resolve_to_window_offset_arrivals() {
+        let spec = GpuSpec::a100();
+        let mut t = ArrivalTrace::new();
+        t.arrive(
+            SimTime::from_millis(500),
+            "svc",
+            TraceJob::OpenLoop {
+                model: InferModel::Bert,
+                profile: LoadProfile::Constant { qps: 200.0 },
+                seed: 3,
+            },
+        );
+        t.depart(SimTime::from_millis(1500), "svc");
+        let events = t.session_events(&spec, SimSpan::from_secs(2));
+        let (_, SessionEvent::Arrive { job, .. }) = &events[0] else {
+            panic!("first event is the arrival");
+        };
+        let tally_core::harness::JobKind::Inference { arrivals, .. } = &job.kind else {
+            panic!("open-loop job resolves to inference");
+        };
+        assert!(!arrivals.is_empty());
+        assert!(arrivals
+            .iter()
+            .all(|&a| a >= SimTime::from_millis(500) && a < SimTime::from_millis(1500)));
+        // And the window generator matches the profile generator directly.
+        let direct: Vec<SimTime> = LoadProfile::Constant { qps: 200.0 }
+            .arrivals(SimSpan::from_secs(1), 3)
+            .into_iter()
+            .map(|a| SimTime::from_millis(500) + a.saturating_since(SimTime::ZERO))
+            .collect();
+        assert_eq!(*arrivals, direct);
     }
 
     #[test]

@@ -55,13 +55,17 @@ pub use tally_workloads as workloads;
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use tally_baselines::{KernelLevelPriority, Mps, Tgs, TimeSlicing};
+    pub use tally_core::admission::{
+        AdmissionPolicy, AdmissionVerdict, QueueCap, RejectNever, SloGuard,
+    };
     pub use tally_core::api::{ApiCall, ClientStub, InterceptStats, Transport};
     pub use tally_core::cluster::{
         BestEffortPacking, Cluster, ClusterClientReport, ClusterReport, DeviceLoad, DeviceReport,
         LeastLoaded, LoadAware, PlacementPolicy, RoundRobin,
     };
     pub use tally_core::events::{
-        LoadMonitor, Observation, SessionObserver, SharedObserver, TraceError, FLEET_DEVICE,
+        LoadMonitor, Observation, SessionObserver, SharedObserver, SharedSyncObserver, TraceError,
+        FLEET_DEVICE,
     };
     pub use tally_core::harness::{
         run_solo, ActivityWindow, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec,
@@ -75,6 +79,7 @@ pub mod prelude {
         Priority, SimSpan, SimTime, Step,
     };
     pub use tally_workloads::maf2::{arrivals, Maf2Config};
+    pub use tally_workloads::openloop::{self, LoadProfile};
     pub use tally_workloads::trace::{
         ArrivalTrace, ClientEvent, TraceGen, TraceJob, TraceMix, TraceRecorder,
     };

@@ -142,6 +142,125 @@ fn run_churn_trace(policy: &str, threads: usize) -> (String, Vec<String>) {
     (format!("{report:?}"), stream)
 }
 
+/// Report debug string + observer stream + fleet shed count for an
+/// open-loop flash-crowd mix under [`SloGuard`] admission: two
+/// high-priority BERT services near capacity, two best-effort services
+/// taking a 5x flash crowd, round-robin across two devices so every
+/// device runs one of each. Admission verdicts (and the `RequestShed`
+/// events they emit) are driven by the shared [`LoadMonitor`], whose
+/// state must itself be thread-count-invariant for this to hold.
+fn run_flash_crowd(threads: usize) -> (String, Vec<String>, u64) {
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let cap = openloop::solo_capacity_qps(InferModel::Bert);
+    let mut jobs = Vec::new();
+    for (i, seed) in [31u64, 37].into_iter().enumerate() {
+        jobs.push(
+            openloop::service(
+                &spec,
+                InferModel::Bert,
+                &LoadProfile::Constant { qps: 0.7 * cap },
+                c.duration,
+                seed,
+            )
+            .with_client_key(format!("hp-{i}")),
+        );
+    }
+    for (i, seed) in [41u64, 43].into_iter().enumerate() {
+        jobs.push(
+            openloop::service(
+                &spec,
+                InferModel::Bert,
+                &LoadProfile::FlashCrowd {
+                    base_qps: 0.2 * cap,
+                    mult: 5.0,
+                    at: SimSpan::from_millis(1000),
+                    len: SimSpan::from_millis(1500),
+                },
+                c.duration,
+                seed,
+            )
+            .with_priority(Priority::BestEffort)
+            .with_client_key(format!("be-{i}")),
+        );
+    }
+    let events = Rc::new(RefCell::new(Collector::default()));
+    let report = Cluster::new()
+        .devices(2, spec)
+        .clients(jobs)
+        .rebalance_every(SimSpan::from_millis(250))
+        .policy(RoundRobin::default())
+        .admission_with(|_| {
+            Box::new(
+                SloGuard::new(SimSpan::from_millis(20))
+                    .window(SimSpan::from_millis(100))
+                    .qps_range(2.0, 2000.0),
+            )
+        })
+        .observer(events.clone())
+        .threads(threads)
+        .config(c)
+        .run();
+    let stream = events.borrow().0.clone();
+    let shed = report.shed();
+    (format!("{report:?}"), stream, shed)
+}
+
+#[test]
+fn flash_crowd_admission_is_identical_for_any_thread_count() {
+    let (baseline, baseline_events, baseline_shed) = run_flash_crowd(1);
+    assert!(
+        baseline_shed > 0,
+        "scenario must exercise shedding for the determinism claim to bite"
+    );
+    assert!(
+        baseline_events.iter().any(|l| l.contains("RequestShed")),
+        "shed verdicts must surface in the observer stream"
+    );
+    for threads in [2usize, 4] {
+        let (report, events, _) = run_flash_crowd(threads);
+        assert_eq!(
+            baseline, report,
+            "flash-crowd report diverged between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            baseline_events, events,
+            "flash-crowd observer stream diverged between threads=1 and threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn direct_sync_delivery_keeps_reports_identical_for_any_thread_count() {
+    // With no `Rc` observer registered, worker threads deliver events to
+    // the shared `LoadMonitor` directly instead of through the ordered
+    // driving-thread flush. The load-aware policy then *reads* that
+    // monitor for placement and rebalancing, so any thread-dependence in
+    // the direct path would show up as diverging reports here.
+    let run = |threads: usize| -> String {
+        let spec = GpuSpec::a100();
+        let c = cfg(4);
+        let jobs = mixes::phase_shifted(&spec, SimSpan::from_millis(500), c.duration, 0.5);
+        let report = Cluster::new()
+            .devices(2, spec)
+            .clients(jobs)
+            .rebalance_every(SimSpan::from_millis(250))
+            .policy(LoadAware::default())
+            .threads(threads)
+            .config(c)
+            .run();
+        format!("{report:?}")
+    };
+    let baseline = run(1);
+    for threads in [2usize, 4] {
+        assert_eq!(
+            baseline,
+            run(threads),
+            "direct-delivery report diverged between threads=1 and threads={threads}"
+        );
+    }
+}
+
 #[test]
 fn phase_shifted_reports_are_identical_for_any_thread_count() {
     for policy in POLICIES {
