@@ -16,11 +16,13 @@
 //! best-effort arrivals on SLO breach and holds the hp tail within budget.
 
 use tally_bench::{
-    banner, full_or_quick, make_system, ms, run_session, windowed_p99, JsonSink, FIG5_SYSTEMS,
+    banner, full_or_quick, make_system, ms, run_session, telemetry_dir, windowed_p99, JsonSink,
+    FIG5_SYSTEMS,
 };
 use tally_core::admission::{AdmissionPolicy, RejectNever, SloGuard};
 use tally_core::harness::{Colocation, HarnessConfig};
 use tally_core::metrics::RunReport;
+use tally_core::telemetry::{ChromeTraceWriter, MetricsHub, Timeline};
 use tally_gpu::{GpuSpec, Priority, SimSpan, SimTime};
 use tally_workloads::openloop::{self, LoadProfile};
 use tally_workloads::{InferModel, TrainModel};
@@ -176,7 +178,11 @@ fn main() {
         "{:<14} {:>12} {:>10} {:>8} {:>10}",
         "policy", "recovery p99", "run p99", "shed", "be compl/s"
     );
-    let run = |policy: Box<dyn AdmissionPolicy>| -> RunReport {
+    // With `--telemetry DIR` (TALLY_TELEMETRY_DIR), attach the telemetry
+    // observers and export the flash crowd as a time series + Chrome
+    // trace. Observers are passive, so every recorded metric below is
+    // byte-identical with or without them.
+    let run = |name: &str, policy: Box<dyn AdmissionPolicy>| -> RunReport {
         let hp = openloop::service(
             &spec,
             model,
@@ -186,13 +192,52 @@ fn main() {
         );
         let be = openloop::service(&spec, model, &be_profile, cfg.duration, 12)
             .with_priority(Priority::BestEffort);
-        Colocation::on(spec.clone())
+        let mut session = Colocation::on(spec.clone())
             .client(hp)
             .client(be)
             .system_boxed(make_system("time-slicing"))
             .config(cfg.clone())
-            .admission(policy)
-            .run()
+            .admission(policy);
+        let telemetry = if let Some(dir) = telemetry_dir() {
+            let timeline = Timeline::shared(SimSpan::from_millis(100), cfg.duration);
+            let trace = ChromeTraceWriter::shared();
+            let hub = MetricsHub::shared();
+            session = session
+                .observer(timeline.clone())
+                .observer(trace.clone())
+                .observer(hub.clone());
+            Some((dir, timeline, trace, hub))
+        } else {
+            None
+        };
+        let report = session.run();
+        if let Some((dir, timeline, trace, hub)) = telemetry {
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+            let mut timeline = timeline.borrow_mut();
+            let write = |file: String, text: String| {
+                let path = dir.join(file);
+                std::fs::write(&path, text)
+                    .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+                eprintln!("fig_saturation: telemetry -> {}", path.display());
+            };
+            write(
+                format!("saturation_timeline_{name}.json"),
+                timeline.to_json(),
+            );
+            write(format!("saturation_timeline_{name}.csv"), timeline.to_csv());
+            write(
+                format!("saturation_trace_{name}.json"),
+                trace.borrow().to_json(),
+            );
+            let hub = hub.borrow();
+            eprintln!(
+                "fig_saturation: [{name}] hub saw {} events, fleet p99 {}",
+                hub.events(),
+                hub.fleet_latency().p99().map_or_else(|| "-".into(), ms)
+            );
+        }
+        report
     };
     let mut outcomes: Vec<(&str, SimSpan, u64)> = Vec::new();
     for (name, policy) in [
@@ -210,7 +255,7 @@ fn main() {
             ),
         ),
     ] {
-        let report = run(policy);
+        let report = run(name, policy);
         let hp = report.high_priority().expect("hp client");
         let run_p99 = hp.p99().unwrap_or(SimSpan::ZERO);
         let recovery = windowed_p99(

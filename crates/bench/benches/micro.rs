@@ -10,8 +10,10 @@ use std::time::Instant;
 
 use tally_bench::{banner, bench_threads, JsonSink};
 use tally_core::cluster::Cluster;
+use tally_core::events::{Observation, SessionObserver};
 use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
 use tally_core::scheduler::{TallyConfig, TallySystem};
+use tally_core::telemetry::MetricsHub;
 use tally_core::timewheel::TimerWheel;
 use tally_gpu::{
     ClientId, Engine, GpuSpec, KernelDesc, LaunchRequest, Priority, SimSpan, SimTime, Step,
@@ -310,6 +312,82 @@ fn fleet_thread_sweep(sink: &mut JsonSink) {
     }
 }
 
+/// Buffers a session's full observation stream for replay.
+#[derive(Debug, Default)]
+struct EventTape(Vec<(SimTime, usize, Observation)>);
+
+impl SessionObserver for EventTape {
+    fn on_event(&mut self, at: SimTime, device: usize, event: &Observation) {
+        self.0.push((at, device, event.clone()));
+    }
+}
+
+/// MetricsHub ingest cost: record a deterministic event stream once (a
+/// 1s co-location under an SLO guard, so completions, sheds, deferrals,
+/// and kernel events all appear), then time replaying it into a fresh
+/// hub. Reported as an ungated `host_hub_events_per_s` row so observer
+/// overhead shows up in the trajectory.
+fn metrics_hub_overhead(sink: &mut JsonSink) {
+    banner("MetricsHub ingest (events/sec)");
+    let spec = GpuSpec::a100();
+    let k = KernelDesc::builder("req")
+        .grid(432)
+        .block(256)
+        .block_cost(SimSpan::from_micros(50))
+        .build_arc();
+    let hp = JobSpec::inference(
+        "hp",
+        vec![WorkloadOp::Kernel(k.clone()); 4],
+        (0..500).map(|i| SimTime::from_millis(2 * i)).collect(),
+    );
+    let be = JobSpec::inference(
+        "be",
+        vec![WorkloadOp::Kernel(k); 4],
+        (0..1000).map(SimTime::from_millis).collect(),
+    )
+    .with_priority(Priority::BestEffort);
+    let tape = std::rc::Rc::new(std::cell::RefCell::new(EventTape::default()));
+    Colocation::on(spec)
+        .client(hp)
+        .client(be)
+        .system(&mut TallySystem::new(TallyConfig::paper_default()))
+        .config(HarnessConfig {
+            duration: SimSpan::from_secs(1),
+            warmup: SimSpan::from_millis(100),
+            seed: 3,
+            jitter: 0.0,
+            record_timelines: false,
+        })
+        .admission(Box::new(
+            tally_core::admission::SloGuard::new(SimSpan::from_millis(30))
+                .window(SimSpan::from_millis(100))
+                .qps_range(2.0, 2000.0),
+        ))
+        .observer(tape.clone())
+        .run();
+    let tape = std::rc::Rc::try_unwrap(tape)
+        .expect("sole owner after run")
+        .into_inner();
+    let events = tape.0.len() as u64;
+    assert!(events > 1000, "tape too small to time ({events} events)");
+    let ns_per_replay = bench(
+        sink,
+        &format!("telemetry: MetricsHub ingest of {events} events"),
+        100,
+        || {
+            let mut hub = MetricsHub::new();
+            for (at, device, ev) in &tape.0 {
+                hub.on_event(*at, *device, ev);
+            }
+            assert_eq!(hub.events(), events);
+            hub
+        },
+    );
+    let per_sec = events as f64 / (ns_per_replay as f64 / 1e9);
+    println!("    hub ingest rate: {:.1}M events/s", per_sec / 1e6);
+    sink.record("host_hub_events_per_s", per_sec, &[]);
+}
+
 fn main() {
     let mut sink = JsonSink::from_args("micro");
     // The pinned worker-thread count (if any), as trajectory metadata.
@@ -325,5 +403,6 @@ fn main() {
     scheduler_colocation(&mut sink);
     timer_wheel_vs_scan(&mut sink);
     fleet_thread_sweep(&mut sink);
+    metrics_hub_overhead(&mut sink);
     sink.finish();
 }

@@ -26,12 +26,19 @@
 //! directories (see [`tally_bench::diff`]) and exits non-zero when a
 //! throughput-like metric dropped or a latency-like metric rose by more
 //! than the threshold (default 10%), or when a measurement disappeared.
+//!
+//! `--telemetry DIR` exports `TALLY_TELEMETRY_DIR=DIR` to every child so
+//! telemetry-aware benches (currently `fig_saturation`) drop time-series
+//! JSON/CSV and Chrome traces there; the recorded metrics are unchanged
+//! (telemetry observers are passive). `--validate-json FILE...` parses
+//! each file with the bench JSON reader and exits non-zero on malformed
+//! output — CI uses it to gate the exported telemetry documents.
 
 use std::path::PathBuf;
 use std::process::Command;
 
-use tally_bench::diff::{diff_dirs, print_report, DEFAULT_THRESHOLD};
-use tally_bench::{PROFILE_ENV, THREADS_ENV};
+use tally_bench::diff::{diff_dirs, parse_json, print_report, DEFAULT_THRESHOLD};
+use tally_bench::{PROFILE_ENV, TELEMETRY_ENV, THREADS_ENV};
 
 /// Every JSON-emitting bench target and its trajectory file.
 const BENCHES: &[(&str, &str)] = &[
@@ -64,9 +71,16 @@ fn main() {
         return;
     }
 
+    if let Some(pos) = args.iter().position(|a| a == "--validate-json") {
+        args.remove(pos);
+        run_validate(&args[pos..]);
+        return;
+    }
+
     let mut all = false;
     let mut quick = false;
     let mut threads: Option<usize> = None;
+    let mut telemetry: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -92,6 +106,12 @@ fn main() {
                 out_dir =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| {
                         panic!("--out-dir requires a directory argument")
+                    })))
+            }
+            "--telemetry" => {
+                telemetry =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                        panic!("--telemetry requires a directory argument")
                     })))
             }
             name => names.push(name.to_string()),
@@ -130,6 +150,12 @@ fn main() {
     let out_dir = out_dir
         .canonicalize()
         .unwrap_or_else(|e| panic!("resolving {}: {e}", out_dir.display()));
+    // Same absolutization for the telemetry export directory.
+    let telemetry = telemetry.map(|dir| {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        dir.canonicalize()
+            .unwrap_or_else(|e| panic!("resolving {}: {e}", dir.display()))
+    });
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut written = Vec::new();
     for &&(bench, out) in &selected {
@@ -155,6 +181,14 @@ fn main() {
             }
             None => {
                 cmd.env_remove(THREADS_ENV);
+            }
+        }
+        match &telemetry {
+            Some(dir) => {
+                cmd.env(TELEMETRY_ENV, dir);
+            }
+            None => {
+                cmd.env_remove(TELEMETRY_ENV);
             }
         }
         let status = cmd
@@ -196,6 +230,25 @@ fn run_diff(mut args: Vec<String>, at: usize) {
     if regressed {
         eprintln!("bench_suite --diff: REGRESSION detected");
         std::process::exit(1);
+    }
+}
+
+/// `--validate-json FILE...`: parse each file with the bench JSON reader
+/// and exit non-zero on the first malformed document.
+fn run_validate(files: &[String]) {
+    assert!(
+        !files.is_empty(),
+        "usage: bench_suite --validate-json FILE..."
+    );
+    for f in files {
+        let text = std::fs::read_to_string(f).unwrap_or_else(|e| panic!("reading {f}: {e}"));
+        match parse_json(&text) {
+            Ok(_) => eprintln!("bench_suite --validate-json: {f} OK ({} bytes)", text.len()),
+            Err(e) => {
+                eprintln!("bench_suite --validate-json: {f} MALFORMED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -41,6 +41,20 @@ pub const PROFILE_ENV: &str = "TALLY_BENCH_PROFILE";
 /// defaults to the host's available parallelism.
 pub const THREADS_ENV: &str = "TALLY_BENCH_THREADS";
 
+/// Name of the environment variable pointing benches at a directory for
+/// telemetry exports (`bench_suite --telemetry DIR` exports it to every
+/// child bench). Unset: benches skip telemetry export entirely, keeping
+/// the default runs observer-free.
+pub const TELEMETRY_ENV: &str = "TALLY_TELEMETRY_DIR";
+
+/// The telemetry export directory, when [`TELEMETRY_ENV`] is set.
+/// Registering telemetry observers never changes simulated results (they
+/// are passive event-stream consumers), so the recorded `BENCH_*.json`
+/// metrics are identical with or without this set.
+pub fn telemetry_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os(TELEMETRY_ENV).map(std::path::PathBuf::from)
+}
+
 /// The pinned cluster worker-thread count, when [`THREADS_ENV`] is set.
 ///
 /// CI pins `--threads 1` for its bench-trajectory run so the recorded

@@ -430,10 +430,15 @@ pub(crate) struct Client {
     op_times: Vec<SimTime>,
     /// Whether the session has observers (or an admission policy): when
     /// set, completed requests are buffered in `fresh_requests` for the
-    /// observation stream, and shed arrivals in `fresh_sheds`.
+    /// observation stream, shed arrivals in `fresh_sheds`, and admission
+    /// deferrals in `fresh_deferrals`.
     observe: bool,
     fresh_requests: Vec<(SimTime, SimSpan)>,
     fresh_sheds: Vec<SimTime>,
+    fresh_deferrals: Vec<(SimTime, SimSpan)>,
+    /// Shed arrival instants, kept when `record_timelines` is set so
+    /// [`ClientReport::timed_sheds`] can drive per-window shed rates.
+    timed_sheds: Vec<SimTime>,
     /// Best-effort requests rejected by the admission policy.
     shed: u64,
     /// Admission verdicts that paused this client's intake.
@@ -487,6 +492,8 @@ impl Client {
             observe: false,
             fresh_requests: Vec::new(),
             fresh_sheds: Vec::new(),
+            fresh_deferrals: Vec::new(),
+            timed_sheds: Vec::new(),
             shed: 0,
             deferred: 0,
             intake_hold: None,
@@ -539,11 +546,17 @@ impl Client {
                                     if self.observe {
                                         self.fresh_sheds.push(arrival);
                                     }
+                                    if self.record_timelines {
+                                        self.timed_sheds.push(arrival);
+                                    }
                                     self.next_arrival += 1;
                                     continue;
                                 }
                                 AdmissionVerdict::Defer(pause) => {
                                     self.deferred += 1;
+                                    if self.observe {
+                                        self.fresh_deferrals.push((arrival, pause));
+                                    }
                                     // A zero pause would re-offer at this
                                     // same instant forever.
                                     self.intake_hold =
@@ -679,6 +692,7 @@ impl Client {
                 .map(ClientStub::stats)
                 .unwrap_or_default(),
             timed_latencies: self.timed_latencies.clone(),
+            timed_sheds: self.timed_sheds.clone(),
             op_times: self.op_times.clone(),
         }
     }
@@ -1284,6 +1298,19 @@ impl<'s> SessionCore<'s> {
                         let ev = Observation::RequestShed {
                             client: ClientId(i as u32),
                             arrival,
+                        };
+                        if let Some(p) = admission.as_deref_mut() {
+                            p.on_event(now, device, &ev);
+                        }
+                        if buffering {
+                            self.events_buf.push((now, ev));
+                        }
+                    }
+                    for (arrival, pause) in client.fresh_deferrals.drain(..) {
+                        let ev = Observation::RequestDeferred {
+                            client: ClientId(i as u32),
+                            arrival,
+                            pause,
                         };
                         if let Some(p) = admission.as_deref_mut() {
                             p.on_event(now, device, &ev);

@@ -21,6 +21,7 @@
 //! | typed event stream, observers, runtime load signals (beyond the paper) | [`events`] |
 //! | observer-driven admission control for open-loop load (beyond the paper) | [`admission`] |
 //! | hierarchical timer wheel behind `Session::next_wake` (beyond the paper) | [`timewheel`] |
+//! | metrics registry, time-series sampler, Chrome-trace export (beyond the paper) | [`telemetry`] |
 //!
 //! ## Quickstart
 //!
@@ -76,6 +77,7 @@ pub mod metrics;
 pub mod profiler;
 pub mod scheduler;
 pub mod system;
+pub mod telemetry;
 pub mod timewheel;
 pub mod transform;
 
@@ -98,4 +100,8 @@ pub use harness::{
 pub use metrics::{ClientReport, HostStats, LatencyRecorder, RunReport, Windowed};
 pub use scheduler::{TallyConfig, TallySystem};
 pub use system::{ClientMeta, Ctx, Passthrough, SharingSystem};
+pub use telemetry::{
+    ChromeTraceWriter, ClientMetrics, DeviceMetrics, Histogram, MetricSample, MetricsHub, Timeline,
+    TimelineWindow,
+};
 pub use timewheel::{TimerId, TimerWheel};

@@ -1,5 +1,8 @@
 //! Latency and throughput metrics — the quantities the paper reports.
 
+use std::cell::RefCell;
+use std::fmt;
+
 use tally_gpu::{SimSpan, SimTime};
 
 use crate::api::InterceptStats;
@@ -20,9 +23,25 @@ use crate::api::InterceptStats;
 /// assert_eq!(rec.p99(), Some(SimSpan::from_millis(99)));
 /// assert_eq!(rec.quantile(0.5), Some(SimSpan::from_millis(50)));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct LatencyRecorder {
     samples: Vec<SimSpan>,
+    /// Lazily-sorted copy of `samples`, rebuilt on the first quantile
+    /// query after a `record` (benches query p99/p50/mean repeatedly on
+    /// the same recorder). Staleness check: `samples` only ever grows, so
+    /// a length mismatch is exactly "a record happened since the sort".
+    sorted: RefCell<Vec<SimSpan>>,
+}
+
+/// Manual impl so the cache never leaks into debug output: report debug
+/// strings double as determinism fingerprints, and whether a quantile was
+/// queried must not change them.
+impl fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencyRecorder")
+            .field("samples", &self.samples)
+            .finish()
+    }
 }
 
 impl LatencyRecorder {
@@ -63,8 +82,12 @@ impl LatencyRecorder {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_unstable();
+        }
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }
@@ -134,6 +157,10 @@ pub struct ClientReport {
     /// `(arrival, latency)` per request, whole run — only populated when
     /// the harness records timelines.
     pub timed_latencies: Vec<(tally_gpu::SimTime, SimSpan)>,
+    /// Arrival instant of every shed request, whole run — only populated
+    /// when the harness records timelines. Lets [`ClientReport::windowed`]
+    /// compute per-window shed rates instead of a whole-run scalar.
+    pub timed_sheds: Vec<tally_gpu::SimTime>,
     /// Completion instant of every program op — only populated when the
     /// harness records timelines.
     pub op_times: Vec<tally_gpu::SimTime>,
@@ -164,6 +191,11 @@ impl ClientReport {
             .iter()
             .filter(|&&t| t >= from && t < until)
             .count() as u64;
+        let sheds = self
+            .timed_sheds
+            .iter()
+            .filter(|&&t| t >= from && t < until)
+            .count() as u64;
         let secs = until.saturating_since(from).as_secs_f64().max(1e-9);
         let throughput = if self.iterations > 0 {
             // Training: ops completed in the window, in iterations.
@@ -176,6 +208,7 @@ impl ClientReport {
         Windowed {
             latency,
             ops,
+            sheds,
             throughput,
         }
     }
@@ -196,6 +229,7 @@ impl ClientReport {
 /// #         (SimTime::ZERO, SimSpan::from_millis(1)),
 /// #         (SimTime::from_secs(3), SimSpan::from_millis(9)),
 /// #     ],
+/// #     timed_sheds: Vec::new(),
 /// #     op_times: vec![SimTime::from_millis(1)],
 /// # };
 /// let early = report.windowed(SimTime::ZERO, SimTime::from_secs(2));
@@ -208,6 +242,8 @@ pub struct Windowed {
     pub latency: LatencyRecorder,
     /// Program ops completed inside the window.
     pub ops: u64,
+    /// Requests shed inside the window (by arrival instant).
+    pub sheds: u64,
     /// Work units per second over the window: iterations for training
     /// clients, requests for inference clients.
     pub throughput: f64,
@@ -228,6 +264,17 @@ impl Windowed {
     /// The window's mean latency.
     pub fn mean(&self) -> Option<SimSpan> {
         self.latency.mean()
+    }
+
+    /// Fraction of the window's arrivals that were shed:
+    /// `sheds / (requests + sheds)`, 0 when nothing arrived.
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.requests() + self.sheds;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.sheds as f64 / arrivals as f64
+        }
     }
 }
 
@@ -333,6 +380,19 @@ mod tests {
     }
 
     #[test]
+    fn quantile_cache_invalidates_on_record() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(SimSpan::from_micros(10));
+        assert_eq!(rec.p99(), Some(SimSpan::from_micros(10)));
+        // A new sample after a query must be visible to the next query.
+        rec.record(SimSpan::from_micros(90));
+        assert_eq!(rec.p99(), Some(SimSpan::from_micros(90)));
+        assert_eq!(rec.quantile(0.0), Some(SimSpan::from_micros(10)));
+        // The cache stays out of the debug fingerprint.
+        assert!(!format!("{rec:?}").contains("sorted"));
+    }
+
+    #[test]
     fn p99_ignores_order() {
         let mut a = LatencyRecorder::new();
         let mut b = LatencyRecorder::new();
@@ -363,6 +423,7 @@ mod tests {
                 (SimTime::from_millis(500), SimSpan::from_millis(5)),
                 (SimTime::from_secs(1), SimSpan::from_millis(9)),
             ],
+            timed_sheds: vec![SimTime::from_millis(600), SimTime::from_millis(1500)],
             op_times: vec![
                 SimTime::from_millis(1),
                 SimTime::from_millis(501),
@@ -372,6 +433,8 @@ mod tests {
         let w = report.windowed(SimTime::ZERO, SimTime::from_secs(1));
         assert_eq!(w.requests(), 2);
         assert_eq!(w.ops, 2);
+        assert_eq!(w.sheds, 1);
+        assert!((w.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(w.p99(), Some(SimSpan::from_millis(5)));
         assert_eq!(w.mean(), Some(SimSpan::from_millis(3)));
         // 2 requests in a 1s window.
@@ -382,6 +445,7 @@ mod tests {
         let empty = report.windowed(SimTime::from_secs(5), SimTime::from_secs(6));
         assert_eq!(empty.requests(), 0);
         assert_eq!(empty.p99(), None);
+        assert_eq!(empty.shed_rate(), 0.0);
     }
 
     #[test]
@@ -400,6 +464,7 @@ mod tests {
             throughput: 0.0,
             intercept: InterceptStats::default(),
             timed_latencies: Vec::new(),
+            timed_sheds: Vec::new(),
             op_times: (0..8).map(|i| SimTime::from_millis(100 * i)).collect(),
         };
         let w = report.windowed(SimTime::ZERO, SimTime::from_secs(1));
@@ -427,6 +492,7 @@ mod tests {
                     throughput: 50.0,
                     intercept: InterceptStats::default(),
                     timed_latencies: Vec::new(),
+                    timed_sheds: Vec::new(),
                     op_times: Vec::new(),
                 },
                 ClientReport {
@@ -442,6 +508,7 @@ mod tests {
                     throughput: 5.0,
                     intercept: InterceptStats::default(),
                     timed_latencies: Vec::new(),
+                    timed_sheds: Vec::new(),
                     op_times: Vec::new(),
                 },
             ],

@@ -1,0 +1,1681 @@
+//! Streaming telemetry riding the [`events`](crate::events) stream: a
+//! mergeable log-bucketed [`Histogram`], a labeled metrics registry
+//! ([`MetricsHub`]), a fixed-cadence time-series sampler ([`Timeline`]),
+//! and a Chrome-trace timeline export ([`ChromeTraceWriter`]).
+//!
+//! All three observers are pure *consumers* of [`Observation`]s: they
+//! register like any other [`SessionObserver`] and therefore inherit the
+//! event layer's zero-cost-when-unregistered property — a session with no
+//! observers never constructs an event, and registering any of these
+//! changes **no** simulation output (`tests/telemetry.rs` holds a
+//! reports-unperturbed test to that contract).
+//!
+//! Their state is partitioned per device, so under the direct
+//! worker-thread delivery path ([`SharedSyncObserver`](crate::events::SharedSyncObserver)) every query-time
+//! result and every export is byte-identical for any cluster thread
+//! count, exactly like [`LoadMonitor`](crate::events::LoadMonitor).
+//!
+//! A deliberate design note on sampling: [`Timeline`] does **not**
+//! schedule wake-ups on the cluster's fleet timer wheel. An extra barrier
+//! at each cadence instant would force every session to settle there,
+//! emitting extra [`Observation::EngineSample`]s — which feed
+//! [`LoadMonitor`](crate::events::LoadMonitor) and could therefore perturb
+//! load-aware placement and admission decisions, violating the
+//! observers-change-nothing contract. Every observation is already
+//! timestamped, so the sampler closes each fixed-cadence window lazily as
+//! events stream past its boundary; the resulting series is a pure
+//! function of the (deterministic) per-device event stream.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use tally_gpu::{SimSpan, SimTime};
+
+use crate::events::{Observation, SessionObserver, FLEET_DEVICE};
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^(SUB_BITS-1)` linear sub-buckets, bounding the relative quantile
+/// error by `2^-(SUB_BITS-1)` (midpoint reporting halves it again).
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// A mergeable log-bucketed latency histogram: power-of-two buckets ×
+/// linear sub-buckets (HDR-style), O(buckets) memory regardless of sample
+/// count, with relative quantile error bounded by ~3.2% (each bucket's
+/// width is at most 1/16 of its lower edge and quantiles report bucket
+/// midpoints).
+///
+/// Unlike [`LatencyRecorder`](crate::metrics::LatencyRecorder) — which is
+/// exact but stores every sample — a `Histogram` can absorb a
+/// million-request open-loop run in a few kilobytes, and two histograms
+/// [`merge`](Histogram::merge) by adding bucket counts, so per-device
+/// histograms fold into fleet-wide ones associatively and commutatively.
+///
+/// ```
+/// use tally_core::telemetry::Histogram;
+/// use tally_gpu::SimSpan;
+///
+/// let mut h = Histogram::new();
+/// for ms in 1..=1000u64 {
+///     h.record(SimSpan::from_millis(ms));
+/// }
+/// let p99 = h.quantile(0.99).unwrap();
+/// let exact = SimSpan::from_millis(990);
+/// let err = (p99.as_nanos() as f64 - exact.as_nanos() as f64).abs()
+///     / exact.as_nanos() as f64;
+/// assert!(err <= 1.0 / 16.0, "relative error {err}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Bucket counts, grown lazily up to the highest bucket touched.
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    /// Exact extrema, so `quantile(0.0)` / `quantile(1.0)` stay sharp.
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Bucket index for a value: the first `SUB_COUNT` values map exactly,
+/// beyond that each power-of-two range holds `SUB_COUNT / 2` linear
+/// sub-buckets.
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB_COUNT {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros() as u64;
+    let half = SUB_COUNT / 2;
+    let offset = (ns >> (msb - (SUB_BITS as u64 - 1))) - half;
+    (SUB_COUNT + (msb - SUB_BITS as u64) * half + offset) as usize
+}
+
+/// Inverse of [`bucket_of`]: the `[lo, hi)` range of values a bucket
+/// covers, in nanoseconds.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let idx = idx as u64;
+    if idx < SUB_COUNT {
+        return (idx, idx + 1);
+    }
+    let half = SUB_COUNT / 2;
+    let level = (idx - SUB_COUNT) / half;
+    let offset = (idx - SUB_COUNT) % half;
+    let shift = level + 1;
+    let lo = (half + offset) << shift;
+    // The very top bucket's exclusive upper bound is 2^64: saturate.
+    (lo, lo.saturating_add(1 << shift))
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimSpan) {
+        let ns = sample.as_nanos();
+        let idx = bucket_of(ns);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The exact minimum sample.
+    pub fn min(&self) -> Option<SimSpan> {
+        (self.total > 0).then(|| SimSpan::from_nanos(self.min_ns))
+    }
+
+    /// The exact maximum sample.
+    pub fn max(&self) -> Option<SimSpan> {
+        (self.total > 0).then(|| SimSpan::from_nanos(self.max_ns))
+    }
+
+    /// The exact arithmetic mean.
+    pub fn mean(&self) -> Option<SimSpan> {
+        (self.total > 0).then(|| SimSpan::from_nanos((self.sum_ns / self.total as u128) as u64))
+    }
+
+    /// The `q`-quantile (nearest rank over buckets, reported at the
+    /// bucket midpoint and clamped to the exact extrema), `q` in
+    /// `[0, 1]`. Relative error vs the exact sample quantile is bounded
+    /// by the bucket width: at most 1/16 of the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimSpan> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                let mid = lo + (hi - lo) / 2;
+                return Some(SimSpan::from_nanos(mid.clamp(self.min_ns, self.max_ns)));
+            }
+        }
+        Some(SimSpan::from_nanos(self.max_ns))
+    }
+
+    /// The 99th-percentile latency.
+    pub fn p99(&self) -> Option<SimSpan> {
+        self.quantile(0.99)
+    }
+
+    /// The median latency.
+    pub fn p50(&self) -> Option<SimSpan> {
+        self.quantile(0.50)
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is associative
+    /// and commutative (bucket counts add), so per-device histograms fold
+    /// into fleet-wide ones in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (idx, &c) in other.counts.iter().enumerate() {
+            self.counts[idx] += c;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MetricsHub
+// ---------------------------------------------------------------------
+
+/// Labeled counters, gauges, and a latency [`Histogram`] for one device.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceMetrics {
+    /// Requests completed.
+    pub requests: u64,
+    /// Arrivals shed by admission control.
+    pub shed: u64,
+    /// Admission deferrals (one arrival can defer repeatedly).
+    pub deferred: u64,
+    /// Logical kernels handed to the sharing system.
+    pub dispatched: u64,
+    /// Logical kernels finished.
+    pub finished: u64,
+    /// Client attach edges (first windows and re-attaches).
+    pub attaches: u64,
+    /// Client detach edges.
+    pub detaches: u64,
+    /// Clients migrated onto this device.
+    pub migrations_in: u64,
+    /// Clients migrated off this device.
+    pub migrations_out: u64,
+    /// Request latency distribution.
+    pub latency: Histogram,
+    outstanding: BTreeSet<u32>,
+    attached: BTreeSet<u32>,
+    busy_thread_ns: u128,
+    thread_slots: u64,
+}
+
+impl DeviceMetrics {
+    /// Gauge: kernels dispatched and not yet finished, right now.
+    pub fn queue_depth(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Gauge: clients currently attached.
+    pub fn clients_attached(&self) -> usize {
+        self.attached.len()
+    }
+
+    /// The engine's cumulative busy-thread integral at the last sample —
+    /// divide deltas by `elapsed × thread_slots` for mean occupancy.
+    pub fn busy_thread_ns(&self) -> u128 {
+        self.busy_thread_ns
+    }
+
+    /// The device's resident-thread capacity (0 until the first sample).
+    pub fn thread_slots(&self) -> u64 {
+        self.thread_slots
+    }
+}
+
+/// Per-client-key counters and latency distribution, accumulated across
+/// re-attaches and cross-device migrations.
+#[derive(Clone, Debug, Default)]
+pub struct ClientMetrics {
+    /// Whether the client attached as high-priority.
+    pub high_priority: bool,
+    /// Requests completed.
+    pub requests: u64,
+    /// Arrivals shed by admission control.
+    pub shed: u64,
+    /// Admission deferrals.
+    pub deferred: u64,
+    /// Logical kernels finished.
+    pub kernels: u64,
+    /// Request latency distribution.
+    pub latency: Histogram,
+}
+
+/// One row of [`MetricsHub::samples`]: a metric name plus its labels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSample {
+    /// Metric name (e.g. `"requests"`, `"queue_depth"`, `"p99_ms"`).
+    pub name: &'static str,
+    /// Device label, `None` for fleet-level metrics.
+    pub device: Option<usize>,
+    /// Client-key label, `None` for device- or fleet-level metrics.
+    pub client: Option<String>,
+    /// The value.
+    pub value: f64,
+}
+
+/// A streaming metrics registry: distills the [`Observation`] stream into
+/// labeled counters, gauges, and [`Histogram`]s per device and per client
+/// key — requests, sheds, deferrals, kernel dispatches, occupancy
+/// integrals, queue depth.
+///
+/// Register via [`MetricsHub::shared`] (ordered `Rc` flush) or
+/// [`MetricsHub::shared_sync`] (direct worker-thread delivery on a
+/// multi-threaded [`Cluster`](crate::cluster::Cluster)); state is
+/// partitioned per device, so both paths yield identical query-time
+/// results for every thread count.
+///
+/// ```
+/// use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
+/// use tally_core::telemetry::MetricsHub;
+/// use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
+///
+/// let hub = MetricsHub::shared();
+/// let k = KernelDesc::builder("req")
+///     .grid(64).block(128)
+///     .block_cost(SimSpan::from_micros(100))
+///     .build_arc();
+/// let arrivals = (0..50).map(|i| SimTime::from_millis(10 * i)).collect();
+/// let report = Colocation::on(GpuSpec::a100())
+///     .client(JobSpec::inference("svc", vec![WorkloadOp::Kernel(k)], arrivals))
+///     .observer(hub.clone())
+///     .config(HarnessConfig {
+///         duration: SimSpan::from_secs(1),
+///         warmup: SimSpan::ZERO,
+///         ..Default::default()
+///     })
+///     .run();
+/// let hub = hub.borrow();
+/// assert_eq!(hub.device(0).unwrap().requests, report.clients[0].requests);
+/// assert_eq!(hub.client("svc").unwrap().requests, report.clients[0].requests);
+/// assert!(hub.fleet_latency().p99().is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    devices: BTreeMap<usize, DeviceMetrics>,
+    clients: BTreeMap<String, ClientMetrics>,
+    /// `(device, session-local client id)` → stable client key.
+    names: BTreeMap<(usize, u32), String>,
+    migrations: u64,
+    rebalances: u64,
+    events: u64,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle (see
+    /// [`SharedObserver`](crate::events::SharedObserver)).
+    pub fn shared() -> Rc<RefCell<MetricsHub>> {
+        Rc::new(RefCell::new(MetricsHub::new()))
+    }
+
+    /// A thread-safe shared handle (see [`SharedSyncObserver`](crate::events::SharedSyncObserver)): state is
+    /// partitioned per device, so direct worker-thread delivery yields
+    /// the same registry as the ordered flush.
+    pub fn shared_sync() -> Arc<Mutex<MetricsHub>> {
+        Arc::new(Mutex::new(MetricsHub::new()))
+    }
+
+    /// Metrics for one device.
+    pub fn device(&self, device: usize) -> Option<&DeviceMetrics> {
+        self.devices.get(&device)
+    }
+
+    /// All devices seen, in index order.
+    pub fn devices(&self) -> impl Iterator<Item = (usize, &DeviceMetrics)> {
+        self.devices.iter().map(|(&d, m)| (d, m))
+    }
+
+    /// Metrics for one client key.
+    pub fn client(&self, key: &str) -> Option<&ClientMetrics> {
+        self.clients.get(key)
+    }
+
+    /// All client keys seen, in key order.
+    pub fn clients(&self) -> impl Iterator<Item = (&str, &ClientMetrics)> {
+        self.clients.iter().map(|(k, m)| (k.as_str(), m))
+    }
+
+    /// Cross-device migrations observed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Rebalance passes observed.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Total observations delivered to this hub.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The fleet-wide latency distribution: every device's histogram
+    /// folded together (order-independent — see [`Histogram::merge`]).
+    pub fn fleet_latency(&self) -> Histogram {
+        let mut fleet = Histogram::new();
+        for d in self.devices.values() {
+            fleet.merge(&d.latency);
+        }
+        fleet
+    }
+
+    /// Flattens the registry into labeled samples — counters and gauges
+    /// per device and per client, latency quantiles in milliseconds, plus
+    /// fleet-level migration/rebalance counters. Deterministic order:
+    /// devices by index, clients by key.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        let mut out = Vec::new();
+        let dev = |name, device, value| MetricSample {
+            name,
+            device: Some(device),
+            client: None,
+            value,
+        };
+        for (&d, m) in &self.devices {
+            out.push(dev("requests", d, m.requests as f64));
+            out.push(dev("shed", d, m.shed as f64));
+            out.push(dev("deferred", d, m.deferred as f64));
+            out.push(dev("kernels_dispatched", d, m.dispatched as f64));
+            out.push(dev("kernels_finished", d, m.finished as f64));
+            out.push(dev("queue_depth", d, m.queue_depth() as f64));
+            out.push(dev("clients_attached", d, m.clients_attached() as f64));
+            if let Some(p99) = m.latency.p99() {
+                out.push(dev("p99_ms", d, p99.as_millis_f64()));
+            }
+        }
+        for (k, m) in &self.clients {
+            for (name, value) in [
+                ("requests", m.requests as f64),
+                ("shed", m.shed as f64),
+                ("kernels", m.kernels as f64),
+            ] {
+                out.push(MetricSample {
+                    name,
+                    device: None,
+                    client: Some(k.clone()),
+                    value,
+                });
+            }
+        }
+        let fleet = |name, value| MetricSample {
+            name,
+            device: None,
+            client: None,
+            value,
+        };
+        out.push(fleet("migrations", self.migrations as f64));
+        out.push(fleet("rebalances", self.rebalances as f64));
+        out
+    }
+
+    fn client_mut(&mut self, device: usize, id: u32) -> &mut ClientMetrics {
+        let key = self
+            .names
+            .get(&(device, id))
+            .cloned()
+            .unwrap_or_else(|| format!("client-{id}"));
+        self.clients.entry(key).or_default()
+    }
+}
+
+impl SessionObserver for MetricsHub {
+    fn on_event(&mut self, _at: SimTime, device: usize, event: &Observation) {
+        self.events += 1;
+        match event {
+            Observation::ClientAttached {
+                client,
+                key,
+                priority,
+                ..
+            } => {
+                self.names.insert((device, client.0), key.clone());
+                let c = self.clients.entry(key.clone()).or_default();
+                c.high_priority = priority.is_high();
+                let d = self.devices.entry(device).or_default();
+                d.attaches += 1;
+                d.attached.insert(client.0);
+            }
+            Observation::ClientDetached { client, .. } => {
+                let d = self.devices.entry(device).or_default();
+                d.detaches += 1;
+                d.attached.remove(&client.0);
+                d.outstanding.remove(&client.0);
+            }
+            Observation::RequestCompleted {
+                client, latency, ..
+            } => {
+                let d = self.devices.entry(device).or_default();
+                d.requests += 1;
+                d.latency.record(*latency);
+                let c = self.client_mut(device, client.0);
+                c.requests += 1;
+                c.latency.record(*latency);
+            }
+            Observation::RequestShed { client, .. } => {
+                self.devices.entry(device).or_default().shed += 1;
+                self.client_mut(device, client.0).shed += 1;
+            }
+            Observation::RequestDeferred { client, .. } => {
+                self.devices.entry(device).or_default().deferred += 1;
+                self.client_mut(device, client.0).deferred += 1;
+            }
+            Observation::KernelDispatched { client, .. } => {
+                let d = self.devices.entry(device).or_default();
+                d.dispatched += 1;
+                d.outstanding.insert(client.0);
+            }
+            Observation::KernelFinished { client } => {
+                let d = self.devices.entry(device).or_default();
+                d.finished += 1;
+                d.outstanding.remove(&client.0);
+                self.client_mut(device, client.0).kernels += 1;
+            }
+            Observation::EngineSample {
+                busy_thread_ns,
+                total_thread_slots,
+                ..
+            } => {
+                let d = self.devices.entry(device).or_default();
+                d.busy_thread_ns = *busy_thread_ns;
+                d.thread_slots = *total_thread_slots;
+            }
+            Observation::ClientMigrated {
+                key,
+                from,
+                to,
+                from_client,
+                to_client,
+            } => {
+                self.migrations += 1;
+                self.names.remove(&(*from, from_client.0));
+                self.names.insert((*to, to_client.0), key.clone());
+                let src = self.devices.entry(*from).or_default();
+                src.migrations_out += 1;
+                src.attached.remove(&from_client.0);
+                src.outstanding.remove(&from_client.0);
+                let dst = self.devices.entry(*to).or_default();
+                dst.migrations_in += 1;
+                dst.attached.insert(to_client.0);
+            }
+            Observation::Rebalance { .. } => self.rebalances += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timeline
+// ---------------------------------------------------------------------
+
+/// One closed sampling window of a device's [`Timeline`] series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineWindow {
+    /// Window start instant.
+    pub start: SimTime,
+    /// Window length (the cadence, except a shorter final window).
+    pub len: SimSpan,
+    /// Requests completed inside the window.
+    pub requests: u64,
+    /// Arrivals shed inside the window.
+    pub shed: u64,
+    /// Admission deferrals inside the window.
+    pub deferred: u64,
+    /// Logical kernels finished inside the window.
+    pub kernels: u64,
+    /// Outstanding kernels at window close (instantaneous gauge).
+    pub queue_depth: usize,
+    /// Mean busy-thread occupancy over the window, from the engine's
+    /// busy-integral samples (step-function approximation: the integral
+    /// is only observable at event instants).
+    pub occupancy: f64,
+    /// p99 of the requests completed inside the window.
+    pub p99: Option<SimSpan>,
+    /// Mean latency of the requests completed inside the window.
+    pub mean: Option<SimSpan>,
+}
+
+impl TimelineWindow {
+    /// Completed requests per second over the window.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.len.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of arrivals shed: `shed / (requests + shed)`, 0 when the
+    /// window saw no arrivals.
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.requests + self.shed;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / arrivals as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WindowAccum {
+    requests: u64,
+    shed: u64,
+    deferred: u64,
+    kernels: u64,
+    latency: Histogram,
+}
+
+#[derive(Debug, Default)]
+struct DeviceSeries {
+    windows: Vec<TimelineWindow>,
+    cur: WindowAccum,
+    /// Index of the currently open window (`[idx·cadence, (idx+1)·cadence)`).
+    cur_idx: u64,
+    outstanding: BTreeSet<u32>,
+    busy_ns: u128,
+    slots: u64,
+    busy_at_start: u128,
+}
+
+impl DeviceSeries {
+    fn close_window(&mut self, cadence: SimSpan, end: SimTime) {
+        let start = SimTime::from_nanos(self.cur_idx * cadence.as_nanos());
+        let len = end.saturating_since(start);
+        let accum = std::mem::take(&mut self.cur);
+        let occupancy = if self.slots == 0 || len.is_zero() {
+            0.0
+        } else {
+            let busy = (self.busy_ns - self.busy_at_start) as f64;
+            busy / (len.as_nanos() as f64 * self.slots as f64)
+        };
+        self.windows.push(TimelineWindow {
+            start,
+            len,
+            requests: accum.requests,
+            shed: accum.shed,
+            deferred: accum.deferred,
+            kernels: accum.kernels,
+            queue_depth: self.outstanding.len(),
+            occupancy,
+            p99: accum.latency.p99(),
+            mean: accum.latency.mean(),
+        });
+        self.busy_at_start = self.busy_ns;
+        self.cur_idx += 1;
+    }
+
+    /// Closes every window whose end lies at or before `at` (events *at*
+    /// a boundary belong to the next window).
+    fn flush_to(&mut self, cadence: SimSpan, at: SimTime, limit: SimTime) {
+        loop {
+            let end = SimTime::from_nanos((self.cur_idx + 1) * cadence.as_nanos());
+            if end > at || end > limit {
+                break;
+            }
+            self.close_window(cadence, end);
+        }
+    }
+}
+
+/// A fixed-cadence sampler producing per-device QPS / occupancy /
+/// queue-depth / shed-rate time series from the observation stream,
+/// exportable as versioned JSON ([`Timeline::to_json`]) or CSV
+/// ([`Timeline::to_csv`]).
+///
+/// Windows are `[k·cadence, (k+1)·cadence)` and close lazily as
+/// timestamped events stream past each boundary (see the module docs for
+/// why no fleet-wheel wake-up is scheduled); the export is a pure
+/// function of the per-device event stream, hence byte-identical for
+/// every cluster thread count.
+///
+/// ```
+/// use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
+/// use tally_core::telemetry::Timeline;
+/// use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
+///
+/// let duration = SimSpan::from_secs(1);
+/// let timeline = Timeline::shared(SimSpan::from_millis(100), duration);
+/// let k = KernelDesc::builder("req")
+///     .grid(64).block(128)
+///     .block_cost(SimSpan::from_micros(100))
+///     .build_arc();
+/// let arrivals = (0..50).map(|i| SimTime::from_millis(10 * i)).collect();
+/// Colocation::on(GpuSpec::a100())
+///     .client(JobSpec::inference("svc", vec![WorkloadOp::Kernel(k)], arrivals))
+///     .observer(timeline.clone())
+///     .config(HarnessConfig {
+///         duration,
+///         warmup: SimSpan::ZERO,
+///         ..Default::default()
+///     })
+///     .run();
+/// let mut timeline = timeline.borrow_mut();
+/// let json = timeline.to_json();
+/// assert!(json.starts_with("{\"version\": 1"));
+/// // 10 windows of 100ms, ~5 completions each.
+/// assert_eq!(timeline.windows(0).len(), 10);
+/// assert!(timeline.windows(0).iter().map(|w| w.requests).sum::<u64>() >= 45);
+/// ```
+#[derive(Debug)]
+pub struct Timeline {
+    cadence: SimSpan,
+    duration: SimSpan,
+    devices: BTreeMap<usize, DeviceSeries>,
+}
+
+impl Timeline {
+    /// A sampler closing a window every `cadence` over a run of
+    /// `duration` (the final window may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn new(cadence: SimSpan, duration: SimSpan) -> Self {
+        assert!(!cadence.is_zero(), "timeline cadence must be positive");
+        Timeline {
+            cadence,
+            duration,
+            devices: BTreeMap::new(),
+        }
+    }
+
+    /// A shared handle (see
+    /// [`SharedObserver`](crate::events::SharedObserver)).
+    pub fn shared(cadence: SimSpan, duration: SimSpan) -> Rc<RefCell<Timeline>> {
+        Rc::new(RefCell::new(Timeline::new(cadence, duration)))
+    }
+
+    /// A thread-safe shared handle (see [`SharedSyncObserver`](crate::events::SharedSyncObserver)): the
+    /// series are partitioned per device, so direct worker-thread
+    /// delivery exports byte-identically to the ordered flush.
+    pub fn shared_sync(cadence: SimSpan, duration: SimSpan) -> Arc<Mutex<Timeline>> {
+        Arc::new(Mutex::new(Timeline::new(cadence, duration)))
+    }
+
+    /// The sampling cadence.
+    pub fn cadence(&self) -> SimSpan {
+        self.cadence
+    }
+
+    /// Closes every remaining window up to the run duration. Idempotent;
+    /// called automatically by the export methods.
+    pub fn finish(&mut self) {
+        let end = SimTime::ZERO + self.duration;
+        for d in self.devices.values_mut() {
+            loop {
+                let start = SimTime::from_nanos(d.cur_idx * self.cadence.as_nanos());
+                if start >= end {
+                    break;
+                }
+                let close = (start + self.cadence).min(end);
+                d.close_window(self.cadence, close);
+            }
+        }
+    }
+
+    /// The closed windows of one device (call [`Timeline::finish`] first
+    /// to include trailing quiet windows).
+    pub fn windows(&self, device: usize) -> &[TimelineWindow] {
+        self.devices.get(&device).map_or(&[], |d| &d.windows)
+    }
+
+    /// Devices with a series, in index order.
+    pub fn device_indices(&self) -> Vec<usize> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// Versioned JSON export: `{"version": 1, "cadence_ns": …,
+    /// "duration_ns": …, "series": [{"device": d, "windows": […]}]}`,
+    /// one window object per closed window with `qps`, `shed_rate`,
+    /// `occupancy`, `queue_depth`, and latency quantiles in milliseconds.
+    pub fn to_json(&mut self) -> String {
+        self.finish();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"version\": 1, \"cadence_ns\": {}, \"duration_ns\": {}, \"series\": [",
+            self.cadence.as_nanos(),
+            self.duration.as_nanos()
+        );
+        for (di, (&device, d)) in self.devices.iter().enumerate() {
+            if di > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"device\": {device}, \"windows\": [");
+            for (wi, w) in d.windows.iter().enumerate() {
+                if wi > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"start_ns\": {}, \"len_ns\": {}, \"requests\": {}, \
+                     \"shed\": {}, \"deferred\": {}, \"kernels\": {}, \
+                     \"qps\": {}, \"shed_rate\": {}, \"occupancy\": {}, \
+                     \"queue_depth\": {}",
+                    w.start.as_nanos(),
+                    w.len.as_nanos(),
+                    w.requests,
+                    w.shed,
+                    w.deferred,
+                    w.kernels,
+                    fmt_f64(w.qps()),
+                    fmt_f64(w.shed_rate()),
+                    fmt_f64(w.occupancy),
+                    w.queue_depth,
+                );
+                if let Some(p99) = w.p99 {
+                    let _ = write!(out, ", \"p99_ms\": {}", fmt_f64(p99.as_millis_f64()));
+                }
+                if let Some(mean) = w.mean {
+                    let _ = write!(out, ", \"mean_ms\": {}", fmt_f64(mean.as_millis_f64()));
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// CSV export: one row per `(device, window)` with the same fields as
+    /// the JSON form (empty latency cells for quiet windows).
+    pub fn to_csv(&mut self) -> String {
+        self.finish();
+        let mut out = String::from(
+            "device,start_ms,len_ms,requests,shed,deferred,kernels,\
+             qps,shed_rate,occupancy,queue_depth,p99_ms,mean_ms\n",
+        );
+        for (&device, d) in &self.devices {
+            for w in &d.windows {
+                let _ = write!(
+                    out,
+                    "{device},{},{},{},{},{},{},{},{},{},{}",
+                    fmt_f64(w.start.as_nanos() as f64 / 1e6),
+                    fmt_f64(w.len.as_millis_f64()),
+                    w.requests,
+                    w.shed,
+                    w.deferred,
+                    w.kernels,
+                    fmt_f64(w.qps()),
+                    fmt_f64(w.shed_rate()),
+                    fmt_f64(w.occupancy),
+                    w.queue_depth,
+                );
+                match w.p99 {
+                    Some(p) => {
+                        let _ = write!(out, ",{}", fmt_f64(p.as_millis_f64()));
+                    }
+                    None => out.push(','),
+                }
+                match w.mean {
+                    Some(m) => {
+                        let _ = write!(out, ",{}", fmt_f64(m.as_millis_f64()));
+                    }
+                    None => out.push(','),
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl SessionObserver for Timeline {
+    fn on_event(&mut self, at: SimTime, device: usize, event: &Observation) {
+        if device == FLEET_DEVICE {
+            return;
+        }
+        let limit = SimTime::ZERO + self.duration;
+        let d = self.devices.entry(device).or_default();
+        d.flush_to(self.cadence, at, limit);
+        match event {
+            Observation::RequestCompleted { latency, .. } => {
+                d.cur.requests += 1;
+                d.cur.latency.record(*latency);
+            }
+            Observation::RequestShed { .. } => d.cur.shed += 1,
+            Observation::RequestDeferred { .. } => d.cur.deferred += 1,
+            Observation::KernelDispatched { client, .. } => {
+                d.outstanding.insert(client.0);
+            }
+            Observation::KernelFinished { client } => {
+                d.cur.kernels += 1;
+                d.outstanding.remove(&client.0);
+            }
+            Observation::ClientDetached { client, .. } => {
+                d.outstanding.remove(&client.0);
+            }
+            Observation::ClientMigrated { from_client, .. } => {
+                // Delivered stamped with the source device: its in-flight
+                // kernel was preempted and re-issues on the destination.
+                d.outstanding.remove(&from_client.0);
+            }
+            Observation::EngineSample {
+                busy_thread_ns,
+                total_thread_slots,
+                ..
+            } => {
+                d.busy_ns = *busy_thread_ns;
+                d.slots = *total_thread_slots;
+            }
+            Observation::ClientAttached { .. } | Observation::Rebalance { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceWriter
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum TraceEvent {
+    /// Kernel span open (`ph: "B"`, cat `kernel`).
+    Begin { ts: SimTime, tid: u32, name: String },
+    /// Kernel span close (`ph: "E"`); `truncated` marks a span closed by
+    /// detach/migration/export rather than a kernel finish.
+    End {
+        ts: SimTime,
+        tid: u32,
+        truncated: bool,
+    },
+    /// Request span, async (`ph: "b"`/`"e"`, matched by id) so queued
+    /// requests may overlap.
+    Request {
+        start: SimTime,
+        end: SimTime,
+        tid: u32,
+        seq: u64,
+    },
+    /// A zero-duration marker (`ph: "i"`).
+    Instant {
+        ts: SimTime,
+        tid: u32,
+        name: &'static str,
+        cat: &'static str,
+    },
+}
+
+#[derive(Debug, Default)]
+struct DeviceTrack {
+    /// Row (thread) names per session-local client id.
+    names: BTreeMap<u32, String>,
+    events: Vec<TraceEvent>,
+    /// Open kernel span per client: begin instant.
+    open: BTreeMap<u32, SimTime>,
+    /// Async request-span ids, device-local (globally unique as `d{n}-seq`).
+    seq: u64,
+    /// Latest event instant — the close timestamp for spans still open at
+    /// export.
+    last_ts: SimTime,
+}
+
+impl DeviceTrack {
+    fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn close_open_kernel(&mut self, at: SimTime, client: u32, truncated: bool) {
+        if self.open.remove(&client).is_some() {
+            self.push(TraceEvent::End {
+                ts: at,
+                tid: client,
+                truncated,
+            });
+        }
+    }
+}
+
+/// Renders the observation stream into Chrome trace-event JSON — one
+/// process (track) per device, one thread (row) per client — loadable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// Kernel dispatch/finish become paired `B`/`E` duration events on the
+/// client's row; request completions become async `b`/`e` spans from
+/// arrival to completion (queued requests overlap); sheds, deferrals,
+/// lifecycle edges, migrations, and rebalance passes become instant
+/// markers. Events are buffered per device and emitted in device-index
+/// order, so the export is byte-identical for every cluster thread count.
+///
+/// ```
+/// use tally_core::harness::{Colocation, HarnessConfig, JobSpec, WorkloadOp};
+/// use tally_core::telemetry::ChromeTraceWriter;
+/// use tally_gpu::{GpuSpec, KernelDesc, SimSpan, SimTime};
+///
+/// let trace = ChromeTraceWriter::shared();
+/// let k = KernelDesc::builder("req")
+///     .grid(64).block(128)
+///     .block_cost(SimSpan::from_micros(100))
+///     .build_arc();
+/// let arrivals = (0..10).map(|i| SimTime::from_millis(10 * i)).collect();
+/// Colocation::on(GpuSpec::a100())
+///     .client(JobSpec::inference("svc", vec![WorkloadOp::Kernel(k)], arrivals))
+///     .observer(trace.clone())
+///     .config(HarnessConfig {
+///         duration: SimSpan::from_millis(200),
+///         warmup: SimSpan::ZERO,
+///         ..Default::default()
+///     })
+///     .run();
+/// let json = trace.borrow().to_json();
+/// assert!(json.contains("\"traceEvents\""));
+/// assert!(json.contains("\"ph\": \"B\"") && json.contains("\"ph\": \"E\""));
+/// ```
+#[derive(Debug, Default)]
+pub struct ChromeTraceWriter {
+    devices: BTreeMap<usize, DeviceTrack>,
+    /// Fleet-level markers (rebalance passes), pid 0.
+    fleet: Vec<(SimTime, &'static str)>,
+}
+
+impl ChromeTraceWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle (see
+    /// [`SharedObserver`](crate::events::SharedObserver)).
+    pub fn shared() -> Rc<RefCell<ChromeTraceWriter>> {
+        Rc::new(RefCell::new(ChromeTraceWriter::new()))
+    }
+
+    /// A thread-safe shared handle (see [`SharedSyncObserver`](crate::events::SharedSyncObserver)): events
+    /// are buffered per device, so the export is byte-identical under
+    /// direct worker-thread delivery.
+    pub fn shared_sync() -> Arc<Mutex<ChromeTraceWriter>> {
+        Arc::new(Mutex::new(ChromeTraceWriter::new()))
+    }
+
+    /// The Chrome trace-event JSON document. Kernel spans still open at
+    /// export are closed at the device's last event instant (marked
+    /// `truncated`). `pid` is `device + 1`; pid 0 is the fleet track.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+        let mut first = true;
+        let mut emit = |line: String, out: &mut String| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&line);
+        };
+        if !self.fleet.is_empty() {
+            emit(meta_name("process_name", 0, None, "fleet"), &mut out);
+        }
+        for (&device, track) in &self.devices {
+            let pid = device + 1;
+            emit(
+                meta_name("process_name", pid, None, &format!("device {device}")),
+                &mut out,
+            );
+            for (&tid, name) in &track.names {
+                emit(meta_name("thread_name", pid, Some(tid), name), &mut out);
+            }
+            for ev in &track.events {
+                emit(render_event(pid, device, ev), &mut out);
+            }
+            // Close any kernel span still in flight so every B has an E.
+            for (&client, &_begin) in &track.open {
+                emit(
+                    render_event(
+                        pid,
+                        device,
+                        &TraceEvent::End {
+                            ts: track.last_ts,
+                            tid: client,
+                            truncated: true,
+                        },
+                    ),
+                    &mut out,
+                );
+            }
+        }
+        for &(ts, name) in &self.fleet {
+            emit(
+                format!(
+                    "{{\"name\": \"{name}\", \"cat\": \"fleet\", \"ph\": \"i\", \
+                     \"ts\": {}, \"pid\": 0, \"tid\": 0, \"s\": \"p\"}}",
+                    fmt_ts(ts)
+                ),
+                &mut out,
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Chrome metadata event (`ph: "M"`).
+fn meta_name(kind: &str, pid: usize, tid: Option<u32>, name: &str) -> String {
+    let tid_part = tid.map_or(String::new(), |t| format!("\"tid\": {t}, "));
+    format!(
+        "{{\"name\": \"{kind}\", \"ph\": \"M\", \"pid\": {pid}, {tid_part}\"args\": \
+         {{\"name\": \"{}\"}}}}",
+        escape_json(name)
+    )
+}
+
+fn render_event(pid: usize, device: usize, ev: &TraceEvent) -> String {
+    match ev {
+        TraceEvent::Begin { ts, tid, name } => format!(
+            "{{\"name\": \"{}\", \"cat\": \"kernel\", \"ph\": \"B\", \"ts\": {}, \
+             \"pid\": {pid}, \"tid\": {tid}}}",
+            escape_json(name),
+            fmt_ts(*ts)
+        ),
+        TraceEvent::End { ts, tid, truncated } => {
+            let args = if *truncated {
+                ", \"args\": {\"truncated\": true}"
+            } else {
+                ""
+            };
+            format!(
+                "{{\"cat\": \"kernel\", \"ph\": \"E\", \"ts\": {}, \
+                 \"pid\": {pid}, \"tid\": {tid}{args}}}",
+                fmt_ts(*ts)
+            )
+        }
+        TraceEvent::Request {
+            start,
+            end,
+            tid,
+            seq,
+        } => {
+            let b = format!(
+                "{{\"name\": \"request\", \"cat\": \"request\", \"ph\": \"b\", \
+                 \"id\": \"d{device}-{seq}\", \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}}}",
+                fmt_ts(*start)
+            );
+            let e = format!(
+                "{{\"name\": \"request\", \"cat\": \"request\", \"ph\": \"e\", \
+                 \"id\": \"d{device}-{seq}\", \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}}}",
+                fmt_ts(*end)
+            );
+            format!("{b},\n{e}")
+        }
+        TraceEvent::Instant { ts, tid, name, cat } => format!(
+            "{{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"i\", \"ts\": {}, \
+             \"pid\": {pid}, \"tid\": {tid}, \"s\": \"t\"}}",
+            fmt_ts(*ts)
+        ),
+    }
+}
+
+impl SessionObserver for ChromeTraceWriter {
+    fn on_event(&mut self, at: SimTime, device: usize, event: &Observation) {
+        match event {
+            Observation::Rebalance { .. } => {
+                self.fleet.push((at, "rebalance"));
+                return;
+            }
+            Observation::ClientMigrated {
+                key,
+                from,
+                to,
+                from_client,
+                to_client,
+            } => {
+                // Stamped with the source device; touches both tracks.
+                let src = self.devices.entry(*from).or_default();
+                src.last_ts = at;
+                src.close_open_kernel(at, from_client.0, true);
+                src.push(TraceEvent::Instant {
+                    ts: at,
+                    tid: from_client.0,
+                    name: "migrate-out",
+                    cat: "lifecycle",
+                });
+                let dst = self.devices.entry(*to).or_default();
+                dst.last_ts = dst.last_ts.max(at);
+                dst.names.insert(to_client.0, key.clone());
+                dst.push(TraceEvent::Instant {
+                    ts: at,
+                    tid: to_client.0,
+                    name: "migrate-in",
+                    cat: "lifecycle",
+                });
+                return;
+            }
+            _ => {}
+        }
+        if device == FLEET_DEVICE {
+            return;
+        }
+        let d = self.devices.entry(device).or_default();
+        d.last_ts = d.last_ts.max(at);
+        match event {
+            Observation::ClientAttached {
+                client,
+                key,
+                reattach,
+                ..
+            } => {
+                d.names.insert(client.0, key.clone());
+                d.push(TraceEvent::Instant {
+                    ts: at,
+                    tid: client.0,
+                    name: if *reattach { "reattach" } else { "attach" },
+                    cat: "lifecycle",
+                });
+            }
+            Observation::ClientDetached { client, .. } => {
+                // Detach preempts and forgets in-flight work.
+                d.close_open_kernel(at, client.0, true);
+                d.push(TraceEvent::Instant {
+                    ts: at,
+                    tid: client.0,
+                    name: "detach",
+                    cat: "lifecycle",
+                });
+            }
+            Observation::KernelDispatched { client, kernel } => {
+                d.close_open_kernel(at, client.0, true);
+                d.open.insert(client.0, at);
+                d.push(TraceEvent::Begin {
+                    ts: at,
+                    tid: client.0,
+                    name: kernel.name.to_string(),
+                });
+            }
+            Observation::KernelFinished { client } => {
+                d.close_open_kernel(at, client.0, false);
+            }
+            Observation::RequestCompleted {
+                client, arrival, ..
+            } => {
+                d.seq += 1;
+                let seq = d.seq;
+                d.push(TraceEvent::Request {
+                    start: *arrival,
+                    end: at,
+                    tid: client.0,
+                    seq,
+                });
+            }
+            Observation::RequestShed { client, arrival } => {
+                d.push(TraceEvent::Instant {
+                    ts: *arrival,
+                    tid: client.0,
+                    name: "shed",
+                    cat: "admission",
+                });
+            }
+            Observation::RequestDeferred { client, .. } => {
+                d.push(TraceEvent::Instant {
+                    ts: at,
+                    tid: client.0,
+                    name: "defer",
+                    cat: "admission",
+                });
+            }
+            Observation::EngineSample { .. } => {}
+            // Handled above.
+            Observation::ClientMigrated { .. } | Observation::Rebalance { .. } => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Formatting helpers
+// ---------------------------------------------------------------------
+
+/// Chrome trace timestamps are microseconds; render the exact nanosecond
+/// value as a fixed-point decimal (deterministic — no float formatting).
+fn fmt_ts(t: SimTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Deterministic float rendering (Rust's shortest-roundtrip formatter);
+/// rejects non-finite values rather than emitting invalid JSON.
+fn fmt_f64(v: f64) -> String {
+    assert!(v.is_finite(), "non-finite telemetry value");
+    format!("{v}")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LatencyRecorder;
+    use tally_gpu::rng::SmallRng;
+    use tally_gpu::ClientId;
+
+    #[test]
+    fn bucket_mapping_is_contiguous_and_invertible() {
+        let mut prev = None;
+        for ns in 0..4096u64 {
+            let idx = bucket_of(ns);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= ns && ns < hi,
+                "value {ns} outside bucket {idx} = [{lo}, {hi})"
+            );
+            if let Some(p) = prev {
+                assert!(
+                    idx == p || idx == p + 1,
+                    "bucket index jumped {p} -> {idx} at {ns}"
+                );
+            }
+            prev = Some(idx);
+        }
+        // Extremes stay in-bounds (the top bucket saturates at 2^64).
+        for ns in [1u64 << 40, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+            let idx = bucket_of(ns);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(
+                lo <= ns && (ns < hi || hi == u64::MAX),
+                "value {ns} outside bucket {idx} = [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    /// Satellite: quantile error bound vs the exact recorder on seeded
+    /// random samples, across several distributions and seeds.
+    #[test]
+    fn quantile_error_is_bounded_vs_exact_recorder() {
+        for seed in [1u64, 7, 42, 1234] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut h = Histogram::new();
+            let mut exact = LatencyRecorder::new();
+            for _ in 0..5000 {
+                // Log-uniform over ~6 decades: 1us .. 1s.
+                let exp = rng.next_f64() * 6.0;
+                let ns = (1e3 * 10f64.powf(exp)) as u64;
+                let s = SimSpan::from_nanos(ns);
+                h.record(s);
+                exact.record(s);
+            }
+            for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let approx = h.quantile(q).unwrap().as_nanos() as f64;
+                let truth = exact.quantile(q).unwrap().as_nanos() as f64;
+                let err = (approx - truth).abs() / truth.max(1.0);
+                assert!(
+                    err <= 1.0 / 16.0,
+                    "seed {seed} q {q}: {approx} vs {truth} (err {err})"
+                );
+            }
+            assert_eq!(h.count(), exact.len() as u64);
+            assert_eq!(h.max(), exact.max());
+            assert_eq!(h.mean(), exact.mean());
+        }
+    }
+
+    /// Satellite: merge is associative and commutative, so per-device
+    /// histograms fold into fleet-wide ones in any order.
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let parts: Vec<Histogram> = (0..4)
+            .map(|_| {
+                let mut h = Histogram::new();
+                for _ in 0..500 {
+                    h.record(SimSpan::from_nanos(rng.gen_range(1..10_000_000u64)));
+                }
+                h
+            })
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = Histogram::new();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let base = fold(&[0, 1, 2, 3]);
+        assert_eq!(base, fold(&[3, 2, 1, 0]));
+        assert_eq!(base, fold(&[2, 0, 3, 1]));
+        // Associativity: ((a+b)+(c+d)) == (a+(b+(c+d))).
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        let mut right = parts[2].clone();
+        right.merge(&parts[3]);
+        let mut ab_cd = left;
+        ab_cd.merge(&right);
+        assert_eq!(base, ab_cd);
+        assert_eq!(base.count(), 2000);
+    }
+
+    fn ev(hub: &mut dyn SessionObserver, at_ms: u64, dev: usize, event: Observation) {
+        hub.on_event(SimTime::from_millis(at_ms), dev, &event);
+    }
+
+    #[test]
+    fn hub_attributes_events_to_devices_and_clients() {
+        let mut hub = MetricsHub::new();
+        ev(
+            &mut hub,
+            0,
+            0,
+            Observation::ClientAttached {
+                client: ClientId(0),
+                key: "svc".into(),
+                priority: tally_gpu::Priority::High,
+                descriptor: None,
+                reattach: false,
+            },
+        );
+        ev(
+            &mut hub,
+            5,
+            0,
+            Observation::RequestCompleted {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(4),
+                latency: SimSpan::from_millis(1),
+            },
+        );
+        ev(
+            &mut hub,
+            6,
+            0,
+            Observation::RequestShed {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(6),
+            },
+        );
+        ev(
+            &mut hub,
+            7,
+            0,
+            Observation::RequestDeferred {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(7),
+                pause: SimSpan::from_millis(2),
+            },
+        );
+        let d = hub.device(0).unwrap();
+        assert_eq!((d.requests, d.shed, d.deferred), (1, 1, 1));
+        assert_eq!(d.clients_attached(), 1);
+        let c = hub.client("svc").unwrap();
+        assert!(c.high_priority);
+        assert_eq!((c.requests, c.shed, c.deferred), (1, 1, 1));
+        assert_eq!(hub.events(), 4);
+        assert!(hub
+            .samples()
+            .iter()
+            .any(|s| s.name == "requests" && s.device == Some(0) && s.value == 1.0));
+    }
+
+    #[test]
+    fn hub_tracks_migration_across_devices() {
+        let mut hub = MetricsHub::new();
+        ev(
+            &mut hub,
+            0,
+            0,
+            Observation::ClientAttached {
+                client: ClientId(1),
+                key: "train".into(),
+                priority: tally_gpu::Priority::BestEffort,
+                descriptor: None,
+                reattach: false,
+            },
+        );
+        ev(
+            &mut hub,
+            1,
+            0,
+            Observation::KernelDispatched {
+                client: ClientId(1),
+                kernel: tally_gpu::KernelDesc::builder("k")
+                    .grid(1)
+                    .block(32)
+                    .block_cost(SimSpan::from_micros(1))
+                    .build_arc(),
+            },
+        );
+        assert_eq!(hub.device(0).unwrap().queue_depth(), 1);
+        ev(
+            &mut hub,
+            2,
+            0,
+            Observation::ClientMigrated {
+                key: "train".into(),
+                from: 0,
+                to: 1,
+                from_client: ClientId(1),
+                to_client: ClientId(0),
+            },
+        );
+        assert_eq!(hub.device(0).unwrap().queue_depth(), 0);
+        assert_eq!(hub.device(0).unwrap().migrations_out, 1);
+        assert_eq!(hub.device(1).unwrap().migrations_in, 1);
+        // Post-migration kernels land on the same client key.
+        ev(
+            &mut hub,
+            3,
+            1,
+            Observation::KernelFinished {
+                client: ClientId(0),
+            },
+        );
+        assert_eq!(hub.client("train").unwrap().kernels, 1);
+        assert_eq!(hub.migrations(), 1);
+    }
+
+    #[test]
+    fn timeline_windows_close_on_the_cadence() {
+        let mut tl = Timeline::new(SimSpan::from_millis(10), SimSpan::from_millis(45));
+        for at in [1u64, 5, 12] {
+            ev(
+                &mut tl,
+                at,
+                0,
+                Observation::RequestCompleted {
+                    client: ClientId(0),
+                    arrival: SimTime::from_millis(at.saturating_sub(1)),
+                    latency: SimSpan::from_millis(1),
+                },
+            );
+        }
+        ev(
+            &mut tl,
+            15,
+            0,
+            Observation::RequestShed {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(15),
+            },
+        );
+        ev(
+            &mut tl,
+            31,
+            0,
+            Observation::RequestCompleted {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(30),
+                latency: SimSpan::from_millis(1),
+            },
+        );
+        tl.finish();
+        let w = tl.windows(0);
+        // 45ms run at 10ms cadence: 4 full windows + a 5ms tail.
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0].requests, 2);
+        assert_eq!(w[1].requests, 1);
+        assert_eq!(w[1].shed, 1);
+        assert_eq!(w[2].requests, 0);
+        assert_eq!(w[3].requests, 1);
+        assert_eq!(w[4].len, SimSpan::from_millis(5));
+        assert!((w[0].qps() - 200.0).abs() < 1e-9);
+        assert!((w[1].shed_rate() - 0.5).abs() < 1e-9);
+        // An event exactly on a boundary belongs to the next window.
+        let mut tl = Timeline::new(SimSpan::from_millis(10), SimSpan::from_millis(20));
+        ev(
+            &mut tl,
+            10,
+            0,
+            Observation::RequestCompleted {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(9),
+                latency: SimSpan::from_millis(1),
+            },
+        );
+        tl.finish();
+        assert_eq!(tl.windows(0)[0].requests, 0);
+        assert_eq!(tl.windows(0)[1].requests, 1);
+    }
+
+    #[test]
+    fn timeline_exports_are_versioned_and_stable() {
+        let mut tl = Timeline::new(SimSpan::from_millis(10), SimSpan::from_millis(20));
+        ev(
+            &mut tl,
+            3,
+            0,
+            Observation::RequestCompleted {
+                client: ClientId(0),
+                arrival: SimTime::from_millis(2),
+                latency: SimSpan::from_millis(1),
+            },
+        );
+        let json = tl.to_json();
+        assert!(json.starts_with("{\"version\": 1, \"cadence_ns\": 10000000"));
+        assert!(json.contains("\"qps\": 100"));
+        // Export is idempotent: a second call renders the same document.
+        assert_eq!(json, tl.to_json());
+        let csv = tl.to_csv();
+        assert_eq!(csv.lines().count(), 3, "header + 2 windows");
+        assert!(csv.starts_with("device,start_ms"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_kernel_spans() {
+        let mut w = ChromeTraceWriter::new();
+        ev(
+            &mut w,
+            0,
+            0,
+            Observation::ClientAttached {
+                client: ClientId(0),
+                key: "svc".into(),
+                priority: tally_gpu::Priority::High,
+                descriptor: None,
+                reattach: false,
+            },
+        );
+        let k = tally_gpu::KernelDesc::builder("conv")
+            .grid(1)
+            .block(32)
+            .block_cost(SimSpan::from_micros(1))
+            .build_arc();
+        ev(
+            &mut w,
+            1,
+            0,
+            Observation::KernelDispatched {
+                client: ClientId(0),
+                kernel: k.clone(),
+            },
+        );
+        ev(
+            &mut w,
+            2,
+            0,
+            Observation::KernelFinished {
+                client: ClientId(0),
+            },
+        );
+        // A dangling dispatch gets a truncated close at export.
+        ev(
+            &mut w,
+            3,
+            0,
+            Observation::KernelDispatched {
+                client: ClientId(0),
+                kernel: k,
+            },
+        );
+        let json = w.to_json();
+        assert_eq!(json.matches("\"ph\": \"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\": \"E\"").count(), 2);
+        assert_eq!(json.matches("\"truncated\": true").count(), 1);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("device 0"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(fmt_ts(SimTime::from_nanos(1_234_567)), "1234.567");
+    }
+}

@@ -74,6 +74,10 @@ pub mod prelude {
     pub use tally_core::metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
     pub use tally_core::scheduler::{TallyConfig, TallySystem};
     pub use tally_core::system::{Passthrough, SharingSystem};
+    pub use tally_core::telemetry::{
+        ChromeTraceWriter, ClientMetrics, DeviceMetrics, Histogram, MetricSample, MetricsHub,
+        Timeline, TimelineWindow,
+    };
     pub use tally_gpu::{
         ClientId, Dim3, Engine, GpuSpec, KernelDesc, KernelOrigin, LaunchRequest, LaunchShape,
         Priority, SimSpan, SimTime, Step,

@@ -279,6 +279,122 @@ fn phase_shifted_reports_are_identical_for_any_thread_count() {
     }
 }
 
+/// Telemetry exports for the phase-shifted mix, with the telemetry
+/// observers as the *only* observers — so delivery takes the direct
+/// worker-thread path, the hardest case for byte-stable exports.
+fn run_phase_shifted_telemetry(threads: usize) -> (String, String) {
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let jobs = mixes::phase_shifted(&spec, SimSpan::from_millis(500), c.duration, 0.5);
+    let timeline = Timeline::shared_sync(SimSpan::from_millis(250), c.duration);
+    let trace = ChromeTraceWriter::shared_sync();
+    Cluster::new()
+        .devices(2, spec)
+        .clients(jobs)
+        .rebalance_every(SimSpan::from_millis(250))
+        .policy(LoadAware::default())
+        .sync_observer(timeline.clone())
+        .sync_observer(trace.clone())
+        .threads(threads)
+        .config(c)
+        .run();
+    let trace_json = trace.lock().expect("trace").to_json();
+    let timeline_json = timeline.lock().expect("timeline").to_json();
+    (trace_json, timeline_json)
+}
+
+#[test]
+fn chrome_trace_export_is_byte_identical_and_well_formed() {
+    use std::collections::HashMap;
+    use tally_bench::diff::{parse_json, Json};
+
+    let (base_trace, base_timeline) = run_phase_shifted_telemetry(1);
+    for threads in [2usize, 4] {
+        let (trace, timeline) = run_phase_shifted_telemetry(threads);
+        assert_eq!(
+            base_trace, trace,
+            "Chrome trace diverged between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            base_timeline, timeline,
+            "timeline export diverged between threads=1 and threads={threads}"
+        );
+    }
+
+    // Well-formed JSON by the bench reader's rules.
+    let doc = parse_json(&base_trace).expect("Chrome trace must parse as JSON");
+    parse_json(&base_timeline).expect("timeline must parse as JSON");
+    let Json::Obj(root) = &doc else {
+        panic!("trace root must be an object");
+    };
+    let Some(Json::Arr(events)) = root.get("traceEvents") else {
+        panic!("trace must carry a traceEvents array");
+    };
+
+    // Every duration event properly paired per (pid, tid) with a
+    // non-negative duration; every async request span matched by id.
+    let field = |e: &std::collections::BTreeMap<String, Json>, k: &str| -> f64 {
+        match e.get(k) {
+            Some(Json::Num(v)) => *v,
+            other => panic!("event field {k} must be a number, got {other:?}"),
+        }
+    };
+    let mut kernel_stacks: HashMap<(u64, u64), Vec<f64>> = HashMap::new();
+    let mut open_requests: HashMap<String, f64> = HashMap::new();
+    let (mut kernels, mut requests) = (0u64, 0u64);
+    for ev in events {
+        let Json::Obj(e) = ev else {
+            panic!("trace event must be an object");
+        };
+        let Some(Json::Str(ph)) = e.get("ph") else {
+            panic!("trace event must carry ph");
+        };
+        match ph.as_str() {
+            "B" => {
+                kernels += 1;
+                let key = (field(e, "pid") as u64, field(e, "tid") as u64);
+                kernel_stacks.entry(key).or_default().push(field(e, "ts"));
+            }
+            "E" => {
+                let key = (field(e, "pid") as u64, field(e, "tid") as u64);
+                let begin = kernel_stacks
+                    .get_mut(&key)
+                    .and_then(Vec::pop)
+                    .unwrap_or_else(|| panic!("E without matching B on {key:?}"));
+                assert!(
+                    field(e, "ts") >= begin,
+                    "negative kernel duration on {key:?}"
+                );
+            }
+            "b" => {
+                requests += 1;
+                let Some(Json::Str(id)) = e.get("id") else {
+                    panic!("async begin must carry an id");
+                };
+                let prev = open_requests.insert(id.clone(), field(e, "ts"));
+                assert!(prev.is_none(), "duplicate async span id {id}");
+            }
+            "e" => {
+                let Some(Json::Str(id)) = e.get("id") else {
+                    panic!("async end must carry an id");
+                };
+                let begin = open_requests
+                    .remove(id)
+                    .unwrap_or_else(|| panic!("async end without begin for {id}"));
+                assert!(field(e, "ts") >= begin, "negative request duration {id}");
+            }
+            "M" | "i" => {}
+            other => panic!("unexpected trace phase {other:?}"),
+        }
+    }
+    for (key, stack) in &kernel_stacks {
+        assert!(stack.is_empty(), "unclosed kernel span(s) on {key:?}");
+    }
+    assert!(open_requests.is_empty(), "unclosed async request span(s)");
+    assert!(kernels > 0, "scenario must render kernel spans");
+    assert!(requests > 0, "scenario must render request spans");
+}
+
 #[test]
 fn phase_shifted_scenario_actually_migrates() {
     // The determinism claim must cover migrations: the load-aware policy
