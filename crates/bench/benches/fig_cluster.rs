@@ -17,6 +17,14 @@
 //!    the runtime `DeviceLoad` signals) must beat `LeastLoaded` on the
 //!    services' tail latency by shuttling trainers away from whichever
 //!    service is currently bursting.
+//! 5. *Topology-aware migration* — on a heterogeneous two-node fleet
+//!    (A100 + V100 across a slow inter-node link), the topology-blind
+//!    `LoadAware` variant thrashes a state-heavy best-effort service
+//!    across the link at every phase flip, paying the transfer stall each
+//!    time; the cost-aware default refuses moves the tail-latency win
+//!    cannot amortize and must beat it on both the victim's p99 and total
+//!    migration stall. On an NVLink topology the same policy migrates
+//!    again — the gate is bandwidth-sensitive, not "never move".
 //!
 //! Pass `--json PATH` to record the measurements (`BENCH_cluster.json` in
 //! the perf trajectory).
@@ -27,8 +35,9 @@ use tally_core::cluster::{
 };
 use tally_core::harness::{run_solo, HarnessConfig, JobSpec};
 use tally_core::metrics::LatencyRecorder;
-use tally_gpu::{GpuSpec, SimSpan, SimTime};
-use tally_workloads::mixes;
+use tally_core::topology::{Link, Topology};
+use tally_gpu::{GpuSpec, Priority, SimSpan, SimTime};
+use tally_workloads::{mixes, InferModel};
 
 const LOAD: f64 = 0.5;
 
@@ -440,6 +449,167 @@ fn main() {
         "trainers must keep making progress while shuttling ({} vs {} it/s)",
         trainer_thrs[1],
         trainer_thrs[0]
+    );
+
+    // ---- 5. topology-aware migration on a heterogeneous fleet --------
+    banner("Heterogeneous two-node fleet: topology-blind vs cost-aware LoadAware");
+    let hetero_cfg = HarnessConfig {
+        duration: SimSpan::from_secs(12),
+        warmup: SimSpan::from_secs(1),
+        seed: 1,
+        jitter: 0.0,
+        record_timelines: false,
+    };
+    // Two anti-phased bursty BERT services, one per node, make whichever
+    // device is bursting look evacuation-worthy to LoadAware. The one
+    // best-effort client is an MoE-style expert-cache service: BERT-sized
+    // per-request compute but 7 GB of resident fp16 state, so one hop
+    // over the 12.5 GB/s inter-node link stalls it for 560 ms — far more
+    // than any tail-latency win a 2 s quiet phase can repay.
+    let hetero_phase = SimSpan::from_secs(2);
+    let burst_period = InferModel::Bert.paper_latency().mul_f64(2.0);
+    let bursts = |offset: bool| -> Vec<SimTime> {
+        let mut reqs = Vec::new();
+        let mut k = u64::from(offset);
+        loop {
+            let start = SimTime::ZERO + hetero_phase * k;
+            if start >= SimTime::ZERO + hetero_cfg.duration {
+                break;
+            }
+            let until = (start + hetero_phase).min(SimTime::ZERO + hetero_cfg.duration);
+            let mut t = start;
+            while t < until {
+                reqs.push(t);
+                t += burst_period;
+            }
+            k += 2;
+        }
+        reqs
+    };
+    let a100 = GpuSpec::a100();
+    let victim_arrivals: Vec<SimTime> = {
+        let period = SimSpan::from_millis(12);
+        let mut reqs = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < SimTime::ZERO + hetero_cfg.duration {
+            reqs.push(t);
+            t += period;
+        }
+        reqs
+    };
+    let hetero_jobs = vec![
+        InferModel::Bert
+            .job(&a100, bursts(false))
+            .with_client_key("bert/even"),
+        InferModel::Bert
+            .job(&a100, bursts(true))
+            .with_client_key("bert/odd"),
+        JobSpec::inference(
+            "expert-cache",
+            InferModel::Bert.request_ops(&a100),
+            victim_arrivals,
+        )
+        .with_priority(Priority::BestEffort)
+        .with_state_bytes(7_000_000_000)
+        .with_client_key("expert-cache"),
+    ];
+    let run_hetero = |policy: LoadAware, topology: Topology| -> ClusterReport {
+        with_bench_threads(
+            Cluster::new()
+                .device(GpuSpec::a100())
+                .device(GpuSpec::v100())
+                .topology(topology)
+                .clients(hetero_jobs.clone())
+                .policy(policy)
+                .migrate_on_detach(false)
+                .rebalance_every(SimSpan::from_millis(100))
+                .monitor_window(SimSpan::from_millis(100))
+                .systems_with(|_| make_system("tally"))
+                .transport(tally_core::api::Transport::SharedMemory)
+                .config(hetero_cfg.clone()),
+        )
+        .run()
+    };
+    let victim_p99 = |report: &ClusterReport| -> SimSpan {
+        report
+            .clients
+            .iter()
+            .find(|c| c.key == "expert-cache")
+            .and_then(|c| c.report.latency.p99())
+            .expect("the expert-cache service must serve requests")
+    };
+    let cross_node = || Topology::new(2).link(0, 1, Link::node_cross());
+    println!(
+        "{:<18}{:<12}{:>14}{:>12}{:>14}",
+        "policy", "topology", "victim p99", "migrations", "total stall"
+    );
+    let mut results = Vec::new();
+    for (label, policy, topology) in [
+        ("blind", LoadAware::topology_blind(), cross_node()),
+        ("cost-aware", LoadAware::default(), cross_node()),
+        (
+            "cost-aware",
+            LoadAware::default(),
+            Topology::new(2).link(0, 1, Link::nvlink()),
+        ),
+    ] {
+        let topo_label = if matches!(topology.path_bandwidth(0, 1), Some(bw) if bw > 100.0) {
+            "nvlink"
+        } else {
+            "cross-node"
+        };
+        let report = run_hetero(policy, topology);
+        let p99 = victim_p99(&report);
+        println!(
+            "{label:<18}{topo_label:<12}{:>14}{:>12}{:>14}",
+            ms(p99),
+            report.migrations,
+            ms(report.migration_stall)
+        );
+        let tags = [("policy", label), ("topology", topo_label), ("gpus", "2")];
+        sink.record("hetero_victim_p99_ms", p99.as_millis_f64(), &tags);
+        sink.record("hetero_migrations", report.migrations as f64, &tags);
+        sink.record(
+            "hetero_migration_stall_ms",
+            report.migration_stall.as_millis_f64(),
+            &tags,
+        );
+        results.push((label, topo_label, p99, report));
+    }
+    let (_, _, blind_p99, blind) = &results[0];
+    let (_, _, cost_p99, cost) = &results[1];
+    let (_, _, _, nvlink) = &results[2];
+    assert!(
+        blind.migrations >= 2,
+        "the blind policy must thrash the expert cache across the slow link, got {} migrations",
+        blind.migrations
+    );
+    assert!(
+        cost.migration_stall < blind.migration_stall,
+        "cost-aware must pay less total stall ({:?} vs {:?})",
+        cost.migration_stall,
+        blind.migration_stall
+    );
+    assert!(
+        *cost_p99 < *blind_p99,
+        "cost-aware must beat the blind policy on the victim's p99 ({:?} vs {:?})",
+        cost_p99,
+        blind_p99
+    );
+    assert!(
+        nvlink.migrations >= 2,
+        "over NVLink the same transfers amortize, so cost-aware must migrate again (got {})",
+        nvlink.migrations
+    );
+    println!(
+        "blind p99 / cost-aware p99 = {:.2}   \
+         [expected: > 1 — each thrash stalls the 7 GB cache 560 ms mid-queue]",
+        blind_p99.ratio(*cost_p99)
+    );
+    sink.record(
+        "hetero_blind_over_cost_p99",
+        blind_p99.ratio(*cost_p99),
+        &[("mix", "hetero-nodes")],
     );
     sink.finish();
 }

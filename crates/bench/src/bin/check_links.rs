@@ -1,0 +1,227 @@
+//! Offline markdown link checker for the repo's documentation set.
+//!
+//! Walks `README.md`, `ROADMAP.md`, and every `docs/*.md`, extracts
+//! inline `[text](target)` links, and verifies the *internal* ones:
+//! relative paths must exist on disk, and `#fragment` anchors must match
+//! a slugified heading in the target document. External schemes
+//! (`http://`, `https://`, `mailto:`) are skipped entirely — CI runs
+//! offline and external liveness is not this gate's job.
+//!
+//! ```sh
+//! cargo run -p tally-bench --bin check_links
+//! ```
+//!
+//! Exits non-zero listing every broken link; prints a per-file summary
+//! otherwise. Fenced code blocks are ignored, so Rust snippets like
+//! `v[..](..)` can't produce false positives.
+
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = ["README.md", "ROADMAP.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    let docs = root.join("docs");
+    if docs.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", docs.display()))
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "md"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    }
+    assert!(!files.is_empty(), "no markdown files found under {root:?}");
+
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text =
+            std::fs::read_to_string(file).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let rel = file.strip_prefix(&root).unwrap_or(file).display();
+        let mut file_checked = 0usize;
+        for (line_no, target) in links(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            file_checked += 1;
+            if let Err(why) = check_target(file, &text, &target) {
+                broken.push(format!("{rel}:{line_no}: [{target}] {why}"));
+            }
+        }
+        println!("check_links: {rel}: {file_checked} internal link(s)");
+        checked += file_checked;
+    }
+    if broken.is_empty() {
+        println!(
+            "check_links: OK — {checked} internal link(s) across {} file(s)",
+            files.len()
+        );
+    } else {
+        eprintln!("check_links: {} broken link(s):", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Extracts `(line_number, target)` for every inline `[text](target)`
+/// link outside fenced code blocks. Titles after the target
+/// (`[t](url "title")`) are stripped.
+fn links(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut k = 0;
+        while let Some(open) = line[k..].find('[') {
+            let open = k + open;
+            let Some(close) = line[open..].find(']') else {
+                break;
+            };
+            let close = open + close;
+            if bytes.get(close + 1) != Some(&b'(') {
+                k = close + 1;
+                continue;
+            }
+            let Some(end) = line[close + 2..].find(')') else {
+                break;
+            };
+            let end = close + 2 + end;
+            let mut target = line[close + 2..end].trim();
+            if let Some(space) = target.find(char::is_whitespace) {
+                target = &target[..space];
+            }
+            if !target.is_empty() {
+                out.push((i + 1, target.to_string()));
+            }
+            k = end + 1;
+        }
+    }
+    out
+}
+
+/// Validates one internal link target relative to `from` (whose own
+/// contents are `from_text`, used for same-document anchors).
+fn check_target(from: &Path, from_text: &str, target: &str) -> Result<(), String> {
+    let (path_part, anchor) = match target.split_once('#') {
+        Some((p, a)) => (p, Some(a)),
+        None => (target, None),
+    };
+    let (dest_path, dest_text);
+    if path_part.is_empty() {
+        dest_path = from.to_path_buf();
+        dest_text = from_text.to_string();
+    } else {
+        let base = from.parent().expect("file has a parent dir");
+        dest_path = base.join(path_part);
+        if !dest_path.exists() {
+            return Err(format!("missing file {}", dest_path.display()));
+        }
+        match anchor {
+            None => return Ok(()),
+            Some(_) => {
+                dest_text = std::fs::read_to_string(&dest_path)
+                    .map_err(|e| format!("unreadable {}: {e}", dest_path.display()))?;
+            }
+        }
+    }
+    let Some(anchor) = anchor else {
+        return Ok(());
+    };
+    let slugs = heading_slugs(&dest_text);
+    if slugs.iter().any(|s| s == anchor) {
+        Ok(())
+    } else {
+        Err(format!(
+            "no heading for #{anchor} in {} (have: {})",
+            dest_path.display(),
+            slugs.join(", ")
+        ))
+    }
+}
+
+/// GitHub-style anchor slugs for every ATX heading outside code fences:
+/// lowercase, backticks dropped, non-alphanumerics removed except spaces
+/// and hyphens, spaces become hyphens.
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !trimmed.starts_with('#') {
+            continue;
+        }
+        let title = trimmed.trim_start_matches('#').trim();
+        let mut slug = String::with_capacity(title.len());
+        for c in title.chars() {
+            match c {
+                '`' => {}
+                c if c.is_alphanumeric() || c == '_' => slug.extend(c.to_lowercase()),
+                ' ' | '-' => slug.push('-'),
+                _ => {}
+            }
+        }
+        slugs.push(slug);
+    }
+    slugs
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_links_and_skips_fences() {
+        let md = "a [one](x.md) b\n```\n[not](a-link.md)\n```\n[two](y.md#sec) ![img](z.png)\n";
+        let got = links(md);
+        assert_eq!(
+            got,
+            vec![
+                (1, "x.md".to_string()),
+                (5, "y.md#sec".to_string()),
+                (5, "z.png".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn slugifies_headings_like_github() {
+        let md = "# Quickstart: the `Colocation` session API\n## Build and test (tier-1)\n";
+        assert_eq!(
+            heading_slugs(md),
+            vec![
+                "quickstart-the-colocation-session-api",
+                "build-and-test-tier-1"
+            ]
+        );
+    }
+}

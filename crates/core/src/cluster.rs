@@ -97,6 +97,7 @@ use crate::harness::{
 use crate::metrics::{ClientReport, HostStats, LatencyRecorder};
 use crate::system::{Passthrough, SharingSystem};
 use crate::timewheel::{TimerId, TimerWheel};
+use crate::topology::Topology;
 
 /// Load snapshot of one device, handed to [`PlacementPolicy`] decisions.
 ///
@@ -138,6 +139,15 @@ pub struct DeviceLoad {
     /// while it sits quiet — the signal that separates a bursting device
     /// from one whose tenants merely look heavy on paper.
     pub hp_pressure: f64,
+    /// Projected state-transfer stall for moving the candidate job from
+    /// its current device to this one, over the cluster's
+    /// [`Topology`]: `Some(ZERO)` when the
+    /// move is free (same device, flat topology, or zero
+    /// [`JobSpec::state_bytes`]), `None` when no interconnect path exists
+    /// (the cluster refuses such moves regardless of the policy's
+    /// choice). Always `Some(ZERO)` for `place` decisions — a fresh
+    /// client has no resident state to move.
+    pub transfer: Option<SimSpan>,
 }
 
 /// Estimated GPU demand of a job on a device: busy seconds of GPU time the
@@ -272,23 +282,72 @@ impl PlacementPolicy for LeastLoaded {
 ///   no static `job_demand` comparison can see. The margin keeps the rule
 ///   hysteretic: near-equal pressures never trigger a move, so clients
 ///   don't ping-pong within a phase.
+/// * **Transfer costs** are amortized, not ignored: under a non-flat
+///   [`Topology`] every candidate carries the
+///   projected state-transfer stall ([`DeviceLoad::transfer`]), and a
+///   move only fires when the pressure relief it buys over `horizon`
+///   outweighs the stall the migrating client pays — so a 2.7B-parameter
+///   service does not shuttle across a 12.5 GB/s node boundary to dodge a
+///   burst that a cheaper (or no) move would ride out.
+///
+/// ```
+/// use tally_core::cluster::LoadAware;
+/// use tally_gpu::SimSpan;
+///
+/// // Default: moves must pay for themselves within 500 ms of relief.
+/// let costed = LoadAware::default();
+/// assert_eq!(costed.horizon, Some(SimSpan::from_millis(500)));
+/// // Patient variant: a long horizon accepts expensive moves.
+/// let patient = LoadAware { horizon: Some(SimSpan::from_secs(10)), ..LoadAware::default() };
+/// // Topology-blind ablation: migrates as if every link were free.
+/// assert_eq!(LoadAware::topology_blind().horizon, None);
+/// ```
 #[derive(Clone, Debug)]
 pub struct LoadAware {
     /// Minimum high-priority pressure gap (in mean outstanding kernels)
     /// between the source and the coldest other device before a
     /// migration fires.
     pub margin: f64,
+    /// Amortization horizon for transfer costs: a move fires only when
+    /// `pressure_gap × horizon ≥ projected stall` — the tail-latency
+    /// relief expected over the horizon must pay for the state transfer.
+    /// `None` ignores transfer costs entirely (the pre-topology
+    /// behavior, kept as an ablation via [`LoadAware::topology_blind`]).
+    /// Under the flat default topology every transfer is free, so the
+    /// two settings behave identically.
+    pub horizon: Option<SimSpan>,
 }
 
 impl Default for LoadAware {
     fn default() -> Self {
-        LoadAware { margin: 0.25 }
+        LoadAware {
+            margin: 0.25,
+            horizon: Some(SimSpan::from_millis(500)),
+        }
     }
 }
 
 impl LoadAware {
+    /// The topology-blind ablation: identical pressure rules, but
+    /// migration decisions pretend every interconnect path is free (the
+    /// cluster still charges the real stall). This is what `LoadAware`
+    /// was before transfer costs existed — keep it around for measuring
+    /// what cost-awareness buys.
+    pub fn topology_blind() -> Self {
+        LoadAware {
+            horizon: None,
+            ..LoadAware::default()
+        }
+    }
+
     fn runtime_load(d: &DeviceLoad) -> f64 {
         d.hp_pressure + d.recent_occupancy
+    }
+
+    /// The projected stall of moving to `d`, in seconds, for cost
+    /// ranking. Unreachable devices rank behind everything reachable.
+    fn transfer_secs(d: &DeviceLoad) -> f64 {
+        d.transfer.map_or(f64::INFINITY, SimSpan::as_secs_f64)
     }
 }
 
@@ -310,12 +369,29 @@ impl PlacementPolicy for LoadAware {
     }
 
     fn migrate(&mut self, _job: &JobSpec, from: usize, devices: &[DeviceLoad]) -> Option<usize> {
-        let target = devices.iter().filter(|d| d.device != from).min_by(|a, b| {
-            (a.hp_pressure, Self::runtime_load(a), a.device)
-                .partial_cmp(&(b.hp_pressure, Self::runtime_load(b), b.device))
-                .expect("finite load")
-        })?;
-        (devices[from].hp_pressure > target.hp_pressure + self.margin).then_some(target.device)
+        let costed = self.horizon.is_some();
+        let target = devices
+            .iter()
+            .filter(|d| d.device != from && (!costed || d.transfer.is_some()))
+            .min_by(|a, b| {
+                let cost = |d: &DeviceLoad| {
+                    let t = if costed { Self::transfer_secs(d) } else { 0.0 };
+                    (d.hp_pressure, Self::runtime_load(d), t, d.device)
+                };
+                cost(a).partial_cmp(&cost(b)).expect("finite load")
+            })?;
+        if devices[from].hp_pressure <= target.hp_pressure + self.margin {
+            return None;
+        }
+        if let Some(h) = self.horizon {
+            // Expected pressure-relief over the horizon must amortize the
+            // stall the migrating client pays up front.
+            let gap = devices[from].hp_pressure - target.hp_pressure;
+            if gap * h.as_secs_f64() < Self::transfer_secs(target) {
+                return None;
+            }
+        }
+        Some(target.device)
     }
 }
 
@@ -399,6 +475,7 @@ pub struct Cluster {
     admission_factory: Option<AdmissionFactory>,
     monitor_window: SimSpan,
     threads: Option<usize>,
+    topology: Option<Topology>,
 }
 
 /// Per-device constructor for [`AdmissionPolicy`] instances, as installed
@@ -444,6 +521,7 @@ impl Cluster {
             admission_factory: None,
             monitor_window: SimSpan::from_millis(100),
             threads: None,
+            topology: None,
         }
     }
 
@@ -582,6 +660,25 @@ impl Cluster {
         self
     }
 
+    /// Installs the device-interconnect topology that prices cross-device
+    /// migrations (default: [`Topology::flat`] — every move is free, the
+    /// pre-topology behavior). Under a non-flat topology each migrating
+    /// client is stalled for `state_bytes / path_bandwidth` of simulated
+    /// time on its destination (see
+    /// [`Topology::transfer_time`]), the
+    /// stall is surfaced in [`Observation::ClientMigrated`] and the
+    /// [`ClusterReport`] migration counters, and moves between
+    /// disconnected devices are refused outright.
+    ///
+    /// # Panics
+    ///
+    /// [`Cluster::run`] panics if the topology's device count does not
+    /// match the fleet's.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Whether a client departure triggers a migration pass (default:
     /// `true`).
     pub fn migrate_on_detach(mut self, yes: bool) -> Self {
@@ -636,9 +733,17 @@ impl Cluster {
             admission_factory,
             monitor_window,
             threads,
+            topology,
         } = self;
         assert!(!devices.is_empty(), "at least one device required");
         let n = devices.len();
+        let topology = topology.unwrap_or_else(|| Topology::flat(n));
+        assert_eq!(
+            topology.devices(),
+            n,
+            "topology spans {} devices but the fleet has {n}",
+            topology.devices()
+        );
         let threads = threads.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         });
@@ -729,7 +834,10 @@ impl Cluster {
         let mut last_departures = vec![0u64; n];
         let mut next_rebalance = rebalance_every.map(|p| SimTime::ZERO + p);
         let mut migrations: u64 = 0;
+        let mut migration_bytes: u64 = 0;
+        let mut migration_stall = SimSpan::ZERO;
         let mut per_client_migrations = vec![0u32; jobs.len()];
+        let mut per_client_stall = vec![SimSpan::ZERO; jobs.len()];
         let mut migrations_in = vec![0u64; n];
         let mut migrations_out = vec![0u64; n];
         let mut host = HostStats {
@@ -798,6 +906,7 @@ impl Cluster {
                 let moved = rebalance_pass(
                     policy.as_mut(),
                     &devices,
+                    &topology,
                     &mut sessions,
                     &mut locations,
                     &jobs,
@@ -805,10 +914,15 @@ impl Cluster {
                     &monitor,
                     &all_observers,
                     &all_sync,
-                    &mut per_client_migrations,
-                    &mut migrations_in,
-                    &mut migrations_out,
-                    &mut migrations,
+                    &mut MigrationTallies {
+                        per_client_migrations: &mut per_client_migrations,
+                        per_client_stall: &mut per_client_stall,
+                        migrations_in: &mut migrations_in,
+                        migrations_out: &mut migrations_out,
+                        migrations: &mut migrations,
+                        migration_bytes: &mut migration_bytes,
+                        migration_stall: &mut migration_stall,
+                    },
                 );
                 fleet_emit(
                     &all_observers,
@@ -927,6 +1041,7 @@ impl Cluster {
                     initial_device: placements[k].expect("every client placed by run end"),
                     device: d,
                     migrations: per_client_migrations[k],
+                    migration_stall: per_client_stall[k],
                     report: sessions[d].client_report_at(slot),
                 }
             })
@@ -969,6 +1084,8 @@ impl Cluster {
             devices: device_reports,
             clients,
             migrations,
+            migration_bytes,
+            migration_stall,
             host,
         }
     }
@@ -1052,6 +1169,7 @@ fn load_of<'j>(
         queue_depth: 0,
         recent_occupancy: 0.0,
         hp_pressure: 0.0,
+        transfer: Some(SimSpan::ZERO),
     };
     for job in residents {
         load.clients += 1;
@@ -1110,16 +1228,32 @@ fn place_pending(
     locations[k] = Some((d, slot.0 as usize));
 }
 
+/// The migration counters a [`rebalance_pass`] accumulates into,
+/// bundled so the pass signature stays readable.
+struct MigrationTallies<'a> {
+    per_client_migrations: &'a mut [u32],
+    per_client_stall: &'a mut [SimSpan],
+    migrations_in: &'a mut [u64],
+    migrations_out: &'a mut [u64],
+    migrations: &'a mut u64,
+    migration_bytes: &'a mut u64,
+    migration_stall: &'a mut SimSpan,
+}
+
 /// One migration pass: offer the policy every active best-effort client,
 /// in fleet order, re-snapshotting loads after each move. Clients sitting
 /// in the gap between two scheduled windows (detached-by-schedule) are not
 /// candidates — they hold no device resources and resume where they left
-/// off. Every move is announced to the observers as
+/// off. Each candidate's loads carry the projected state-transfer stall
+/// to every device ([`DeviceLoad::transfer`]); a chosen move is charged
+/// that stall on the destination, and moves to topologically unreachable
+/// devices are refused. Every move is announced to the observers as
 /// [`Observation::ClientMigrated`]. Returns how many clients moved.
 #[allow(clippy::too_many_arguments)]
 fn rebalance_pass(
     policy: &mut dyn PlacementPolicy,
     devices: &[GpuSpec],
+    topology: &Topology,
     sessions: &mut [Session<'static>],
     locations: &mut [Option<(usize, usize)>],
     jobs: &[JobSpec],
@@ -1127,10 +1261,7 @@ fn rebalance_pass(
     monitor: &Arc<Mutex<LoadMonitor>>,
     observers: &[SharedObserver],
     sync: &[SharedSyncObserver],
-    per_client_migrations: &mut [u32],
-    migrations_in: &mut [u64],
-    migrations_out: &mut [u64],
-    migrations: &mut u64,
+    tallies: &mut MigrationTallies<'_>,
 ) -> u64 {
     let mut moved = 0;
     for k in 0..jobs.len() {
@@ -1140,16 +1271,17 @@ fn rebalance_pass(
         if jobs[k].priority.is_high() || !sessions[d].client_active(slot) {
             continue;
         }
+        let job = sessions[d].client_spec(slot).clone();
         let loads: Vec<DeviceLoad> = devices
             .iter()
             .enumerate()
             .map(|(dev, spec)| {
                 let mut load = load_of(dev, spec, active_specs(&sessions[dev]));
                 fill_runtime_signals(&mut load, monitor, now);
+                load.transfer = topology.transfer_time(job.state_bytes, d, dev);
                 load
             })
             .collect();
-        let job = sessions[d].client_spec(slot).clone();
         let Some(target) = policy.migrate(&job, d, &loads) else {
             continue;
         };
@@ -1162,13 +1294,19 @@ fn rebalance_pass(
         if target == d {
             continue;
         }
+        let Some(stall) = topology.transfer_time(job.state_bytes, d, target) else {
+            continue; // no interconnect path — the move is refused
+        };
         let (meta, client) = sessions[d].extract_client(slot);
-        let new_id = sessions[target].inject_client(meta, client);
+        let new_id = sessions[target].inject_client(meta, client, stall);
         locations[k] = Some((target, new_id.0 as usize));
-        per_client_migrations[k] += 1;
-        migrations_out[d] += 1;
-        migrations_in[target] += 1;
-        *migrations += 1;
+        tallies.per_client_migrations[k] += 1;
+        tallies.per_client_stall[k] += stall;
+        tallies.migrations_out[d] += 1;
+        tallies.migrations_in[target] += 1;
+        *tallies.migrations += 1;
+        *tallies.migration_bytes += job.state_bytes;
+        *tallies.migration_stall += stall;
         moved += 1;
         let ev = Observation::ClientMigrated {
             key: jobs[k].key().to_string(),
@@ -1176,6 +1314,8 @@ fn rebalance_pass(
             to: target,
             from_client: tally_gpu::ClientId(slot as u32),
             to_client: new_id,
+            bytes: job.state_bytes,
+            stall,
         };
         fleet_emit(observers, sync, now, d, &ev);
     }
@@ -1217,6 +1357,13 @@ pub struct ClusterReport {
     pub clients: Vec<ClusterClientReport>,
     /// Total client migrations performed.
     pub migrations: u64,
+    /// Total state bytes moved across the interconnect by those
+    /// migrations (sum of the movers' [`JobSpec::state_bytes`]).
+    pub migration_bytes: u64,
+    /// Total state-transfer stall charged to migrating clients, priced
+    /// by the cluster's [`Topology`]. Zero
+    /// under the flat default.
+    pub migration_stall: SimSpan,
     /// Host-side execution counters (barriers, wall-clock, work volume).
     pub host: HostStats,
 }
@@ -1233,6 +1380,8 @@ impl fmt::Debug for ClusterReport {
             .field("devices", &self.devices)
             .field("clients", &self.clients)
             .field("migrations", &self.migrations)
+            .field("migration_bytes", &self.migration_bytes)
+            .field("migration_stall", &self.migration_stall)
             .finish_non_exhaustive()
     }
 }
@@ -1312,6 +1461,9 @@ pub struct ClusterClientReport {
     pub device: usize,
     /// How many times the client migrated.
     pub migrations: u32,
+    /// Total state-transfer stall this client paid across its
+    /// migrations (zero under the flat default topology).
+    pub migration_stall: SimSpan,
     /// The client's whole-run report (cumulative across devices).
     pub report: ClientReport,
 }

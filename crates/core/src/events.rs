@@ -231,6 +231,14 @@ pub enum Observation {
         from_client: ClientId,
         /// The client's id within the destination session.
         to_client: ClientId,
+        /// State bytes moved across the interconnect
+        /// ([`JobSpec::state_bytes`](crate::harness::JobSpec::state_bytes)).
+        bytes: u64,
+        /// Transfer stall charged to the client on the destination:
+        /// `bytes` over the widest-path bandwidth of the cluster's
+        /// [`Topology`](crate::topology::Topology). Zero under the flat
+        /// default.
+        stall: SimSpan,
     },
     /// Cluster only: a migration pass finished, having moved `moved`
     /// clients. Delivered with the fleet-level [`FLEET_DEVICE`] index —
@@ -702,6 +710,8 @@ mod tests {
                 to: 1,
                 from_client: ClientId(3),
                 to_client: ClientId(7),
+                bytes: 0,
+                stall: SimSpan::ZERO,
             },
         );
         assert_eq!(m.queue_depth(0), 0, "migrated-away kernel forgotten");

@@ -135,6 +135,14 @@ pub struct JobSpec {
     /// trace recorder — can re-serialize the client without access to its
     /// kernel stream. `None` for hand-built jobs.
     pub descriptor: Option<String>,
+    /// Estimated bytes of resident client state (weights, optimizer
+    /// moments, KV caches) that must cross the interconnect when this
+    /// client migrates between devices. Charged as
+    /// `bytes / path_bandwidth` of stall by
+    /// [`Cluster`](crate::cluster::Cluster) runs under a non-flat
+    /// [`Topology`](crate::topology::Topology). `0` (the default) makes
+    /// migration free on any topology.
+    pub state_bytes: u64,
 }
 
 impl JobSpec {
@@ -151,6 +159,7 @@ impl JobSpec {
             windows: vec![ActivityWindow::ALWAYS],
             client_key: None,
             descriptor: None,
+            state_bytes: 0,
         }
     }
 
@@ -163,6 +172,7 @@ impl JobSpec {
             windows: vec![ActivityWindow::ALWAYS],
             client_key: None,
             descriptor: None,
+            state_bytes: 0,
         }
     }
 
@@ -183,6 +193,13 @@ impl JobSpec {
     /// [`JobSpec::descriptor`]).
     pub fn with_descriptor(mut self, descriptor: impl Into<String>) -> Self {
         self.descriptor = Some(descriptor.into());
+        self
+    }
+
+    /// Returns this job carrying a migration state-size estimate (see
+    /// [`JobSpec::state_bytes`]).
+    pub fn with_state_bytes(mut self, bytes: u64) -> Self {
+        self.state_bytes = bytes;
         self
     }
 
@@ -1677,8 +1694,17 @@ impl<'s> SessionCore<'s> {
 
     /// Adds a migrated client to this session, re-attaching it to the
     /// sharing system (and paying the interception attach burst again when
-    /// virtualized — migration is a reconnect). Returns its new id.
-    pub(crate) fn inject_client(&mut self, meta: ClientMeta, mut client: Client) -> ClientId {
+    /// virtualized — migration is a reconnect). The client is additionally
+    /// stalled for `stall` of state-transfer time (bytes over interconnect
+    /// path bandwidth, resolved by the cluster's
+    /// [`Topology`](crate::topology::Topology)) before it can advance.
+    /// Returns its new id.
+    pub(crate) fn inject_client(
+        &mut self,
+        meta: ClientMeta,
+        mut client: Client,
+        stall: SimSpan,
+    ) -> ClientId {
         let id = ClientId(self.clients.len() as u32);
         self.metas.push(meta);
         let now = self.engine.now();
@@ -1702,6 +1728,17 @@ impl<'s> SessionCore<'s> {
                         Some(client.gap_until.map_or(burst_end, |g| g.max(burst_end)));
                 }
             }
+        }
+        if !stall.is_zero() {
+            // The state transfer runs concurrently with the reconnect
+            // burst (DMA vs control plane): keep the later of the two so
+            // the client never advances before its state has arrived.
+            let transfer_end = now + stall;
+            client.gap_until = Some(
+                client
+                    .gap_until
+                    .map_or(transfer_end, |g| g.max(transfer_end)),
+            );
         }
         client.record_timelines = self.record_timelines;
         client.observe = self.emitting();
@@ -1931,8 +1968,13 @@ impl<'s> Session<'s> {
         self.core.extract_client(i)
     }
 
-    pub(crate) fn inject_client(&mut self, meta: ClientMeta, client: Client) -> ClientId {
-        self.core.inject_client(meta, client)
+    pub(crate) fn inject_client(
+        &mut self,
+        meta: ClientMeta,
+        client: Client,
+        stall: SimSpan,
+    ) -> ClientId {
+        self.core.inject_client(meta, client, stall)
     }
 
     pub(crate) fn admit_job(&mut self, job: JobSpec) -> ClientId {
@@ -1967,23 +2009,6 @@ fn meta_of(j: &JobSpec) -> ClientMeta {
     }
 }
 
-/// Runs `jobs` under `system` on a GPU described by `spec`.
-///
-/// Client ids are assigned in job order: `jobs[i]` is `ClientId(i)`.
-#[deprecated(note = "use the `Colocation` session builder instead")]
-pub fn run_colocation(
-    spec: &GpuSpec,
-    jobs: &[JobSpec],
-    system: &mut dyn SharingSystem,
-    cfg: &HarnessConfig,
-) -> RunReport {
-    Colocation::on(spec.clone())
-        .clients(jobs.iter().cloned())
-        .system(system)
-        .config(cfg.clone())
-        .run()
-}
-
 /// Runs a single job alone under [`Passthrough`]
 /// — the paper's *Ideal* configuration — and returns its report.
 pub fn run_solo(spec: &GpuSpec, job: &JobSpec, cfg: &HarnessConfig) -> ClientReport {
@@ -2001,7 +2026,6 @@ pub fn run_solo(spec: &GpuSpec, job: &JobSpec, cfg: &HarnessConfig) -> ClientRep
 mod tests {
     use super::*;
     use crate::api::InterceptStats;
-    use crate::system::Passthrough;
 
     fn kernel(us: u64) -> Arc<KernelDesc> {
         KernelDesc::builder("k")
@@ -2145,21 +2169,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_builder() {
-        let job = || {
-            JobSpec::inference(
-                "svc",
-                vec![WorkloadOp::Kernel(kernel(1000))],
-                (0..20).map(|i| SimTime::from_millis(10 * i)).collect(),
-            )
-        };
-        let via_builder = run_one(job(), &cfg(1));
-        let via_shim = run_colocation(&GpuSpec::tiny(), &[job()], &mut Passthrough::new(), &cfg(1));
-        assert_eq!(
-            via_builder.clients[0].latency.samples(),
-            via_shim.clients[0].latency.samples()
-        );
+    fn state_bytes_defaults_to_zero_and_survives_builders() {
+        let job = JobSpec::training("t", Vec::new());
+        assert_eq!(job.state_bytes, 0);
+        let sized = job
+            .with_state_bytes(1 << 30)
+            .with_client_key("t#0")
+            .active_from(SimTime::from_millis(5));
+        assert_eq!(sized.state_bytes, 1 << 30);
     }
 
     #[test]

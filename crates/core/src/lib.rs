@@ -22,6 +22,7 @@
 //! | observer-driven admission control for open-loop load (beyond the paper) | [`admission`] |
 //! | hierarchical timer wheel behind `Session::next_wake` (beyond the paper) | [`timewheel`] |
 //! | metrics registry, time-series sampler, Chrome-trace export (beyond the paper) | [`telemetry`] |
+//! | device-interconnect graph + migration transfer costs (beyond the paper) | [`topology`] |
 //!
 //! ## Quickstart
 //!
@@ -79,6 +80,7 @@ pub mod scheduler;
 pub mod system;
 pub mod telemetry;
 pub mod timewheel;
+pub mod topology;
 pub mod transform;
 
 pub use admission::{AdmissionPolicy, AdmissionVerdict, QueueCap, RejectNever, SloGuard};
@@ -91,8 +93,6 @@ pub use events::{
     ClientEvent, LoadMonitor, Observation, SessionObserver, SharedObserver, SharedSyncObserver,
     TraceError, FLEET_DEVICE,
 };
-#[allow(deprecated)]
-pub use harness::run_colocation;
 pub use harness::{
     run_solo, Colocation, HarnessConfig, InterceptMode, JobKind, JobSpec, Session, SessionEvent,
     WorkloadOp,
@@ -105,3 +105,4 @@ pub use telemetry::{
     TimelineWindow,
 };
 pub use timewheel::{TimerId, TimerWheel};
+pub use topology::{Link, LinkKind, Topology};

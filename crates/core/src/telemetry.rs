@@ -347,6 +347,8 @@ pub struct MetricsHub {
     /// `(device, session-local client id)` → stable client key.
     names: BTreeMap<(usize, u32), String>,
     migrations: u64,
+    migration_bytes: u64,
+    migration_stall: SimSpan,
     rebalances: u64,
     events: u64,
 }
@@ -393,6 +395,17 @@ impl MetricsHub {
     /// Cross-device migrations observed.
     pub fn migrations(&self) -> u64 {
         self.migrations
+    }
+
+    /// Total state bytes those migrations moved across the interconnect.
+    pub fn migration_bytes(&self) -> u64 {
+        self.migration_bytes
+    }
+
+    /// Total state-transfer stall charged to migrating clients (zero
+    /// under the flat default topology).
+    pub fn migration_stall(&self) -> SimSpan {
+        self.migration_stall
     }
 
     /// Rebalance passes observed.
@@ -460,6 +473,11 @@ impl MetricsHub {
             value,
         };
         out.push(fleet("migrations", self.migrations as f64));
+        out.push(fleet("migration_bytes", self.migration_bytes as f64));
+        out.push(fleet(
+            "migration_stall_ms",
+            self.migration_stall.as_millis_f64(),
+        ));
         out.push(fleet("rebalances", self.rebalances as f64));
         out
     }
@@ -541,8 +559,12 @@ impl SessionObserver for MetricsHub {
                 to,
                 from_client,
                 to_client,
+                bytes,
+                stall,
             } => {
                 self.migrations += 1;
+                self.migration_bytes += *bytes;
+                self.migration_stall += *stall;
                 self.names.remove(&(*from, from_client.0));
                 self.names.insert((*to, to_client.0), key.clone());
                 let src = self.devices.entry(*from).or_default();
@@ -587,6 +609,11 @@ pub struct TimelineWindow {
     pub p99: Option<SimSpan>,
     /// Mean latency of the requests completed inside the window.
     pub mean: Option<SimSpan>,
+    /// Migrations that left this device inside the window.
+    pub migrations_out: u64,
+    /// State-transfer stall charged by those migrations (attributed to
+    /// the source device's window, like the migration itself).
+    pub migration_stall: SimSpan,
 }
 
 impl TimelineWindow {
@@ -613,6 +640,8 @@ struct WindowAccum {
     shed: u64,
     deferred: u64,
     kernels: u64,
+    migrations_out: u64,
+    migration_stall: SimSpan,
     latency: Histogram,
 }
 
@@ -650,6 +679,8 @@ impl DeviceSeries {
             occupancy,
             p99: accum.latency.p99(),
             mean: accum.latency.mean(),
+            migrations_out: accum.migrations_out,
+            migration_stall: accum.migration_stall,
         });
         self.busy_at_start = self.busy_ns;
         self.cur_idx += 1;
@@ -702,7 +733,7 @@ impl DeviceSeries {
 ///     .run();
 /// let mut timeline = timeline.borrow_mut();
 /// let json = timeline.to_json();
-/// assert!(json.starts_with("{\"version\": 1"));
+/// assert!(json.starts_with("{\"version\": 2"));
 /// // 10 windows of 100ms, ~5 completions each.
 /// assert_eq!(timeline.windows(0).len(), 10);
 /// assert!(timeline.windows(0).iter().map(|w| w.requests).sum::<u64>() >= 45);
@@ -775,16 +806,18 @@ impl Timeline {
         self.devices.keys().copied().collect()
     }
 
-    /// Versioned JSON export: `{"version": 1, "cadence_ns": …,
+    /// Versioned JSON export: `{"version": 2, "cadence_ns": …,
     /// "duration_ns": …, "series": [{"device": d, "windows": […]}]}`,
     /// one window object per closed window with `qps`, `shed_rate`,
-    /// `occupancy`, `queue_depth`, and latency quantiles in milliseconds.
+    /// `occupancy`, `queue_depth`, migration counters, and latency
+    /// quantiles in milliseconds. (Version 2 added `migrations_out` and
+    /// `migration_stall_ms` per window.)
     pub fn to_json(&mut self) -> String {
         self.finish();
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"version\": 1, \"cadence_ns\": {}, \"duration_ns\": {}, \"series\": [",
+            "{{\"version\": 2, \"cadence_ns\": {}, \"duration_ns\": {}, \"series\": [",
             self.cadence.as_nanos(),
             self.duration.as_nanos()
         );
@@ -802,7 +835,8 @@ impl Timeline {
                     "{{\"start_ns\": {}, \"len_ns\": {}, \"requests\": {}, \
                      \"shed\": {}, \"deferred\": {}, \"kernels\": {}, \
                      \"qps\": {}, \"shed_rate\": {}, \"occupancy\": {}, \
-                     \"queue_depth\": {}",
+                     \"queue_depth\": {}, \"migrations_out\": {}, \
+                     \"migration_stall_ms\": {}",
                     w.start.as_nanos(),
                     w.len.as_nanos(),
                     w.requests,
@@ -813,6 +847,8 @@ impl Timeline {
                     fmt_f64(w.shed_rate()),
                     fmt_f64(w.occupancy),
                     w.queue_depth,
+                    w.migrations_out,
+                    fmt_f64(w.migration_stall.as_millis_f64()),
                 );
                 if let Some(p99) = w.p99 {
                     let _ = write!(out, ", \"p99_ms\": {}", fmt_f64(p99.as_millis_f64()));
@@ -834,13 +870,14 @@ impl Timeline {
         self.finish();
         let mut out = String::from(
             "device,start_ms,len_ms,requests,shed,deferred,kernels,\
-             qps,shed_rate,occupancy,queue_depth,p99_ms,mean_ms\n",
+             qps,shed_rate,occupancy,queue_depth,migrations_out,\
+             migration_stall_ms,p99_ms,mean_ms\n",
         );
         for (&device, d) in &self.devices {
             for w in &d.windows {
                 let _ = write!(
                     out,
-                    "{device},{},{},{},{},{},{},{},{},{},{}",
+                    "{device},{},{},{},{},{},{},{},{},{},{},{},{}",
                     fmt_f64(w.start.as_nanos() as f64 / 1e6),
                     fmt_f64(w.len.as_millis_f64()),
                     w.requests,
@@ -851,6 +888,8 @@ impl Timeline {
                     fmt_f64(w.shed_rate()),
                     fmt_f64(w.occupancy),
                     w.queue_depth,
+                    w.migrations_out,
+                    fmt_f64(w.migration_stall.as_millis_f64()),
                 );
                 match w.p99 {
                     Some(p) => {
@@ -896,10 +935,14 @@ impl SessionObserver for Timeline {
             Observation::ClientDetached { client, .. } => {
                 d.outstanding.remove(&client.0);
             }
-            Observation::ClientMigrated { from_client, .. } => {
+            Observation::ClientMigrated {
+                from_client, stall, ..
+            } => {
                 // Delivered stamped with the source device: its in-flight
                 // kernel was preempted and re-issues on the destination.
                 d.outstanding.remove(&from_client.0);
+                d.cur.migrations_out += 1;
+                d.cur.migration_stall += *stall;
             }
             Observation::EngineSample {
                 busy_thread_ns,
@@ -943,6 +986,15 @@ enum TraceEvent {
         tid: u32,
         name: &'static str,
         cat: &'static str,
+    },
+    /// Migration state-transfer stall, async (`ph: "b"`/`"e"`, cat
+    /// `migration`) on the destination client's row so it cannot disturb
+    /// the `B`/`E` kernel stack.
+    Stall {
+        start: SimTime,
+        end: SimTime,
+        tid: u32,
+        seq: u64,
     },
 }
 
@@ -1149,6 +1201,24 @@ fn render_event(pid: usize, device: usize, ev: &TraceEvent) -> String {
              \"pid\": {pid}, \"tid\": {tid}, \"s\": \"t\"}}",
             fmt_ts(*ts)
         ),
+        TraceEvent::Stall {
+            start,
+            end,
+            tid,
+            seq,
+        } => {
+            let b = format!(
+                "{{\"name\": \"migrate-stall\", \"cat\": \"migration\", \"ph\": \"b\", \
+                 \"id\": \"stall-d{device}-{seq}\", \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}}}",
+                fmt_ts(*start)
+            );
+            let e = format!(
+                "{{\"name\": \"migrate-stall\", \"cat\": \"migration\", \"ph\": \"e\", \
+                 \"id\": \"stall-d{device}-{seq}\", \"ts\": {}, \"pid\": {pid}, \"tid\": {tid}}}",
+                fmt_ts(*end)
+            );
+            format!("{b},\n{e}")
+        }
     }
 }
 
@@ -1165,6 +1235,8 @@ impl SessionObserver for ChromeTraceWriter {
                 to,
                 from_client,
                 to_client,
+                stall,
+                ..
             } => {
                 // Stamped with the source device; touches both tracks.
                 let src = self.devices.entry(*from).or_default();
@@ -1185,6 +1257,19 @@ impl SessionObserver for ChromeTraceWriter {
                     name: "migrate-in",
                     cat: "lifecycle",
                 });
+                if !stall.is_zero() {
+                    // The state transfer occupies the destination row
+                    // until the client may advance again.
+                    dst.seq += 1;
+                    let seq = dst.seq;
+                    dst.last_ts = dst.last_ts.max(at + *stall);
+                    dst.push(TraceEvent::Stall {
+                        start: at,
+                        end: at + *stall,
+                        tid: to_client.0,
+                        seq,
+                    });
+                }
                 return;
             }
             _ => {}
@@ -1514,11 +1599,19 @@ mod tests {
                 to: 1,
                 from_client: ClientId(1),
                 to_client: ClientId(0),
+                bytes: 4_000_000_000,
+                stall: SimSpan::from_millis(250),
             },
         );
         assert_eq!(hub.device(0).unwrap().queue_depth(), 0);
         assert_eq!(hub.device(0).unwrap().migrations_out, 1);
         assert_eq!(hub.device(1).unwrap().migrations_in, 1);
+        assert_eq!(hub.migration_bytes(), 4_000_000_000);
+        assert_eq!(hub.migration_stall(), SimSpan::from_millis(250));
+        assert!(hub
+            .samples()
+            .iter()
+            .any(|s| s.name == "migration_stall_ms" && s.value == 250.0));
         // Post-migration kernels land on the same client key.
         ev(
             &mut hub,
@@ -1609,7 +1702,7 @@ mod tests {
             },
         );
         let json = tl.to_json();
-        assert!(json.starts_with("{\"version\": 1, \"cadence_ns\": 10000000"));
+        assert!(json.starts_with("{\"version\": 2, \"cadence_ns\": 10000000"));
         assert!(json.contains("\"qps\": 100"));
         // Export is idempotent: a second call renders the same document.
         assert_eq!(json, tl.to_json());

@@ -58,6 +58,22 @@ impl GpuSpec {
         }
     }
 
+    /// A V100-SXM2-16GB configuration: the previous-generation datacenter
+    /// part (80 SMs, 96 KiB shared memory per SM). Useful for modeling
+    /// heterogeneous fleets where older nodes sit across a slower
+    /// interconnect from the A100 pool.
+    pub fn v100() -> Self {
+        GpuSpec {
+            num_sms: 80,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            shared_mem_per_sm: 96 * 1024,
+            launch_overhead: SimSpan::from_micros(4),
+            context_switch_overhead: SimSpan::from_micros(120),
+            contention_beta: 0.35,
+        }
+    }
+
     /// A tiny 4-SM configuration, convenient for unit tests where wave
     /// arithmetic should be easy to reason about by hand.
     pub fn tiny() -> Self {

@@ -61,6 +61,27 @@ impl TrainModel {
         TrainModel::ALL.into_iter().find(|m| m.name() == name)
     }
 
+    /// Parameter count (Table 2).
+    pub fn params(self) -> u64 {
+        match self {
+            TrainModel::ResNet50 => 25_600_000,
+            TrainModel::PointNet => 3_500_000,
+            TrainModel::Bert => 110_000_000,
+            TrainModel::Gpt2Large => 774_000_000,
+            TrainModel::Pegasus => 568_000_000,
+            TrainModel::WhisperV3 => 1_500_000_000,
+        }
+    }
+
+    /// Bytes of device-resident state a migration must move: fp32
+    /// weights + gradients + Adam first/second moments, 16 bytes per
+    /// parameter. Stamped into the job's
+    /// [`JobSpec::state_bytes`] so cluster runs under a non-flat
+    /// [`Topology`](tally_core::topology::Topology) charge the transfer.
+    pub fn state_bytes(self) -> u64 {
+        self.params() * 16
+    }
+
     /// Published solo throughput (iterations per second, Table 2).
     pub fn paper_throughput(self) -> f64 {
         match self {
@@ -135,7 +156,7 @@ impl TrainModel {
             total,
             seed_of(self.name()),
         );
-        JobSpec::training(self.name(), ops)
+        JobSpec::training(self.name(), ops).with_state_bytes(self.state_bytes())
     }
 }
 
@@ -184,6 +205,26 @@ impl InferModel {
     /// format.
     pub fn from_name(name: &str) -> Option<InferModel> {
         InferModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Parameter count (Table 2).
+    pub fn params(self) -> u64 {
+        match self {
+            InferModel::ResNet50 => 25_600_000,
+            InferModel::Bert => 110_000_000,
+            InferModel::YoloV6m => 35_000_000,
+            InferModel::Llama2_7b => 7_000_000_000,
+            InferModel::StableDiffusion => 1_000_000_000,
+            InferModel::GptNeo => 2_700_000_000,
+        }
+    }
+
+    /// Bytes of device-resident state a migration must move: fp16
+    /// weights, 2 bytes per parameter (inference carries no optimizer
+    /// state; KV caches are transient). Stamped into the job's
+    /// [`JobSpec::state_bytes`].
+    pub fn state_bytes(self) -> u64 {
+        self.params() * 2
     }
 
     /// Published solo request latency (Table 2).
@@ -242,6 +283,7 @@ impl InferModel {
     /// Builds the high-priority inference job from an arrival trace.
     pub fn job(self, spec: &GpuSpec, arrivals: Vec<SimTime>) -> JobSpec {
         JobSpec::inference(self.name(), self.request_ops(spec), arrivals)
+            .with_state_bytes(self.state_bytes())
     }
 }
 

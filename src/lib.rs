@@ -74,6 +74,8 @@ pub mod prelude {
     pub use tally_core::metrics::{ClientReport, LatencyRecorder, RunReport, Windowed};
     pub use tally_core::scheduler::{TallyConfig, TallySystem};
     pub use tally_core::system::{Passthrough, SharingSystem};
+    pub use tally_core::topology::{Link, LinkKind, Topology};
+
     pub use tally_core::telemetry::{
         ChromeTraceWriter, ClientMetrics, DeviceMetrics, Histogram, MetricSample, MetricsHub,
         Timeline, TimelineWindow,

@@ -397,3 +397,182 @@ fn job_demand_random_traces_stay_bounded() {
         }
     }
 }
+
+// ---- migration-cost edge cases ------------------------------------------
+
+/// One observed migration: (key, from, to, bytes, stall).
+type Migration = (String, usize, usize, u64, SimSpan);
+
+/// Typed collector for migration events.
+#[derive(Default)]
+struct MigrationLog(std::cell::RefCell<Vec<Migration>>);
+
+impl SessionObserver for MigrationLog {
+    fn on_event(&mut self, _at: SimTime, _device: usize, event: &Observation) {
+        if let Observation::ClientMigrated {
+            key,
+            from,
+            to,
+            bytes,
+            stall,
+            ..
+        } = event
+        {
+            self.0
+                .borrow_mut()
+                .push((key.clone(), *from, *to, *bytes, *stall));
+        }
+    }
+}
+
+/// The churny mix with every job's migration state pinned to `state_bytes`,
+/// run on `n` devices under `BestEffortPacking` + detach-triggered
+/// migration, with an optional topology.
+fn churny_with_state(
+    n: usize,
+    state_bytes: u64,
+    topology: Option<Topology>,
+) -> (ClusterReport, Vec<Migration>) {
+    let spec = GpuSpec::a100();
+    let c = cfg(6, 500);
+    let mut jobs = mixes::standard(&spec, 0.5, c.duration);
+    jobs.truncate(1);
+    jobs[0] = jobs[0].clone().active_until(SimTime::from_secs(3));
+    for i in 0..4 {
+        let mut trainer = mixes::standard(&spec, 0.5, c.duration).remove(1);
+        trainer.client_key = Some(format!("trainer-{i}"));
+        jobs.push(trainer);
+    }
+    for job in &mut jobs {
+        job.state_bytes = state_bytes;
+    }
+    let log = std::rc::Rc::new(std::cell::RefCell::new(MigrationLog::default()));
+    let mut cluster = Cluster::new()
+        .devices(n, spec)
+        .clients(jobs)
+        .policy(BestEffortPacking)
+        .migrate_on_detach(true)
+        .rebalance_every(SimSpan::from_secs(2))
+        .observer(log.clone())
+        .config(c);
+    if let Some(t) = topology {
+        cluster = cluster.topology(t);
+    }
+    let report = cluster.run();
+    let events = log.borrow().0.borrow().clone();
+    (report, events)
+}
+
+#[test]
+fn explicit_flat_topology_is_byte_identical_to_the_default() {
+    // Real model state sizes ride along (mixes now stamp them), so this
+    // also proves nonzero `state_bytes` stays free without a topology.
+    let spec = GpuSpec::a100();
+    let c = cfg(6, 500);
+    let jobs = mixes::standard(&spec, 0.5, c.duration);
+    assert!(
+        jobs.iter().any(|j| j.state_bytes > 0),
+        "model jobs must carry state estimates for this test to bite"
+    );
+    let (default_run, default_events) = churny_with_state(2, 12_000_000_000, None);
+    let (flat_run, flat_events) = churny_with_state(2, 12_000_000_000, Some(Topology::flat(2)));
+    assert!(default_run.migrations > 0, "scenario must migrate");
+    assert_eq!(format!("{default_run:?}"), format!("{flat_run:?}"));
+    assert_eq!(default_events, flat_events);
+    assert_eq!(default_run.migration_stall, SimSpan::ZERO);
+    assert_eq!(
+        default_run.migration_bytes,
+        default_run.migrations * 12_000_000_000
+    );
+}
+
+#[test]
+fn zero_byte_state_migrates_free_on_real_links() {
+    let slow = Topology::new(2).link(0, 1, Link::node_cross());
+    let (report, events) = churny_with_state(2, 0, Some(slow));
+    assert!(report.migrations > 0, "scenario must migrate");
+    assert_eq!(report.migration_stall, SimSpan::ZERO);
+    assert_eq!(report.migration_bytes, 0);
+    assert!(events
+        .iter()
+        .all(|&(_, _, _, bytes, stall)| bytes == 0 && stall.is_zero()));
+    // And the run is byte-identical to the same scenario without any
+    // topology: a zero-byte transfer never perturbs behavior.
+    let (free_report, free_events) = churny_with_state(2, 0, None);
+    assert_eq!(format!("{report:?}"), format!("{free_report:?}"));
+    assert_eq!(events, free_events);
+}
+
+#[test]
+fn migration_stall_is_charged_per_path_and_sums_into_reports() {
+    // Heterogeneous three-device fleet: an NVLink pair plus a V100 node
+    // reachable only through device 1's cross-node uplink, so a 0 -> 2
+    // migration must be charged at the 12.5 GB/s bottleneck of its
+    // two-hop path, not the NVLink first hop.
+    const STATE: u64 = 2_500_000_000;
+    let topology = || {
+        Topology::new(3)
+            .link(0, 1, Link::nvlink())
+            .link(1, 2, Link::node_cross())
+    };
+    let spec = GpuSpec::a100();
+    let v100 = GpuSpec::v100();
+    let c = cfg(6, 500);
+    let mut jobs = mixes::standard(&spec, 0.5, c.duration);
+    jobs.truncate(1);
+    jobs[0] = jobs[0].clone().active_until(SimTime::from_secs(3));
+    for i in 0..4 {
+        let mut trainer = mixes::standard(&spec, 0.5, c.duration).remove(1);
+        trainer.client_key = Some(format!("trainer-{i}"));
+        trainer.state_bytes = STATE;
+        jobs.push(trainer);
+    }
+    jobs[0].state_bytes = STATE;
+    let log = std::rc::Rc::new(std::cell::RefCell::new(MigrationLog::default()));
+    let report = Cluster::new()
+        .device(spec.clone())
+        .device(spec)
+        .device(v100)
+        .topology(topology())
+        .clients(jobs)
+        .policy(BestEffortPacking)
+        .migrate_on_detach(true)
+        .rebalance_every(SimSpan::from_secs(2))
+        .observer(log.clone())
+        .config(c)
+        .run();
+    let events = log.borrow().0.borrow().clone();
+    assert!(report.migrations > 0, "scenario must migrate");
+    assert_eq!(events.len() as u64, report.migrations);
+    // Every observed stall is exactly bytes over the widest-path
+    // bottleneck bandwidth for that hop.
+    let t = topology();
+    let mut total = SimSpan::ZERO;
+    for &(_, from, to, bytes, stall) in &events {
+        assert_eq!(bytes, STATE);
+        assert_eq!(
+            stall,
+            t.transfer_time(bytes, from, to).expect("reachable path"),
+            "stall mispriced for {from} -> {to}"
+        );
+        total += stall;
+    }
+    assert_eq!(report.migration_stall, total);
+    assert_eq!(report.migration_bytes, report.migrations * STATE);
+    // Per-client stall accounting survives the re-attach on the new
+    // device and sums to the fleet total.
+    let per_client: Vec<SimSpan> = report.clients.iter().map(|c| c.migration_stall).collect();
+    let mut summed = SimSpan::ZERO;
+    for s in per_client {
+        summed += s;
+    }
+    assert_eq!(summed, total);
+    // A stalled, migrated client still re-attaches and keeps working.
+    for c in report.clients.iter().filter(|c| c.migrations > 0) {
+        assert!(
+            c.report.iterations > 0 || c.report.requests > 0,
+            "{} stalled forever after migrating",
+            c.key
+        );
+    }
+}

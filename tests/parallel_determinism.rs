@@ -395,6 +395,70 @@ fn chrome_trace_export_is_byte_identical_and_well_formed() {
     assert!(requests > 0, "scenario must render request spans");
 }
 
+/// The phase-shifted mix over a real interconnect: the Whisper trainers
+/// carry ~24 GB of optimizer state, so every shuttle over the NVLink
+/// topology is charged an ~80 ms transfer stall. Report, observer stream,
+/// and Chrome trace (with its `migrate-stall` async spans) must stay
+/// byte-identical for every worker-thread count.
+fn run_stalled_migration(threads: usize) -> (String, Vec<String>, String, SimSpan) {
+    let spec = GpuSpec::a100();
+    let c = cfg(4);
+    let events = Rc::new(RefCell::new(Collector::default()));
+    let trace = ChromeTraceWriter::shared_sync();
+    let jobs = mixes::phase_shifted(&spec, SimSpan::from_millis(500), c.duration, 0.5);
+    let report = Cluster::new()
+        .devices(2, spec)
+        .topology(Topology::new(2).link(0, 1, Link::nvlink()))
+        .clients(jobs)
+        .rebalance_every(SimSpan::from_millis(250))
+        .policy(LoadAware::default())
+        .observer(events.clone())
+        .sync_observer(trace.clone())
+        .threads(threads)
+        .config(c)
+        .run();
+    let stream = events.borrow().0.clone();
+    let trace_json = trace.lock().expect("trace").to_json();
+    let stall = report.migration_stall;
+    (format!("{report:?}"), stream, trace_json, stall)
+}
+
+#[test]
+fn stalled_migrations_are_identical_for_any_thread_count() {
+    let (baseline, baseline_events, baseline_trace, baseline_stall) = run_stalled_migration(1);
+    // The claim must bite: migrations happen AND carry nonzero stalls,
+    // which surface in the event stream and as trace spans.
+    assert!(
+        !baseline_stall.is_zero(),
+        "scenario must charge migration stalls"
+    );
+    assert!(
+        baseline_events
+            .iter()
+            .any(|l| l.contains("ClientMigrated") && !l.contains("stall: 0ns")),
+        "observer stream must carry stalled migrations"
+    );
+    assert!(
+        baseline_trace.contains("migrate-stall"),
+        "Chrome trace must render the stall spans"
+    );
+    for threads in [2usize, 4] {
+        let (report, events, trace, _) = run_stalled_migration(threads);
+        assert_eq!(
+            baseline, report,
+            "stalled-migration report diverged between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            baseline_events, events,
+            "stalled-migration observer stream diverged between threads=1 and threads={threads}"
+        );
+        assert_eq!(
+            baseline_trace, trace,
+            "stalled-migration Chrome trace diverged between threads=1 and threads={threads}"
+        );
+    }
+}
+
 #[test]
 fn phase_shifted_scenario_actually_migrates() {
     // The determinism claim must cover migrations: the load-aware policy
