@@ -10,12 +10,14 @@
 //! subset the paper's artifact appendix defaults to, §A.2); set
 //! `FIG5_FULL=1` for the full 6 × 6 sweep (several minutes on one core).
 
+#[allow(clippy::disallowed_types)] // summary accumulators, keyed reads only
 use std::collections::HashMap;
 
 use tally_bench::{banner, harness_for, ms, run_combo, solo_refs, JsonSink, FIG5_SYSTEMS};
 use tally_gpu::GpuSpec;
 use tally_workloads::{InferModel, TrainModel};
 
+#[allow(clippy::disallowed_types)] // summary accumulators, keyed reads only
 fn main() {
     let mut sink = JsonSink::from_args("fig5_end_to_end");
     let spec = GpuSpec::a100();

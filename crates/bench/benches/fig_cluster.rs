@@ -39,6 +39,14 @@ use tally_core::topology::{Link, Topology};
 use tally_gpu::{GpuSpec, Priority, SimSpan, SimTime};
 use tally_workloads::{mixes, InferModel};
 
+/// Host wall-clock sample for the smoke test's wall budget — `host_`
+/// scope per the determinism contract (ARCHITECTURE rule D3): wall time
+/// here gates only the host-side time budget, never simulated results.
+#[allow(clippy::disallowed_methods)] // host-only instrumentation scope
+fn host_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
 const LOAD: f64 = 0.5;
 
 fn policy_by_name(name: &str) -> Box<dyn PlacementPolicy> {
@@ -117,7 +125,7 @@ fn fleet_smoke() {
         })
         .collect();
     jobs[0] = jobs[0].clone().active_until(SimTime::from_millis(250));
-    let start = std::time::Instant::now();
+    let start = host_now();
     let report = with_bench_threads(
         Cluster::new()
             .devices(DEVICES, spec)

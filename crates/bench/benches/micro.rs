@@ -21,12 +21,20 @@ use tally_gpu::{
 use tally_ptx::interp::{run_kernel, Launch};
 use tally_ptx::{passes, samples};
 
+/// Host wall-clock sample for the bench timers below — `host_` scope per
+/// the determinism contract (ARCHITECTURE rule D3): wall time here feeds
+/// only the ungated `host_ns_per_iter` rows, never simulated results.
+#[allow(clippy::disallowed_methods)] // host-only instrumentation scope
+fn host_now() -> Instant {
+    Instant::now()
+}
+
 /// Times `f` adaptively: warm up, pick an iteration count that runs for
 /// roughly `budget_ms`, then report (and return) the best-of-three
 /// nanoseconds per iteration.
 fn bench<R>(sink: &mut JsonSink, name: &str, budget_ms: u64, mut f: impl FnMut() -> R) -> u64 {
     // Warmup + calibration.
-    let t0 = Instant::now();
+    let t0 = host_now();
     let mut calib_iters = 0u64;
     while t0.elapsed().as_millis() < 20 || calib_iters < 3 {
         std::hint::black_box(f());
@@ -37,7 +45,7 @@ fn bench<R>(sink: &mut JsonSink, name: &str, budget_ms: u64, mut f: impl FnMut()
 
     let mut best = u64::MAX;
     for _ in 0..3 {
-        let t = Instant::now();
+        let t = host_now();
         for _ in 0..iters {
             std::hint::black_box(f());
         }

@@ -258,6 +258,9 @@ impl SloGuard {
     /// with [`SloGuard::qps_range`]).
     pub fn new(slo: SimSpan) -> Self {
         assert!(!slo.is_zero(), "SLO must be positive");
+        // tally-lint: allow(D1-float-schedule) -- fixed 4x scaling of an
+        // integral SLO, rounded to integral nanoseconds exactly once at
+        // construction; the control loop itself advances in integer time.
         let window = SimSpan::from_secs_f64(slo.as_secs_f64() * 4.0).max(SimSpan::from_millis(1));
         SloGuard {
             slo,

@@ -8,14 +8,18 @@
 //! enough to reproduce the paper's ~1% virtualization-overhead result and
 //! to let the overhead bench show *why* local-state caching matters.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use tally_gpu::SimSpan;
 
 /// A device API call, classified the way the interception layer cares
 /// about: does it mutate device state (must forward) or only read
 /// execution-context state (cacheable client-side)?
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// `Ord` exists so calls can key ordered containers (the client-side
+/// cache must never expose hash order); the derived variant ordering
+/// carries no semantic meaning.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ApiCall {
     /// `cuLaunchKernel` — always forwarded.
     LaunchKernel,
@@ -133,12 +137,12 @@ impl InterceptStats {
 #[derive(Debug)]
 pub struct ClientStub {
     transport: Transport,
-    cache: HashSet<ApiCall>,
+    cache: BTreeSet<ApiCall>,
     caching_enabled: bool,
     stats: InterceptStats,
 }
 
-/// Cost of answering a call from the local cache (a hash lookup).
+/// Cost of answering a call from the local cache (a table lookup).
 const LOCAL_COST: SimSpan = SimSpan::from_nanos(25);
 
 /// The calls a client issues once at startup, when it attaches to the
@@ -176,7 +180,7 @@ impl ClientStub {
     pub fn new(transport: Transport) -> Self {
         ClientStub {
             transport,
-            cache: HashSet::new(),
+            cache: BTreeSet::new(),
             caching_enabled: true,
             stats: InterceptStats::default(),
         }

@@ -1001,7 +1001,7 @@ impl Cluster {
 
             // Advance all sessions to the barrier on the worker pool,
             // then deliver the observations they buffered in device order.
-            let start = std::time::Instant::now();
+            let start = host_now();
             advance_fleet(&mut sessions, barrier, threads);
             let spent = start.elapsed().as_nanos() as u64;
             host.barriers += 1;
@@ -1092,6 +1092,15 @@ impl Cluster {
 }
 
 /// Advances every session to `barrier` on up to `threads` scoped worker
+/// Host wall-clock sample for [`HostStats`] bookkeeping. The `host_`
+/// prefix is the determinism contract's marker for machine-dependent
+/// instrumentation (ARCHITECTURE rule D3): wall time read here feeds only
+/// `host_*` counters, never anything sim-observable.
+#[allow(clippy::disallowed_methods)] // host-only instrumentation scope
+fn host_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
 /// threads. Workers pull [`SessionCore`](crate::harness)s off a shared
 /// queue — sessions are independent between barriers, so assignment order
 /// cannot influence results, and `threads == 1` short-circuits to a plain

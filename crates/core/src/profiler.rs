@@ -13,12 +13,16 @@
 //! PTB launch it follows the paper's Eq. 1:
 //! `turnaround = kernel_latency × worker_blocks / total_blocks`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tally_gpu::{Dim3, GpuSpec, KernelDesc, KernelId, SimSpan};
 
 /// A candidate launch configuration for a best-effort kernel.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// `Ord` exists so configurations can key ordered containers (the
+/// profiler's measurement tables must never expose hash order); the
+/// derived variant-then-field ordering carries no semantic meaning.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum LaunchCfg {
     /// Launch slices of `blocks` original blocks, one at a time.
     Slice {
@@ -113,7 +117,7 @@ impl Measurement {
 /// Per-(kernel, grid) profiling state.
 #[derive(Clone, Debug, Default)]
 struct Profile {
-    measurements: HashMap<LaunchCfg, Measurement>,
+    measurements: BTreeMap<LaunchCfg, Measurement>,
     chosen: Option<LaunchCfg>,
 }
 
@@ -131,7 +135,7 @@ pub struct ProfilerStats {
 /// The transparent profiler. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct TransparentProfiler {
-    profiles: HashMap<(KernelId, Dim3), Profile>,
+    profiles: BTreeMap<(KernelId, Dim3), Profile>,
     stats: ProfilerStats,
 }
 

@@ -36,6 +36,9 @@
 //! [`TimerId`] and used purely for point lookups — iteration order never
 //! influences results.
 
+#[allow(clippy::disallowed_types)]
+// tally-lint: allow(D2-unordered-iter) -- imported for the id → slot index
+// below; every access is a point lookup, iteration order is never observed.
 use std::collections::HashMap;
 use std::fmt;
 
@@ -82,6 +85,9 @@ pub struct TimerWheel<T> {
     /// One occupancy bit per slot, per level.
     occupied: [u64; LEVELS],
     /// Live-timer index: id → location. Point lookups only.
+    #[allow(clippy::disallowed_types)]
+    // tally-lint: allow(D2-unordered-iter) -- get/insert/remove by TimerId
+    // only; nothing ever iterates this map, so hash order is unobservable.
     index: HashMap<u64, Loc>,
 }
 
@@ -102,6 +108,7 @@ impl<T> fmt::Debug for TimerWheel<T> {
 
 impl<T> TimerWheel<T> {
     /// An empty wheel positioned at [`SimTime::ZERO`].
+    #[allow(clippy::disallowed_types)] // point-lookup HashMap index (see field docs)
     pub fn new() -> Self {
         let mut slots = Vec::with_capacity(LEVELS * SLOTS);
         slots.resize_with(LEVELS * SLOTS, Vec::new);
@@ -110,6 +117,7 @@ impl<T> TimerWheel<T> {
             next_id: 0,
             slots,
             occupied: [0; LEVELS],
+            // tally-lint: allow(D2-unordered-iter) -- point-lookup index (above).
             index: HashMap::new(),
         }
     }

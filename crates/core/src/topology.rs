@@ -267,6 +267,9 @@ impl Topology {
         if bytes == 0 || gb_per_s.is_infinite() {
             return Some(SimSpan::ZERO);
         }
+        // tally-lint: allow(D1-float-schedule) -- sanctioned derivation
+        // (ARCHITECTURE rule D1): one division over deterministic inputs,
+        // rounded to integral nanoseconds exactly once; no accumulation.
         Some(SimSpan::from_secs_f64(
             bytes as f64 / (gb_per_s * 1_000_000_000.0),
         ))

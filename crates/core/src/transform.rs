@@ -13,7 +13,7 @@
 //! *actual* device-code rewriting this models is implemented and verified
 //! in [`tally_ptx::passes`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tally_gpu::{KernelDesc, KernelId, KernelOrigin};
@@ -88,7 +88,7 @@ pub struct TransformStats {
 #[derive(Debug, Default)]
 pub struct KernelTransformer {
     cfg: TransformConfig,
-    plans: HashMap<KernelId, TransformPlan>,
+    plans: BTreeMap<KernelId, TransformPlan>,
     stats: TransformStats,
 }
 
@@ -97,7 +97,7 @@ impl KernelTransformer {
     pub fn new(cfg: TransformConfig) -> Self {
         KernelTransformer {
             cfg,
-            plans: HashMap::new(),
+            plans: BTreeMap::new(),
             stats: TransformStats::default(),
         }
     }

@@ -16,7 +16,10 @@ use crate::time::SimSpan;
 /// assert_eq!(grid.count(), 32);
 /// assert_eq!(grid.linear_to_coords(9), (1, 1, 0));
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+// `Ord` exists so dimensions can key ordered containers (the profiler's
+// per-(kernel, grid) tables must never expose hash order); the derived
+// lexicographic x→y→z ordering carries no semantic meaning.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Dim3 {
     /// Extent in the x dimension.
     pub x: u32,

@@ -1,0 +1,222 @@
+//! Drives the rules over source text and applies suppressions.
+//!
+//! The engine is the only component that knows about allow comments.
+//! Rules emit every raw finding; the engine then matches findings
+//! against `// tally-lint: allow(RULE) -- reason` comments and splits
+//! the result into (unsuppressed findings, suppression records). Two
+//! meta-rules live here rather than in [`crate::rules`] because they
+//! police the suppression mechanism itself:
+//!
+//! * `A0-allow-without-reason` — an allow with no `-- reason` (or an
+//!   empty one) is itself a finding. A suppression without an argument
+//!   is indistinguishable from silencing the tool.
+//! * `A1-unknown-rule` — an allow naming a rule that does not exist is
+//!   a finding, not a no-op: it is either a typo (and some real rule is
+//!   about to go unsuppressed) or stale (and should be deleted).
+//!
+//! An allow directive may wrap across consecutive `//` lines (rustfmt
+//! reflows long comments); the whole block is one directive, and it
+//! covers matching findings anywhere in the block and on the first line
+//! after it. So a comment can sit on its own line(s) above the flagged
+//! code or trail it on the same line. Unused suppressions are reported
+//! (in the summary table and JSON) but are not errors — code evolves,
+//! and a stale allow should show up in review, not break the build.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment};
+use crate::rules::{all_rules, is_known_rule, FileCtx};
+use crate::{FileReport, Finding, LintReport, Suppression};
+
+/// The marker an allow comment must start with (after trimming).
+const MARKER: &str = "tally-lint:";
+
+/// Lints one file's source text. `rel_path` must be repo-relative and
+/// `/`-separated — it determines the unit and therefore which rules
+/// apply (see [`crate::rules::Unit`]).
+pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
+    let (toks, comments) = lex(src);
+    let ctx = FileCtx::new(rel_path, &toks);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in all_rules() {
+        rule.check(&ctx, &mut raw);
+    }
+
+    let mut suppressions = parse_allows(rel_path, &comments, &mut raw);
+
+    // Apply suppressions: a finding is covered by the first matching
+    // allow (same rule, finding line within the comment block or on the
+    // line just after it).
+    let mut findings = Vec::new();
+    for f in raw {
+        let slot = suppressions
+            .iter_mut()
+            .find(|s| s.rule == f.rule && f.line >= s.line && f.line <= s.end_line + 1);
+        match slot {
+            Some(s) => s.used = true,
+            None => findings.push(f),
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    suppressions.sort_by_key(|s| s.line);
+    FileReport {
+        findings,
+        suppressions,
+    }
+}
+
+/// Extracts allow directives from plain (non-doc) comments, emitting the
+/// A0/A1 meta-findings for malformed ones into `raw`.
+fn parse_allows(rel_path: &str, comments: &[Comment], raw: &mut Vec<Finding>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    while k < comments.len() {
+        let c = &comments[k];
+        // Doc comments never register allows: documentation may quote
+        // the syntax without granting anything.
+        if c.doc {
+            k += 1;
+            continue;
+        }
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix(MARKER) else {
+            k += 1;
+            continue;
+        };
+        // Swallow continuation lines: plain comments on consecutive
+        // lines that don't start a directive of their own. They extend
+        // the reason text and the coverage window.
+        let mut full = rest.trim_start().to_string();
+        let mut end_line = c.line;
+        while let Some(next) = comments.get(k + 1) {
+            let nt = next.text.trim();
+            if next.doc || next.line != end_line + 1 || nt.starts_with(MARKER) {
+                break;
+            }
+            full.push(' ');
+            full.push_str(nt);
+            end_line = next.line;
+            k += 1;
+        }
+        k += 1;
+        let rest = full.as_str();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            raw.push(Finding::new(
+                "A1-unknown-rule",
+                rel_path,
+                c.line,
+                format!("malformed `{MARKER}` directive: expected `allow(RULE) -- reason`"),
+                "docs/ARCHITECTURE.md#determinism-rules",
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            raw.push(Finding::new(
+                "A1-unknown-rule",
+                rel_path,
+                c.line,
+                "unterminated `allow(` directive".to_string(),
+                "docs/ARCHITECTURE.md#determinism-rules",
+            ));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim();
+        let reason = tail
+            .strip_prefix("--")
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+
+        if !is_known_rule(&rule) {
+            raw.push(Finding::new(
+                "A1-unknown-rule",
+                rel_path,
+                c.line,
+                format!(
+                    "allow names unknown rule `{rule}`: fix the typo or delete the stale allow"
+                ),
+                "docs/ARCHITECTURE.md#determinism-rules",
+            ));
+            continue;
+        }
+        if reason.is_empty() {
+            raw.push(Finding::new(
+                "A0-allow-without-reason",
+                rel_path,
+                c.line,
+                format!(
+                    "allow({rule}) carries no justification: write \
+                     `-- <why this specific site is safe>`"
+                ),
+                "docs/ARCHITECTURE.md#determinism-rules",
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            file: rel_path.to_string(),
+            line: c.line,
+            end_line,
+            rule,
+            reason,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lints every `.rs` file under `root`, in sorted path order.
+///
+/// Skipped subtrees: `target/` (build output), anything starting with
+/// `.` (VCS, CI config), and `fixtures/` (the lint's own test corpus is
+/// deliberately full of violations).
+pub fn scan_workspace(root: &Path) -> io::Result<LintReport> {
+    scan_dir(root, root)
+}
+
+/// Lints every `.rs` file under `dir`, with paths made relative to
+/// `root` — so a partial scan (`tally_lint crates/core`) still
+/// classifies files into the right [`crate::rules::Unit`].
+pub fn scan_dir(root: &Path, dir: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, dir, &mut files)?;
+    files.sort();
+
+    let mut report = LintReport::default();
+    for (rel, abs) in &files {
+        let src = fs::read_to_string(abs)?;
+        let fr = lint_source(rel, &src);
+        report.findings.extend(fr.findings);
+        report.suppressions.extend(fr.suppressions);
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}

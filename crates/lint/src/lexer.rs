@@ -1,0 +1,443 @@
+//! A minimal, lossless-enough Rust tokenizer.
+//!
+//! The rules in this crate match *token shapes* — identifier sequences
+//! like `Instant :: now`, derive attribute contents, `use` statement
+//! spans — so the lexer only needs to get four things exactly right:
+//!
+//! 1. comments must be separated from code (and kept, with line numbers,
+//!    because `// tally-lint: allow(...)` suppressions live in them);
+//! 2. string/char literals must be skipped as opaque units so a string
+//!    containing `"HashMap"` or `"Instant::now"` can never trip a rule;
+//! 3. lifetimes must not be confused with char literals;
+//! 4. every token must carry the 1-based line it starts on, because
+//!    findings and suppressions are matched by line.
+//!
+//! It deliberately does *not* build an AST: the determinism rules are
+//! lexical by design (see the module docs in [`crate::rules`]), which
+//! keeps the analyzer auditable and fast enough to run on every build.
+
+/// What kind of token [`lex`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `use`, ...).
+    Ident,
+    /// Punctuation. Multi-character operators that matter for brace/
+    /// generic tracking are fused: `::`, `->` and `=>` arrive as single
+    /// tokens; everything else is one character per token.
+    Punct,
+    /// Numeric literal (integer or float, any base, suffixes included).
+    Num,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`,
+    /// `c"..."`) or a char/byte-char literal. Contents are opaque.
+    Str,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token of Rust source.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Str`] this is empty — contents
+    /// are deliberately opaque to the rules.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line the comment starts on. For a block comment
+    /// spanning lines, this is the first line.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    /// Suppressions are only honored in plain comments, so documentation
+    /// *about* the allow syntax can never register a stray allow.
+    pub doc: bool,
+}
+
+/// Tokenizes `src`, returning the code tokens and the comments separately.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let cs: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let n = cs.len();
+    while i < n {
+        let c = cs[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && i + 1 < n && cs[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && cs[j] != '\n' {
+                j += 1;
+            }
+            let text: String = cs[start..j].iter().collect();
+            // `///` and `//!` are docs; `////...` is a plain comment again.
+            let doc = (text.starts_with('/') && !text.starts_with("//")) || text.starts_with('!');
+            comments.push(Comment { line, text, doc });
+            i = j;
+            continue;
+        }
+        // Block comments (nested).
+        if c == '/' && i + 1 < n && cs[i + 1] == '*' {
+            let start_line = line;
+            let doc = i + 2 < n && (cs[i + 2] == '*' || cs[i + 2] == '!');
+            let mut depth = 1;
+            let mut j = i + 2;
+            let body_start = j;
+            while j < n && depth > 0 {
+                if cs[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if cs[j] == '/' && j + 1 < n && cs[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if cs[j] == '*' && j + 1 < n && cs[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let body_end = j.saturating_sub(2).max(body_start);
+            comments.push(Comment {
+                line: start_line,
+                text: cs[body_start..body_end].iter().collect(),
+                doc,
+            });
+            i = j;
+            continue;
+        }
+        // String-ish literals reachable via a prefix letter: r"", r#""#,
+        // b"", br"", c"", cr"", b'x', plus raw identifiers r#ident.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some((next_i, lines)) = try_prefixed_literal(&cs, i) {
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                line += lines;
+                i = next_i;
+                continue;
+            }
+            if c == 'r'
+                && i + 1 < n
+                && cs[i + 1] == '#'
+                && is_ident_start(*cs.get(i + 2).unwrap_or(&' '))
+            {
+                // Raw identifier: emit without the `r#`.
+                let mut j = i + 2;
+                while j < n && is_ident_continue(cs[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: cs[i + 2..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let (next_i, lines) = skip_quoted(&cs, i + 1);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            line += lines;
+            i = next_i;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let one = cs.get(i + 1).copied().unwrap_or(' ');
+            let two = cs.get(i + 2).copied().unwrap_or(' ');
+            if is_ident_start(one) && two != '\'' {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(cs[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: cs[i + 1..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            let (next_i, lines) = skip_quoted_char(&cs, i + 1);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            line += lines;
+            i = next_i;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(cs[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: cs[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n {
+                let d = cs[j];
+                // Digits/underscores/suffix letters continue the number,
+                // as do `.` before a digit (1.5, but not 1..2 or 2.max)
+                // and an exponent sign right after e/E.
+                let continues = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && cs.get(j + 1).is_some_and(|x| x.is_ascii_digit()))
+                    || ((d == '+' || d == '-')
+                        && matches!(cs.get(j.wrapping_sub(1)), Some('e') | Some('E')));
+                if !continues {
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: cs[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation; fuse the operators brace/generic tracking needs.
+        let fused = match (c, cs.get(i + 1)) {
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            _ => None,
+        };
+        if let Some(op) = fused {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: op.to_string(),
+                line,
+            });
+            i += 2;
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    (toks, comments)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Skips a `"`-quoted body starting *after* the opening quote. Returns
+/// (index after the closing quote, newlines crossed).
+fn skip_quoted(cs: &[char], mut i: usize) -> (usize, u32) {
+    let mut lines = 0;
+    while i < cs.len() {
+        match cs[i] {
+            '\\' => i += 2,
+            '\n' => {
+                lines += 1;
+                i += 1;
+            }
+            '"' => return (i + 1, lines),
+            _ => i += 1,
+        }
+    }
+    (i, lines)
+}
+
+/// Skips a `'`-quoted char body starting *after* the opening quote.
+fn skip_quoted_char(cs: &[char], mut i: usize) -> (usize, u32) {
+    let mut lines = 0;
+    while i < cs.len() {
+        match cs[i] {
+            '\\' => i += 2,
+            '\n' => {
+                lines += 1;
+                i += 1;
+            }
+            '\'' => return (i + 1, lines),
+            _ => i += 1,
+        }
+    }
+    (i, lines)
+}
+
+/// Recognizes `r`/`b`/`c`-prefixed string flavors and byte chars at `i`.
+/// Returns (index after the literal, newlines crossed), or `None` if the
+/// characters at `i` are not a prefixed literal.
+fn try_prefixed_literal(cs: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = cs.len();
+    let mut j = i;
+    let mut raw = false;
+    // Prefix letters: one of r/b/c, or the pairs br/cr.
+    match cs[j] {
+        'r' => {
+            raw = true;
+            j += 1;
+        }
+        'b' | 'c' => {
+            j += 1;
+            if cs.get(j) == Some(&'r') {
+                raw = true;
+                j += 1;
+            }
+        }
+        _ => return None,
+    }
+    if !raw {
+        // b"..." / c"..." / b'x'
+        match cs.get(j) {
+            Some('"') => {
+                let (end, lines) = skip_quoted(cs, j + 1);
+                return Some((end, lines));
+            }
+            Some('\'') => {
+                let (end, lines) = skip_quoted_char(cs, j + 1);
+                return Some((end, lines));
+            }
+            _ => return None,
+        }
+    }
+    // Raw flavor: zero or more #, then a quote.
+    let mut hashes = 0usize;
+    while cs.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if cs.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    let mut lines = 0u32;
+    while j < n {
+        if cs[j] == '\n' {
+            lines += 1;
+            j += 1;
+            continue;
+        }
+        if cs[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && cs.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some((j + 1 + hashes, lines));
+            }
+        }
+        j += 1;
+    }
+    Some((j, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let src = r##"let s = "Instant::now HashMap"; let r = r#"SystemTime "quoted""#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "s", "let", "r"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn comments_carry_lines_and_docness() {
+        let src = "// plain\n/// doc\ncode(); //! inner\n/* block\nstill */ more();";
+        let (_, cmts) = lex(src);
+        assert_eq!(cmts.len(), 4);
+        assert_eq!((cmts[0].line, cmts[0].doc), (1, false));
+        assert_eq!((cmts[1].line, cmts[1].doc), (2, true));
+        assert_eq!((cmts[2].line, cmts[2].doc), (3, true));
+        assert_eq!((cmts[3].line, cmts[3].doc), (4, false));
+    }
+
+    #[test]
+    fn fused_operators_and_lines() {
+        let (toks, _) = lex("a::b\n-> c => d >= e");
+        let fused: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(fused, ["::", "->", "=>", ">", "="]);
+        assert_eq!(toks.iter().find(|t| t.text == "c").unwrap().line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let (toks, _) = lex("0..10; 1.5e-3; 2.max(3); 0x1F_u32");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "2", "3", "0x1F_u32"]);
+        assert!(toks.iter().any(|t| t.text == "max"));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_sigil() {
+        let ids = idents("let r#fn = r#type;");
+        assert_eq!(ids, ["let", "fn", "type"]);
+    }
+}

@@ -1,0 +1,105 @@
+//! `tally_lint` — the CI gate binary.
+//!
+//! ```text
+//! tally_lint [--workspace] [PATH ...] [--json FILE]
+//! ```
+//!
+//! With no paths (or with `--workspace`) it scans the workspace rooted
+//! at the current directory — CI runs it from the repo root. Explicit
+//! paths restrict the scan to those files or subtrees, still addressed
+//! relative to the current directory so unit scoping works.
+//!
+//! Exit status is the contract: 0 when the tree is clean (every finding
+//! suppressed with a reasoned allow), 1 when any unsuppressed finding
+//! remains. Warnings-as-errors is therefore not a flag — it is the only
+//! mode.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tally_bench::JsonSink;
+use tally_lint::{engine, report, LintReport};
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            // Consumed again by JsonSink::from_args below; skip its value.
+            "--json" => {
+                let _ = args.next();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "tally_lint [--workspace] [PATH ...] [--json FILE]\n\
+                     \n\
+                     Static analysis for the determinism & layering contract\n\
+                     (docs/ARCHITECTURE.md). Exits 1 on any unsuppressed finding.\n\
+                     Suppress with: // tally-lint: allow(RULE) -- <reason>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("tally_lint: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    let report = match run(&paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tally_lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", report::render_text(&report));
+
+    let mut sink = JsonSink::from_args("tally_lint");
+    if sink.enabled() {
+        report::record_json(&report, &mut sink);
+        sink.finish();
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run(paths: &[PathBuf]) -> std::io::Result<LintReport> {
+    if paths.is_empty() {
+        return engine::scan_workspace(Path::new("."));
+    }
+    // Explicit paths: files are linted under their given (relative)
+    // name; directories are scanned as sub-workspaces but keep their
+    // prefix so unit classification still sees `crates/...`.
+    let mut merged = LintReport::default();
+    for p in paths {
+        if p.is_dir() {
+            let sub = engine::scan_dir(Path::new("."), p)?;
+            merged.files_scanned += sub.files_scanned;
+            merged.findings.extend(sub.findings);
+            merged.suppressions.extend(sub.suppressions);
+        } else {
+            let src = std::fs::read_to_string(p)?;
+            let rel = p.to_string_lossy().replace('\\', "/");
+            let rel = rel.trim_start_matches("./");
+            let fr = engine::lint_source(rel, &src);
+            merged.files_scanned += 1;
+            merged.findings.extend(fr.findings);
+            merged.suppressions.extend(fr.suppressions);
+        }
+    }
+    merged
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    merged
+        .suppressions
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(merged)
+}

@@ -1,0 +1,124 @@
+//! Rendering: the human report and the machine-readable JSON rows.
+//!
+//! The JSON side reuses [`tally_bench::JsonSink`] so `tally_lint --json`
+//! produces the same document shape as every bench in the repo and
+//! validates with `bench_suite --validate-json` — CI does exactly that.
+
+use std::collections::BTreeMap;
+
+use tally_bench::JsonSink;
+
+use crate::LintReport;
+
+/// Formats the full human-readable report. Deterministic by
+/// construction: the engine emits findings and suppressions in sorted
+/// (path, line) order and the per-rule totals use an ordered map.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: {}: {} (see {})\n",
+            f.file, f.line, f.rule, f.message, f.doc
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push('\n');
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &report.findings {
+            *per_rule.entry(f.rule.as_str()).or_default() += 1;
+        }
+        for (rule, n) in &per_rule {
+            out.push_str(&format!("  {n:>4}  {rule}\n"));
+        }
+        out.push('\n');
+    }
+
+    if report.suppressions.is_empty() {
+        out.push_str("suppressions: none\n");
+    } else {
+        out.push_str(&format!("suppressions ({}):\n", report.suppressions.len()));
+        // Aligned table: location, rule, liveness, reason.
+        let loc_w = report
+            .suppressions
+            .iter()
+            .map(|s| s.file.len() + 1 + digits(s.line))
+            .max()
+            .unwrap_or(0);
+        let rule_w = report
+            .suppressions
+            .iter()
+            .map(|s| s.rule.len())
+            .max()
+            .unwrap_or(0);
+        for s in &report.suppressions {
+            let loc = format!("{}:{}", s.file, s.line);
+            let used = if s.used { "used  " } else { "UNUSED" };
+            out.push_str(&format!(
+                "  {loc:<loc_w$}  {rule:<rule_w$}  {used}  -- {reason}\n",
+                rule = s.rule,
+                reason = s.reason,
+            ));
+        }
+    }
+
+    let verdict = if report.clean() { "clean" } else { "FAIL" };
+    out.push_str(&format!(
+        "tally_lint: {} files scanned, {} findings, {} suppressions — {}\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len(),
+        verdict
+    ));
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Records the report into a [`JsonSink`]. One row per finding and per
+/// suppression plus summary counters, all tagged so downstream tooling
+/// can slice by rule or file without re-parsing messages.
+pub fn record_json(report: &LintReport, sink: &mut JsonSink) {
+    sink.record("files_scanned", report.files_scanned as f64, &[]);
+    sink.record("findings_total", report.findings.len() as f64, &[]);
+    sink.record("suppressions_total", report.suppressions.len() as f64, &[]);
+
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &report.findings {
+        *per_rule.entry(f.rule.as_str()).or_default() += 1;
+    }
+    for (rule, n) in &per_rule {
+        sink.record("findings_by_rule", *n as f64, &[("rule", rule)]);
+    }
+
+    for f in &report.findings {
+        sink.record(
+            "finding",
+            f64::from(f.line),
+            &[
+                ("rule", f.rule.as_str()),
+                ("file", f.file.as_str()),
+                ("doc", f.doc.as_str()),
+            ],
+        );
+    }
+    for s in &report.suppressions {
+        sink.record(
+            "suppression",
+            f64::from(s.line),
+            &[
+                ("rule", s.rule.as_str()),
+                ("file", s.file.as_str()),
+                ("used", if s.used { "true" } else { "false" }),
+                ("reason", s.reason.as_str()),
+            ],
+        );
+    }
+}

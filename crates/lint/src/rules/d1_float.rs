@@ -1,0 +1,55 @@
+//! `D1-float-schedule` — float arithmetic must not flow into scheduled
+//! instants (ARCHITECTURE rule D1: sim time is integral).
+//!
+//! The contract keeps every scheduled instant in integer nanoseconds so
+//! that event order never depends on floating-point rounding. The one
+//! sanctioned bridge from float land is the set of
+//! `SimSpan::from_*_f64` constructors, which round once, at a documented
+//! boundary. This rule flags every call site of those constructors in
+//! simulation crates: each one is a place where a float becomes a
+//! scheduled duration, and each must either be rewritten in integer
+//! arithmetic or carry an allow explaining why the rounding is
+//! harmless (e.g. model-input conversion that happens before time
+//! zero, identical on every platform per IEEE 754).
+
+use super::{FileCtx, Rule};
+use crate::lexer::TokKind;
+use crate::Finding;
+
+pub struct D1Float;
+
+/// The sanctioned constructors' home: the rule would otherwise flag the
+/// definitions themselves.
+const TIME_MODULE: &str = "crates/gpu-sim/src/time.rs";
+
+impl Rule for D1Float {
+    fn id(&self) -> &'static str {
+        "D1-float-schedule"
+    }
+
+    fn doc_anchor(&self) -> &'static str {
+        "docs/ARCHITECTURE.md#determinism-rules"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !ctx.unit.is_sim() || ctx.rel_path == TIME_MODULE {
+            return;
+        }
+        for t in ctx.toks {
+            if t.kind == TokKind::Ident && t.text.starts_with("from_") && t.text.ends_with("_f64") {
+                out.push(Finding::new(
+                    self.id(),
+                    ctx.rel_path,
+                    t.line,
+                    format!(
+                        "float-valued duration enters sim time via `{}`; \
+                         use integer nanoseconds, or allow with a reason \
+                         why this rounding is platform-independent",
+                        t.text
+                    ),
+                    self.doc_anchor(),
+                ));
+            }
+        }
+    }
+}

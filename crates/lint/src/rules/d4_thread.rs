@@ -1,0 +1,63 @@
+//! `D4-thread-identity` — thread identity must never reach simulation
+//! state (ARCHITECTURE rule D4: barrier-loop parallelism).
+//!
+//! The fleet advances under scoped worker threads, and the contract
+//! makes outputs independent of the worker count precisely because no
+//! decision ever looks at *which* thread it runs on. `thread::current()`
+//! and `thread_local!` storage both smuggle thread identity into the
+//! computation: a per-thread cache warms differently depending on work
+//! stealing, a ThreadId in a tiebreak reorders events. Spawning and
+//! scoping threads is fine — identifying them is not, so `thread::scope`
+//! and `thread::spawn` pass untouched.
+
+use super::{FileCtx, Rule};
+use crate::lexer::TokKind;
+use crate::Finding;
+
+pub struct D4ThreadIdentity;
+
+impl Rule for D4ThreadIdentity {
+    fn id(&self) -> &'static str {
+        "D4-thread-identity"
+    }
+
+    fn doc_anchor(&self) -> &'static str {
+        "docs/ARCHITECTURE.md#determinism-rules"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if !ctx.unit.is_sim() {
+            return;
+        }
+        let toks = ctx.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let what = if t.text == "thread"
+                && toks.get(i + 1).is_some_and(|t| t.text == "::")
+                && toks.get(i + 2).is_some_and(|t| t.text == "current")
+            {
+                Some("`thread::current()` exposes thread identity")
+            } else if t.text == "thread_local" {
+                Some("`thread_local!` state varies with work distribution")
+            } else if t.text == "ThreadId" {
+                Some("`ThreadId` is thread identity by definition")
+            } else {
+                None
+            };
+            if let Some(msg) = what {
+                out.push(Finding::new(
+                    self.id(),
+                    ctx.rel_path,
+                    t.line,
+                    format!(
+                        "{msg}; simulation outputs must be identical for \
+                         every worker-thread count"
+                    ),
+                    self.doc_anchor(),
+                ));
+            }
+        }
+    }
+}

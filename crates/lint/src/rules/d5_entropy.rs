@@ -1,0 +1,64 @@
+//! `D5-entropy` — the only randomness is the seeded in-tree generator
+//! (ARCHITECTURE rule D5).
+//!
+//! Every stochastic choice in the simulator — arrival jitter, workload
+//! sampling, tiebreak salt — must come from `tally_gpu::rng`, whose
+//! xoshiro256++ state is seeded explicitly and advances in a replayable
+//! order. Ambient entropy sources (`rand::thread_rng`, `fastrand`'s
+//! global state, `getrandom`, the hasher's per-process `RandomState`)
+//! reintroduce run-to-run variation that no seed can pin down. The rule
+//! runs workspace-wide: even the bench harness must not sample ambient
+//! entropy, or two "identical" runs stop being comparable.
+
+use super::{FileCtx, Rule};
+use crate::lexer::TokKind;
+use crate::Finding;
+
+pub struct D5Entropy;
+
+/// Where the sanctioned generator lives; its internals mention nothing
+/// external, but keep the definition site exempt on principle (it is the
+/// one module allowed to *be* the entropy story).
+const RNG_MODULE: &str = "crates/gpu-sim/src/rng.rs";
+
+impl Rule for D5Entropy {
+    fn id(&self) -> &'static str {
+        "D5-entropy"
+    }
+
+    fn doc_anchor(&self) -> &'static str {
+        "docs/ARCHITECTURE.md#determinism-rules"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        if ctx.rel_path == RNG_MODULE {
+            return;
+        }
+        let toks = ctx.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let flagged = match t.text.as_str() {
+                "RandomState" | "thread_rng" | "fastrand" | "getrandom" => true,
+                // `rand` only as a crate root (`rand::...` or `use rand`)
+                // so a local binding named `rand` cannot trip the rule.
+                "rand" => toks.get(i + 1).is_some_and(|t| t.text == "::") || ctx.in_use(i),
+                _ => false,
+            };
+            if flagged {
+                out.push(Finding::new(
+                    self.id(),
+                    ctx.rel_path,
+                    t.line,
+                    format!(
+                        "`{}` is an ambient entropy source; all randomness \
+                         must flow from a seeded `tally_gpu::rng` generator",
+                        t.text
+                    ),
+                    self.doc_anchor(),
+                ));
+            }
+        }
+    }
+}

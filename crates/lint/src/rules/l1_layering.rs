@@ -1,0 +1,83 @@
+//! `L1-layering` — crate dependencies must follow the DAG in
+//! `docs/ARCHITECTURE.md#crate-map`.
+//!
+//! Cargo already refuses undeclared dependencies, but nothing stops a
+//! manifest edit that quietly inverts the layering (the scheduler
+//! importing a workload generator, the device model reaching up into the
+//! cluster). This rule pins the DAG in a second place: any workspace
+//! crate named in a `use`/`extern crate` statement or as a path root
+//! must be in the importing unit's allowed list. The root `tests/` and
+//! `examples/` are the integration surface and may use everything; the
+//! linter itself may link only the bench reporting crate, so it can
+//! never become a dependent of the code it checks.
+
+use super::{FileCtx, Rule};
+use crate::lexer::TokKind;
+use crate::Finding;
+
+pub struct L1Layering;
+
+/// Every crate ident in the workspace; anything else is not ours to police.
+const WORKSPACE_CRATES: &[&str] = &[
+    "tally",
+    "tally_gpu",
+    "tally_ptx",
+    "tally_core",
+    "tally_workloads",
+    "tally_baselines",
+    "tally_bench",
+    "tally_lint",
+];
+
+impl Rule for L1Layering {
+    fn id(&self) -> &'static str {
+        "L1-layering"
+    }
+
+    fn doc_anchor(&self) -> &'static str {
+        "docs/ARCHITECTURE.md#crate-map"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+        let toks = ctx.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || !WORKSPACE_CRATES.contains(&t.text.as_str()) {
+                continue;
+            }
+            // Only path roots count: `use tally_core::...`, `extern crate
+            // tally_core`, or `tally_core::Thing` in code. An ident that
+            // is itself preceded by `::` or `.` is not a root.
+            let is_root = !super::prev_is_path(toks, i)
+                && (ctx.in_use(i) || toks.get(i + 1).is_some_and(|n| n.text == "::"));
+            if !is_root {
+                continue;
+            }
+            let name = t.text.as_str();
+            if name == ctx.unit.crate_ident() || ctx.unit.allowed_deps().contains(&name) {
+                continue;
+            }
+            out.push(Finding::new(
+                self.id(),
+                ctx.rel_path,
+                t.line,
+                format!(
+                    "`{}` must not depend on `{}`: the edge is not in the \
+                     crate DAG; route through the layer's public surface \
+                     or move the code",
+                    unit_label(ctx),
+                    name
+                ),
+                self.doc_anchor(),
+            ));
+        }
+    }
+}
+
+fn unit_label(ctx: &FileCtx<'_>) -> &'static str {
+    let ident = ctx.unit.crate_ident();
+    if ident.is_empty() {
+        "the integration surface"
+    } else {
+        ident
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: an allow with no justification — the directive itself is a
+// finding (A0) and the violation it points at stays unsuppressed.
+// tally-lint: allow(D2-unordered-iter)
+use std::collections::HashMap;
+
+pub type Slots = HashMap<u64, u32>; // tally-lint: allow(D2-unordered-iter) --

@@ -1,0 +1,9 @@
+// Fixture: a properly justified suppression — the directive wraps over
+// two comment lines and covers the line that follows the block.
+// tally-lint: allow(D2-unordered-iter) -- perf scratch map, keyed access
+// only; nothing iterates it, so hash order is unobservable.
+pub type Scratch = std::collections::HashMap<u64, u64>;
+
+pub fn lookup(m: &Scratch, k: u64) -> Option<u64> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,6 @@
+// Fixture: an allow naming a rule that does not exist — either a typo
+// (some real rule is about to fire) or stale (should be deleted).
+// tally-lint: allow(D9-imaginary) -- this rule was removed years ago.
+use std::collections::HashSet;
+
+pub type Seen = HashSet<u64>;

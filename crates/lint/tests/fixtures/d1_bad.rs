@@ -1,0 +1,6 @@
+// Fixture: float seconds flowing straight into a scheduled instant.
+use tally_gpu::time::{SimSpan, SimTime};
+
+pub fn schedule_retry(backoff_s: f64, now: SimTime) -> SimTime {
+    now + SimSpan::from_secs_f64(backoff_s * 1.5)
+}

@@ -1,0 +1,7 @@
+// Fixture: the same backoff computed in integer nanoseconds.
+use tally_gpu::time::{SimSpan, SimTime};
+
+pub fn schedule_retry(backoff: SimSpan, now: SimTime) -> SimTime {
+    let nanos = backoff.as_nanos().saturating_mul(3) / 2;
+    now + SimSpan::from_nanos(nanos)
+}

@@ -1,0 +1,13 @@
+// Fixture: hash-ordered container in a simulation crate.
+use std::collections::HashMap;
+
+pub struct Table {
+    slots: HashMap<u64, u32>,
+}
+
+impl Table {
+    pub fn dump(&self) -> Vec<(u64, u32)> {
+        // Iteration order here depends on the process hash seed.
+        self.slots.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: ordered container — iteration order is the key order.
+use std::collections::BTreeMap;
+
+pub struct Table {
+    slots: BTreeMap<u64, u32>,
+}
+
+impl Table {
+    pub fn dump(&self) -> Vec<(u64, u32)> {
+        self.slots.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: wall-clock read outside a host_* scope, feeding a metric.
+pub fn sample_latency_ns(work: impl FnOnce()) -> u64 {
+    let t0 = std::time::Instant::now();
+    work();
+    t0.elapsed().as_nanos() as u64
+}

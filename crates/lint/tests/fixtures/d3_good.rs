@@ -1,0 +1,7 @@
+// Fixture: the same read inside a host_*-named scope — the sanctioned
+// shape for machine-dependent instrumentation.
+pub fn host_latency_ns(work: impl FnOnce()) -> u64 {
+    let t0 = std::time::Instant::now();
+    work();
+    t0.elapsed().as_nanos() as u64
+}

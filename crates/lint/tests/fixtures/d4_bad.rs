@@ -1,0 +1,9 @@
+// Fixture: thread identity reaching computation in a sim crate.
+thread_local! {
+    static SCRATCH: std::cell::Cell<u64> = std::cell::Cell::new(0);
+}
+
+pub fn tiebreak_salt() -> u64 {
+    let tid = format!("{:?}", std::thread::current().id());
+    tid.len() as u64
+}

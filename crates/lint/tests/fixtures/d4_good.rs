@@ -1,0 +1,9 @@
+// Fixture: scoped parallelism without identity — workers are
+// interchangeable, outputs cannot depend on which thread ran what.
+pub fn advance_all(shards: &mut [Vec<u64>]) {
+    std::thread::scope(|s| {
+        for shard in shards.iter_mut() {
+            s.spawn(move || shard.sort_unstable());
+        }
+    });
+}

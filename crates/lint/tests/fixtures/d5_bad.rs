@@ -1,0 +1,7 @@
+// Fixture: ambient entropy sources.
+use std::collections::hash_map::RandomState;
+
+pub fn jitter() -> f64 {
+    let _state = RandomState::new();
+    rand::thread_rng().gen_range(0.0..1.0)
+}

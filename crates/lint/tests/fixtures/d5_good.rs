@@ -1,0 +1,7 @@
+// Fixture: the sanctioned generator — explicitly seeded, replayable.
+use tally_gpu::rng::SmallRng;
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,9 @@
+// Fixture: derived Debug over interior-mutable cache state — the Debug
+// string would print whatever the memo happens to hold.
+use std::cell::RefCell;
+
+#[derive(Debug, Clone)]
+pub struct Memo {
+    pub hits: u64,
+    cache: RefCell<Option<u64>>,
+}

@@ -1,0 +1,14 @@
+// Fixture: same struct, manual Debug that formats only logical state.
+use std::cell::RefCell;
+use std::fmt;
+
+pub struct Memo {
+    pub hits: u64,
+    cache: RefCell<Option<u64>>,
+}
+
+impl fmt::Debug for Memo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memo").field("hits", &self.hits).finish()
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: layering inversions — the scheduler reaching up into the
+// workload generator and the bench harness.
+use tally_bench::JsonSink;
+use tally_workloads::mixes::Mix;
+
+pub fn peek(mix: &Mix) -> usize {
+    let _sink = JsonSink::to_path("bad", None);
+    tally_workloads::mixes::size_of(mix)
+}

@@ -1,0 +1,9 @@
+// Fixture: edges the DAG allows for tally_core — down into the device
+// model and the kernel IR, never sideways or up.
+use tally_gpu::GpuSpec;
+use tally_ptx::Module;
+
+pub fn lower(spec: &GpuSpec, module: &Module) -> usize {
+    let _ = spec;
+    module.kernels.len()
+}

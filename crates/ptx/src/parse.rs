@@ -24,6 +24,7 @@
 //! assert_eq!(k.params.len(), 4);
 //! ```
 
+#[allow(clippy::disallowed_types)] // label table: point lookups only
 use std::collections::HashMap;
 use std::fmt;
 
@@ -59,12 +60,14 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
 struct Parser<'s> {
     src: &'s str,
     kernel: Kernel,
+    #[allow(clippy::disallowed_types)] // name → label point lookups only
     labels: HashMap<String, Label>,
     max_reg: i32,
     max_pred: i32,
 }
 
 impl<'s> Parser<'s> {
+    #[allow(clippy::disallowed_types)] // label table (see field note)
     fn new(src: &'s str) -> Self {
         Parser {
             src,

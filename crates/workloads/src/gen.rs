@@ -183,6 +183,8 @@ pub fn calibrated_mix(
         for _ in 0..distinct {
             let log = rng.gen_range(seg.dur_us.0.ln()..=seg.dur_us.1.ln());
             pool.push(Draw {
+                // tally-lint: allow(D1-float-schedule) -- seeded log-uniform
+                // duration rounded to integral nanoseconds exactly once.
                 dur: SimSpan::from_micros_f64(log.exp()),
                 mem: rng.gen_range(seg.mem.0..=seg.mem.1),
                 origin: if rng.gen_bool(seg.opaque_frac) {

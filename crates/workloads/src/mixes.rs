@@ -135,7 +135,7 @@ pub fn phase_shifted(spec: &GpuSpec, phase: SimSpan, duration: SimSpan, load: f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use tally_core::cluster::job_demand;
 
     #[test]
@@ -155,7 +155,7 @@ mod tests {
         assert_eq!(jobs.len(), 2 * n);
         assert!(jobs[..n].iter().all(|j| j.priority.is_high()));
         assert!(jobs[n..].iter().all(|j| !j.priority.is_high()));
-        let keys: HashSet<&str> = jobs.iter().map(JobSpec::key).collect();
+        let keys: BTreeSet<&str> = jobs.iter().map(JobSpec::key).collect();
         assert_eq!(keys.len(), 2 * n, "client keys must be unique");
         // Round-robin over n devices sends index i and index n+i to the
         // same device, so copy i must sit at exactly those two indices.
@@ -200,7 +200,7 @@ mod tests {
         let in_even_phase = |t: &SimTime| (t.as_nanos() / 3_000_000_000).is_multiple_of(2);
         assert!(arrivals_of(even).iter().all(in_even_phase));
         assert!(!arrivals_of(odd).iter().any(in_even_phase));
-        let keys: HashSet<&str> = jobs.iter().map(JobSpec::key).collect();
+        let keys: BTreeSet<&str> = jobs.iter().map(JobSpec::key).collect();
         assert_eq!(keys.len(), 4, "client keys must be unique");
     }
 
@@ -216,7 +216,7 @@ mod tests {
         // Two heavies oversubscribe a device; heavy + light is milder.
         assert!(demands[0] + demands[2] > 1.5, "demands: {demands:?}");
         assert!(demands[0] + demands[1] < demands[0] + demands[2]);
-        let keys: HashSet<&str> = jobs.iter().map(JobSpec::key).collect();
+        let keys: BTreeSet<&str> = jobs.iter().map(JobSpec::key).collect();
         assert_eq!(keys.len(), 4, "client keys must be unique");
     }
 }

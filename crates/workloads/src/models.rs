@@ -96,6 +96,8 @@ impl TrainModel {
 
     /// Builds the best-effort training job for this model.
     pub fn job(self, spec: &GpuSpec) -> JobSpec {
+        // tally-lint: allow(D1-float-schedule) -- paper-constant throughput
+        // inverted once into a fixed integral iteration length.
         let total = SimSpan::from_secs_f64(1.0 / self.paper_throughput());
         let (segments, busy_frac): (Vec<Segment>, f64) = match self {
             // Many tiny conv/bn kernels; input pipeline keeps the CPU busy

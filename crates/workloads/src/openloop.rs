@@ -224,6 +224,9 @@ impl LoadProfile {
                 break;
             }
             let accept: f64 = rng.gen_range(0.0..1.0);
+            // tally-lint: allow(D1-float-schedule) -- seeded Poisson thinning;
+            // the float clock only feeds the rate lookup, and each accepted
+            // arrival rounds to integral nanoseconds exactly once below.
             if accept * peak <= self.rate_at(SimSpan::from_secs_f64(t), duration) {
                 out.push(SimTime::from_nanos((t * 1e9) as u64));
             }

@@ -632,8 +632,11 @@ impl ArrivalTrace {
                 }
                 let service_s =
                     -rng.gen_range(f64::EPSILON..1.0f64).ln() * entry.mean_service.as_secs_f64();
-                let until =
-                    (from + SimSpan::from_secs_f64(service_s).max(SimSpan::from_nanos(1))).min(end);
+                // tally-lint: allow(D1-float-schedule) -- seeded exponential
+                // draw rounded to integral nanoseconds once; `from` stays
+                // integral, so repeated stays cannot accumulate drift.
+                let stay = SimSpan::from_secs_f64(service_s).max(SimSpan::from_nanos(1));
+                let until = (from + stay).min(end);
                 events.push(TraceEvent {
                     at: from,
                     event: ClientEvent::Arrive {
@@ -650,6 +653,8 @@ impl ArrivalTrace {
                 }
                 let gap_s =
                     -rng.gen_range(f64::EPSILON..1.0f64).ln() * entry.mean_gap.as_secs_f64();
+                // tally-lint: allow(D1-float-schedule) -- seeded exponential
+                // gap rounded to integral nanoseconds once off integral `until`.
                 from = until + SimSpan::from_secs_f64(gap_s).max(SimSpan::from_nanos(1));
             }
         }

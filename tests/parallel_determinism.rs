@@ -304,6 +304,7 @@ fn run_phase_shifted_telemetry(threads: usize) -> (String, String) {
 }
 
 #[test]
+#[allow(clippy::disallowed_types)] // span-pairing scratch maps, keyed access only
 fn chrome_trace_export_is_byte_identical_and_well_formed() {
     use std::collections::HashMap;
     use tally_bench::diff::{parse_json, Json};
